@@ -1,0 +1,155 @@
+// Kernel microbenchmarks (google-benchmark): per-tuple SGD step throughput
+// for each model family (dense and sparse), tuple serialization, the TOAST
+// codec, and the RNG primitives the shuffles lean on. These are the
+// constants behind every "compute" number in the experiment benches.
+
+#include <benchmark/benchmark.h>
+
+#include "dataset/catalog.h"
+#include "ml/linear_models.h"
+#include "ml/mlp.h"
+#include "storage/compression.h"
+#include "util/rng.h"
+
+namespace corgipile {
+namespace {
+
+Tuple DenseTuple(uint32_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> vals(dim);
+  for (auto& v : vals) v = static_cast<float>(rng.NextGaussian());
+  return MakeDenseTuple(0, rng.NextBool() ? 1.0 : -1.0, std::move(vals));
+}
+
+Tuple SparseTuple(uint32_t dim, uint32_t nnz, uint64_t seed) {
+  Rng rng(seed);
+  auto keys = rng.SampleWithoutReplacement(dim, nnz);
+  std::sort(keys.begin(), keys.end());
+  std::vector<float> vals(nnz);
+  for (auto& v : vals) v = static_cast<float>(rng.NextGaussian());
+  return MakeSparseTuple(0, rng.NextBool() ? 1.0 : -1.0, std::move(keys),
+                         std::move(vals));
+}
+
+void BM_SgdStepLrDense(benchmark::State& state) {
+  const auto dim = static_cast<uint32_t>(state.range(0));
+  LogisticRegression model(dim);
+  model.InitParams(1);
+  Tuple t = DenseTuple(dim, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.SgdStep(t, 1e-4));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SgdStepLrDense)->Arg(28)->Arg(2000)->ArgName("dim");
+
+void BM_SgdStepSvmSparse(benchmark::State& state) {
+  const auto nnz = static_cast<uint32_t>(state.range(0));
+  SvmModel model(10000);
+  model.InitParams(1);
+  Tuple t = SparseTuple(10000, nnz, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.SgdStep(t, 1e-4));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SgdStepSvmSparse)->Arg(39)->Arg(500)->ArgName("nnz");
+
+void BM_SgdStepMlp(benchmark::State& state) {
+  const auto hidden = static_cast<uint32_t>(state.range(0));
+  MlpModel model(128, hidden, 10);
+  model.InitParams(1);
+  Tuple t = DenseTuple(128, 2);
+  t.label = 3.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.SgdStep(t, 1e-4));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SgdStepMlp)->Arg(32)->Arg(128)->ArgName("hidden");
+
+void BM_TupleSerialize(benchmark::State& state) {
+  Tuple t = DenseTuple(static_cast<uint32_t>(state.range(0)), 3);
+  std::vector<uint8_t> buf;
+  for (auto _ : state) {
+    buf.clear();
+    t.SerializeTo(&buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(t.SerializedSize()));
+}
+BENCHMARK(BM_TupleSerialize)->Arg(28)->Arg(1024)->ArgName("dim");
+
+void BM_TupleDeserialize(benchmark::State& state) {
+  Tuple t = DenseTuple(static_cast<uint32_t>(state.range(0)), 3);
+  std::vector<uint8_t> buf;
+  t.SerializeTo(&buf);
+  for (auto _ : state) {
+    size_t consumed = 0;
+    auto r = Tuple::Deserialize(buf.data(), buf.size(), &consumed);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(buf.size()));
+}
+BENCHMARK(BM_TupleDeserialize)->Arg(28)->Arg(1024)->ArgName("dim");
+
+void BM_ToastCompress(benchmark::State& state) {
+  // Zero-heavy payload: the regime where the codec earns its keep.
+  Rng rng(5);
+  std::vector<uint8_t> input(64 * 1024);
+  for (auto& b : input) {
+    b = rng.NextBool(0.6) ? 0 : static_cast<uint8_t>(rng.Uniform(256));
+  }
+  std::vector<uint8_t> out;
+  for (auto _ : state) {
+    CompressBytes(input, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(input.size()));
+}
+BENCHMARK(BM_ToastCompress);
+
+void BM_ToastDecompress(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<uint8_t> input(64 * 1024);
+  for (auto& b : input) {
+    b = rng.NextBool(0.6) ? 0 : static_cast<uint8_t>(rng.Uniform(256));
+  }
+  std::vector<uint8_t> compressed, out;
+  CompressBytes(input, &compressed);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DecompressBytes(compressed.data(), compressed.size(), &out).ok());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(input.size()));
+}
+BENCHMARK(BM_ToastDecompress);
+
+void BM_RngPermutation(benchmark::State& state) {
+  Rng rng(7);
+  const auto n = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Permutation(n).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RngPermutation)->Arg(1000)->Arg(100000)->ArgName("n");
+
+void BM_SampleWithoutReplacement(benchmark::State& state) {
+  Rng rng(7);
+  const auto n = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.SampleWithoutReplacement(n, n / 10).data());
+  }
+  state.SetItemsProcessed(state.iterations() * (n / 10));
+}
+BENCHMARK(BM_SampleWithoutReplacement)->Arg(1000)->Arg(100000)->ArgName("n");
+
+}  // namespace
+}  // namespace corgipile
+
+BENCHMARK_MAIN();

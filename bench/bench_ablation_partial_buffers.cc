@@ -1,0 +1,58 @@
+// Ablation — how much buffer do the *partial* strategies need? The paper's
+// §7.3.4 point: CorgiPile matches Shuffle Once with a 2% buffer, while
+// Sliding-Window and MRS stay behind even at 10%+. We sweep the buffer
+// fraction for all three on a clustered dataset.
+
+#include "runners.h"
+
+using namespace corgipile;
+using namespace corgipile::bench;
+
+int main(int argc, char** argv) {
+  BenchEnv env = BenchEnv::FromArgs(argc, argv);
+  const uint32_t epochs = env.quick ? 4 : 10;
+  auto spec = CatalogLookup("criteo", env.DatasetScale("criteo")).ValueOrDie();
+  Dataset ds = GenerateDataset(spec, DataOrder::kClustered);
+
+  // Shuffle Once reference.
+  double reference = 0.0;
+  {
+    ConvergenceConfig cfg;
+    cfg.strategy = ShuffleStrategy::kShuffleOnce;
+    cfg.epochs = epochs;
+    cfg.lr = DefaultLr("criteo");
+    auto r = RunConvergence(ds, "lr", cfg);
+    CORGI_CHECK_OK(r.status());
+    reference = r->final_test_metric;
+  }
+
+  CsvTable t({"strategy", "buffer_pct", "final_accuracy",
+              "gap_vs_shuffle_once"});
+  t.NewRow().Add("shuffle_once").Add("-").Add(reference, 4).Add(0.0, 4);
+  for (ShuffleStrategy s :
+       {ShuffleStrategy::kCorgiPile, ShuffleStrategy::kSlidingWindow,
+        ShuffleStrategy::kMrs}) {
+    for (double pct : {0.01, 0.02, 0.05, 0.10, 0.20}) {
+      ConvergenceConfig cfg;
+      cfg.strategy = s;
+      cfg.epochs = epochs;
+      cfg.lr = DefaultLr("criteo");
+      cfg.buffer_fraction = pct;
+      auto r = RunConvergence(ds, "lr", cfg);
+      CORGI_CHECK_OK(r.status());
+      char label[16];
+      std::snprintf(label, sizeof(label), "%.0f%%", pct * 100);
+      t.NewRow()
+          .Add(ShuffleStrategyToString(s))
+          .Add(label)
+          .Add(r->final_test_metric, 4)
+          .Add(reference - r->final_test_metric, 4);
+    }
+  }
+  env.Emit("ablation_partial_buffers", t);
+  std::printf(
+      "\nCorgiPile should close the gap by ~2%% buffer; Sliding-Window and "
+      "MRS keep a large gap even at 10-20%% — more buffer cannot fix an "
+      "order-biased sampling scheme.\n");
+  return 0;
+}

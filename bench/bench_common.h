@@ -1,0 +1,108 @@
+// Shared harness for the per-figure bench binaries.
+//
+// Scaling convention (see DESIGN.md §2): every experiment runs on data that
+// is ~1/1000 of the paper's bytes. All byte-denominated knobs scale with it
+// — a "paper 10 MB block" is 10 KB here, and device access latencies are
+// multiplied by the same 1e-3 (DeviceProfile::Scaled), so every cost ratio
+// (random vs sequential, seek amortization, shuffle-once overhead vs epoch
+// time) matches the paper's setting. Absolute simulated times are therefore
+// in "scaled seconds" ≈ paper seconds / 1000.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "iosim/device.h"
+#include "util/csv.h"
+
+namespace corgipile {
+namespace bench {
+
+struct BenchEnv {
+  /// Multiplier on each experiment's default dataset size.
+  double scale = 1.0;
+  /// Paper-bytes → bench-bytes factor shared by block sizes and latencies.
+  double byte_scale = 1e-3;
+  std::string out_dir = "bench_results";
+  std::string data_dir = "/tmp/corgipile_bench";
+  /// Smaller/faster variant for smoke runs (--quick).
+  bool quick = false;
+
+  static BenchEnv FromArgs(int argc, char** argv) {
+    BenchEnv env;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&](const char* prefix) -> const char* {
+        return std::strncmp(arg.c_str(), prefix, std::strlen(prefix)) == 0
+                   ? arg.c_str() + std::strlen(prefix)
+                   : nullptr;
+      };
+      if (const char* v = value("--scale=")) {
+        env.scale = std::atof(v);
+      } else if (const char* v = value("--out=")) {
+        env.out_dir = v;
+      } else if (const char* v = value("--data=")) {
+        env.data_dir = v;
+      } else if (arg == "--quick") {
+        env.quick = true;
+      } else if (arg == "--help") {
+        std::printf(
+            "flags: --scale=F (dataset size multiplier), --out=DIR, "
+            "--data=DIR, --quick\n");
+        std::exit(0);
+      }
+    }
+    std::filesystem::create_directories(env.out_dir);
+    std::filesystem::create_directories(env.data_dir);
+    return env;
+  }
+
+  /// Device with latencies scaled to the bench's data scale.
+  DeviceProfile Device(DeviceKind kind) const {
+    return DeviceProfile::ForKind(kind).Scaled(byte_scale);
+  }
+
+  /// Bench-scale equivalent of a paper block size in MB.
+  uint64_t PaperBlockBytes(double paper_mb) const {
+    return static_cast<uint64_t>(paper_mb * 1024 * 1024 * byte_scale);
+  }
+
+  /// Per-dataset catalog scale that lands each dataset at ~1/1000 of its
+  /// paper size (then multiplied by --scale).
+  double DatasetScale(const std::string& name) const {
+    double base = 0.2;
+    if (name == "higgs") base = 0.2;
+    else if (name == "susy") base = 0.2;
+    else if (name == "epsilon") base = 1.0;
+    else if (name == "criteo") base = 0.5;
+    else if (name == "yfcc") base = 0.7;
+    else if (name == "cifar10") base = 0.5;
+    else if (name == "imagenet") base = 0.5;
+    else if (name == "yelp") base = 0.5;
+    else if (name == "yearpred") base = 0.4;
+    else if (name == "mnist8m") base = 0.4;
+    const double q = quick ? 0.25 : 1.0;
+    return base * scale * q;
+  }
+
+  /// Prints the table and writes <out_dir>/<name>.csv.
+  void Emit(const std::string& name, const CsvTable& table) const {
+    std::printf("\n== %s ==\n%s", name.c_str(),
+                table.ToAlignedText().c_str());
+    const std::string path = out_dir + "/" + name + ".csv";
+    Status st = table.WriteFile(path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "failed to write %s: %s\n", path.c_str(),
+                   st.ToString().c_str());
+    } else {
+      std::printf("[csv: %s]\n", path.c_str());
+    }
+  }
+};
+
+}  // namespace bench
+}  // namespace corgipile

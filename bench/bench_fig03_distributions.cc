@@ -1,0 +1,77 @@
+// Figures 3 & 4 — tuple-id and label distributions of each strategy over
+// the paper's 1000-tuple clustered example (first 500 negative, next 500
+// positive). Section A reproduces Fig. 3 (No Shuffle, Sliding-Window, MRS,
+// Full Shuffle); section B reproduces Fig. 4 (CorgiPile). The summary table
+// quantifies what the paper's scatter plots show.
+
+#include "core/distribution.h"
+#include "runners.h"
+
+using namespace corgipile;
+using namespace corgipile::bench;
+
+int main(int argc, char** argv) {
+  BenchEnv env = BenchEnv::FromArgs(argc, argv);
+
+  // The paper's example: 1000 tuples, tuple_id = position, clustered.
+  auto tuples = std::make_shared<std::vector<Tuple>>();
+  for (size_t i = 0; i < 1000; ++i) {
+    tuples->push_back(
+        MakeDenseTuple(i, i < 500 ? -1.0 : 1.0, {static_cast<float>(i)}));
+  }
+  Schema schema{"example", 1, false, LabelType::kBinary, 2};
+  InMemoryBlockSource src(schema, tuples, /*tuples_per_block=*/20);
+
+  CsvTable scatter({"strategy", "position", "tuple_id", "label"});
+  CsvTable windows({"strategy", "window_start", "neg_count", "pos_count"});
+  CsvTable summary({"strategy", "pos_id_correlation", "mean_norm_displacement",
+                    "window_label_imbalance"});
+
+  for (ShuffleStrategy s :
+       {ShuffleStrategy::kNoShuffle, ShuffleStrategy::kSlidingWindow,
+        ShuffleStrategy::kMrs, ShuffleStrategy::kEpochShuffle,
+        ShuffleStrategy::kCorgiPile}) {
+    ShuffleOptions sopts;
+    sopts.buffer_fraction = 0.1;  // 100-tuple window/reservoir/buffer
+    sopts.seed = 17;
+    auto stream = MakeTupleStream(s, &src, sopts).ValueOrDie();
+    auto trace = TraceEpoch(stream.get(), 0).ValueOrDie();
+    const char* name = s == ShuffleStrategy::kEpochShuffle
+                           ? "full_shuffle"
+                           : ShuffleStrategyToString(s);
+    for (size_t i = 0; i < trace.ids.size(); ++i) {
+      scatter.NewRow()
+          .Add(name)
+          .Add(static_cast<uint64_t>(i))
+          .Add(trace.ids[i])
+          .Add(trace.labels[i], 1);
+    }
+    const auto counts = CountLabelsPerWindow(trace, 20);
+    for (size_t w = 0; w < counts.negatives.size(); ++w) {
+      windows.NewRow()
+          .Add(name)
+          .Add(static_cast<uint64_t>(w * 20))
+          .Add(counts.negatives[w])
+          .Add(counts.positives[w]);
+    }
+    const auto stats = ComputeRandomnessStats(trace, 20);
+    summary.NewRow()
+        .Add(name)
+        .Add(stats.position_id_correlation, 4)
+        .Add(stats.mean_normalized_displacement, 4)
+        .Add(stats.mean_window_label_imbalance, 4);
+  }
+
+  env.Emit("fig03_04_summary", summary);
+  // Full scatter/window series go to CSV only (7000+ rows).
+  CORGI_CHECK_OK(scatter.WriteFile(env.out_dir + "/fig03_04_scatter.csv"));
+  CORGI_CHECK_OK(windows.WriteFile(env.out_dir + "/fig03_04_windows.csv"));
+  std::printf("[csv: %s/fig03_04_scatter.csv, %s/fig03_04_windows.csv]\n",
+              env.out_dir.c_str(), env.out_dir.c_str());
+  std::printf(
+      "\nReading the summary like the paper's plots: No Shuffle and "
+      "Sliding-Window keep correlation ~1 (a 'linear' id scatter, one-sided "
+      "label windows); MRS improves partially; CorgiPile matches the full "
+      "shuffle (correlation ~0, balanced windows).\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 5 — multi-process CorgiPile produces a global data order
+// equivalent to single-process CorgiPile (§5.2). We replay the paper's
+// construction (P workers, per-worker buffers of BS/P, microbatches merged
+// round-robin by the AllReduce step) and compare the induced order's
+// randomness statistics against the single-process stream with buffer BS.
+
+#include "core/distribution.h"
+#include "dataloader/distributed.h"
+#include "runners.h"
+#include "shuffle/hierarchical.h"
+
+using namespace corgipile;
+using namespace corgipile::bench;
+
+int main(int argc, char** argv) {
+  BenchEnv env = BenchEnv::FromArgs(argc, argv);
+
+  const size_t n = env.quick ? 2000 : 8000;
+  auto tuples = std::make_shared<std::vector<Tuple>>();
+  for (size_t i = 0; i < n; ++i) {
+    tuples->push_back(
+        MakeDenseTuple(i, i < n / 2 ? -1.0 : 1.0, {static_cast<float>(i)}));
+  }
+  Schema schema{"fig5", 1, false, LabelType::kBinary, 2};
+  InMemoryBlockSource src(schema, tuples, /*tuples_per_block=*/n / 80);
+
+  const uint64_t total_buffer = n / 10;
+  CsvTable t({"mode", "workers", "buffer_per_worker", "pos_id_correlation",
+              "mean_norm_displacement", "window_label_imbalance"});
+
+  // Single-process reference: buffer BS.
+  {
+    auto stream = MakeCorgiPileStream(&src, total_buffer, 11);
+    auto trace = TraceEpoch(stream.get(), 0).ValueOrDie();
+    auto stats = ComputeRandomnessStats(trace, 50);
+    t.NewRow()
+        .Add("single_process")
+        .Add(int64_t{1})
+        .Add(total_buffer)
+        .Add(stats.position_id_correlation, 4)
+        .Add(stats.mean_normalized_displacement, 4)
+        .Add(stats.mean_window_label_imbalance, 4);
+  }
+
+  // Multi-process: P workers, buffer BS/P each, microbatch 64/P.
+  for (uint32_t P : {2u, 4u, 8u}) {
+    auto order = TraceDistributedOrder(&src, P, total_buffer / P,
+                                       /*microbatch=*/64 / P, 11, 0)
+                     .ValueOrDie();
+    EmissionTrace trace;
+    trace.ids = order;
+    for (uint64_t id : order) {
+      trace.labels.push_back(id < n / 2 ? -1.0 : 1.0);
+    }
+    auto stats = ComputeRandomnessStats(trace, 50);
+    t.NewRow()
+        .Add("multi_process")
+        .Add(static_cast<int64_t>(P))
+        .Add(total_buffer / P)
+        .Add(stats.position_id_correlation, 4)
+        .Add(stats.mean_normalized_displacement, 4)
+        .Add(stats.mean_window_label_imbalance, 4);
+  }
+  env.Emit("fig05_multiproc_order", t);
+  std::printf(
+      "\nAll rows should look alike: the multi-process order (block "
+      "partitioning + per-worker buffers + per-batch synchronization) is as "
+      "random as the single-process order with a P-times-larger buffer.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Figure 7 — end-to-end deep-learning training in the dataloader
+// integration: an ImageNet-like 100-class dataset (clustered by label),
+// 8 workers with AllReduce, global batch 512. Strategies:
+//   shuffle_once  — full offline shuffle first (the paper's 8.5-hour-analog
+//                   prep), then sequential shards;
+//   no_shuffle    — sequential shards of the clustered data;
+//   corgipile_5MB / corgipile_10MB — CorgiPile with paper-scale blocks.
+// Reports Top-1/Top-5 accuracy vs epoch and vs simulated time.
+
+#include "dataloader/distributed.h"
+#include "runners.h"
+#include "storage/table_shuffle.h"
+
+using namespace corgipile;
+using namespace corgipile::bench;
+
+int main(int argc, char** argv) {
+  BenchEnv env = BenchEnv::FromArgs(argc, argv);
+  auto spec =
+      CatalogLookup("imagenet", env.DatasetScale("imagenet")).ValueOrDie();
+  Dataset ds = GenerateDataset(spec, DataOrder::kClustered);
+  const uint32_t epochs = env.quick ? 4 : 15;
+
+  struct Config {
+    const char* name;
+    bool shuffle;
+    bool pre_shuffle;
+    double paper_block_mb;
+  };
+  const Config configs[] = {
+      {"shuffle_once", false, true, 10.0},
+      {"no_shuffle", false, false, 10.0},
+      {"corgipile_5MB", true, false, 5.0},
+      {"corgipile_10MB", true, false, 10.0},
+  };
+
+  CsvTable t({"strategy", "epoch", "sim_seconds", "top1", "top5",
+              "prep_seconds"});
+  for (const Config& cfg : configs) {
+    // Materialize the (clustered) dataset as the block-based file the
+    // cluster file system would hold.
+    auto table = MaterializeTrainTable(
+                     ds, env.data_dir + "/fig07_imagenet.tbl")
+                     .ValueOrDie();
+    SimClock clock;
+    IoStats io;
+    // The paper's Lustre parallel FS streams at SSD-class bandwidth.
+    const DeviceProfile device = env.Device(DeviceKind::kSsd);
+    table->SetIoAccounting(device, &clock, &io);
+
+    Table* read_table = table.get();
+    std::unique_ptr<Table> shuffled;
+    double prep_seconds = 0.0;
+    if (cfg.pre_shuffle) {
+      auto copy = BuildShuffledCopy(table.get(),
+                                    env.data_dir + "/fig07_shuffled.tbl", 3,
+                                    device, &clock, &io)
+                      .ValueOrDie();
+      shuffled = std::move(copy.table);
+      prep_seconds = copy.sim_seconds;
+      read_table = shuffled.get();
+    }
+    TableBlockSource source(read_table,
+                            env.PaperBlockBytes(cfg.paper_block_mb));
+
+    MlpModel model(spec.dim, /*hidden=*/128, spec.num_classes);
+    std::vector<double> top5_by_epoch;
+    DistributedTrainerOptions opts;
+    opts.num_workers = 8;
+    opts.global_batch_size = 512;
+    opts.buffer_fraction_total = 0.1;
+    opts.epochs = epochs;
+    // The official recipe decays by 10x every 30 of 100 epochs; our
+    // shorter runs decay every epochs/3 from a grid-searched initial rate.
+    opts.lr.initial = 0.5;
+    opts.lr.decay = 0.1;
+    opts.lr.decay_every = std::max<uint32_t>(1, epochs / 3);
+    opts.test_set = ds.test.get();
+    opts.label_type = LabelType::kMulticlass;
+    opts.clock = &clock;
+    opts.shuffle_blocks = cfg.shuffle;
+    opts.shuffle_tuples = cfg.shuffle;
+    opts.epoch_callback = [&](uint32_t, const Model& m) {
+      uint64_t hit = 0;
+      for (const Tuple& tp : *ds.test) {
+        if (m.TopKCorrect(tp, 5)) ++hit;
+      }
+      top5_by_epoch.push_back(static_cast<double>(hit) / ds.test->size());
+    };
+
+    auto result = TrainDistributed(&model, &source, opts);
+    CORGI_CHECK_OK(result.status());
+    for (size_t e = 0; e < result->epochs.size(); ++e) {
+      const auto& log = result->epochs[e];
+      t.NewRow()
+          .Add(cfg.name)
+          .Add(static_cast<int64_t>(log.epoch))
+          .Add(log.cumulative_sim_seconds, 5)
+          .Add(log.test_metric, 4)
+          .Add(top5_by_epoch[e], 4)
+          .Add(prep_seconds, 5);
+    }
+  }
+  env.Emit("fig07_imagenet_e2e", t);
+  std::printf(
+      "\nExpected shape: CorgiPile (either block size) converges like "
+      "Shuffle Once per epoch but reaches any accuracy level ~1.5x sooner "
+      "in time because Shuffle Once first pays the offline shuffle; "
+      "No Shuffle collapses on the label-clustered data.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 8 — deep-learning convergence on the clustered cifar-10-like
+// dataset with mini-batch SGD, batch sizes 128 and 256, two model capacities
+// ("vgg19"/"resnet18" stand-ins: wider vs narrower MLP), all strategies.
+
+#include "runners.h"
+
+using namespace corgipile;
+using namespace corgipile::bench;
+
+int main(int argc, char** argv) {
+  BenchEnv env = BenchEnv::FromArgs(argc, argv);
+  auto spec =
+      CatalogLookup("cifar10", env.DatasetScale("cifar10")).ValueOrDie();
+  Dataset ds = GenerateDataset(spec, DataOrder::kClustered);
+  const uint32_t epochs = env.quick ? 4 : 12;
+
+  struct ModelCfg {
+    const char* label;
+    uint32_t hidden;
+  };
+  const ModelCfg models[] = {{"mlp_wide(vgg19)", 64},
+                             {"mlp_narrow(resnet18)", 32}};
+
+  CsvTable t({"model", "batch_size", "strategy", "epoch", "test_accuracy"});
+  for (const auto& m : models) {
+    for (uint32_t batch : {128u, 256u}) {
+      for (ShuffleStrategy s :
+           {ShuffleStrategy::kShuffleOnce, ShuffleStrategy::kNoShuffle,
+            ShuffleStrategy::kSlidingWindow, ShuffleStrategy::kMrs,
+            ShuffleStrategy::kCorgiPile}) {
+        uint64_t block = std::max<uint64_t>(1, ds.train->size() / 500);
+        InMemoryBlockSource src(ds.MakeSchema(), ds.train, block);
+        ShuffleOptions sopts;
+        sopts.buffer_fraction = 0.1;
+        MlpModel model(spec.dim, m.hidden, spec.num_classes);
+        TrainerOptions topts;
+        topts.epochs = epochs;
+        topts.lr.initial = 0.2;
+        topts.batch_size = batch;
+        topts.test_set = ds.test.get();
+        topts.label_type = LabelType::kMulticlass;
+        auto r = TrainWithStrategy(&model, &src, s, sopts, topts);
+        CORGI_CHECK_OK(r.status());
+        for (const auto& e : r->epochs) {
+          t.NewRow()
+              .Add(m.label)
+              .Add(static_cast<int64_t>(batch))
+              .Add(ShuffleStrategyToString(s))
+              .Add(static_cast<int64_t>(e.epoch))
+              .Add(e.test_metric, 4);
+        }
+      }
+    }
+  }
+  env.Emit("fig08_cifar_sgd", t);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 9 — text classification on the clustered 5-class
+// yelp-review-full-like dataset: two models ("HAN"/"TextCNN" stand-ins:
+// MLP over embedding-style features vs softmax regression) with batch
+// sizes 128 and 256, all strategies.
+
+#include "runners.h"
+
+using namespace corgipile;
+using namespace corgipile::bench;
+
+int main(int argc, char** argv) {
+  BenchEnv env = BenchEnv::FromArgs(argc, argv);
+  auto spec = CatalogLookup("yelp", env.DatasetScale("yelp")).ValueOrDie();
+  Dataset ds = GenerateDataset(spec, DataOrder::kClustered);
+  const uint32_t epochs = env.quick ? 4 : 12;
+
+  CsvTable t({"model", "batch_size", "strategy", "epoch", "test_accuracy"});
+  for (const char* model_kind : {"mlp", "softmax"}) {
+    for (uint32_t batch : {128u, 256u}) {
+      for (ShuffleStrategy s :
+           {ShuffleStrategy::kShuffleOnce, ShuffleStrategy::kNoShuffle,
+            ShuffleStrategy::kSlidingWindow, ShuffleStrategy::kMrs,
+            ShuffleStrategy::kCorgiPile}) {
+        ConvergenceConfig cfg;
+        cfg.strategy = s;
+        cfg.epochs = epochs;
+        cfg.lr = 0.2;
+        cfg.batch_size = batch;
+        auto r = RunConvergence(ds, model_kind, cfg);
+        CORGI_CHECK_OK(r.status());
+        const char* label =
+            std::string(model_kind) == "mlp" ? "mlp(HAN)" : "softmax(TextCNN)";
+        for (const auto& e : r->epochs) {
+          t.NewRow()
+              .Add(label)
+              .Add(static_cast<int64_t>(batch))
+              .Add(ShuffleStrategyToString(s))
+              .Add(static_cast<int64_t>(e.epoch))
+              .Add(e.test_metric, 4);
+        }
+      }
+    }
+  }
+  env.Emit("fig09_text", t);
+  return 0;
+}

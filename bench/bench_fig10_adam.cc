@@ -1,0 +1,42 @@
+// Figure 10 — beyond the SGD optimizer: the same clustered cifar-10-like
+// workloads as Figure 8 trained with Adam instead of SGD. The strategy
+// ordering must be unchanged (CorgiPile ≈ Shuffle Once; others degrade).
+
+#include "runners.h"
+
+using namespace corgipile;
+using namespace corgipile::bench;
+
+int main(int argc, char** argv) {
+  BenchEnv env = BenchEnv::FromArgs(argc, argv);
+  auto spec =
+      CatalogLookup("cifar10", env.DatasetScale("cifar10")).ValueOrDie();
+  Dataset ds = GenerateDataset(spec, DataOrder::kClustered);
+  const uint32_t epochs = env.quick ? 4 : 12;
+
+  CsvTable t({"batch_size", "strategy", "epoch", "test_accuracy"});
+  for (uint32_t batch : {128u, 256u}) {
+    for (ShuffleStrategy s :
+         {ShuffleStrategy::kShuffleOnce, ShuffleStrategy::kNoShuffle,
+          ShuffleStrategy::kSlidingWindow, ShuffleStrategy::kMrs,
+          ShuffleStrategy::kCorgiPile}) {
+      ConvergenceConfig cfg;
+      cfg.strategy = s;
+      cfg.epochs = epochs;
+      cfg.lr = 0.003;
+      cfg.batch_size = batch;
+      cfg.optimizer = OptimizerKind::kAdam;
+      auto r = RunConvergence(ds, "mlp", cfg);
+      CORGI_CHECK_OK(r.status());
+      for (const auto& e : r->epochs) {
+        t.NewRow()
+            .Add(static_cast<int64_t>(batch))
+            .Add(ShuffleStrategyToString(s))
+            .Add(static_cast<int64_t>(e.epoch))
+            .Add(e.test_metric, 4);
+      }
+    }
+  }
+  env.Emit("fig10_adam", t);
+  return 0;
+}

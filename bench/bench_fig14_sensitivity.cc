@@ -1,0 +1,86 @@
+// Figure 14 — CorgiPile sensitivity analyses on the two largest datasets:
+// (a) convergence with buffer sizes 1%, 2%, 5%, 10% vs Shuffle Once;
+// (b) per-epoch time with paper block sizes 2 MB, 10 MB, 50 MB on HDD/SSD.
+
+#include "runners.h"
+
+using namespace corgipile;
+using namespace corgipile::bench;
+
+int main(int argc, char** argv) {
+  BenchEnv env = BenchEnv::FromArgs(argc, argv);
+  const uint32_t epochs = env.quick ? 4 : 10;
+  const std::vector<std::string> datasets = {"criteo", "yfcc"};
+
+  // (a) buffer-size sensitivity (convergence only).
+  {
+    CsvTable t({"dataset", "buffer_pct", "epoch", "test_accuracy"});
+    for (const std::string& name : datasets) {
+      auto spec = CatalogLookup(name, env.DatasetScale(name)).ValueOrDie();
+      Dataset ds = GenerateDataset(spec, DataOrder::kClustered);
+      // Shuffle Once reference drawn once.
+      {
+        ConvergenceConfig cfg;
+        cfg.strategy = ShuffleStrategy::kShuffleOnce;
+        cfg.epochs = epochs;
+        cfg.lr = DefaultLr(name);
+        auto r = RunConvergence(ds, "svm", cfg);
+        CORGI_CHECK_OK(r.status());
+        for (const auto& e : r->epochs) {
+          t.NewRow().Add(name).Add("shuffle_once").Add(
+              static_cast<int64_t>(e.epoch)).Add(e.test_metric, 4);
+        }
+      }
+      for (double pct : {0.01, 0.02, 0.05, 0.10}) {
+        ConvergenceConfig cfg;
+        cfg.strategy = ShuffleStrategy::kCorgiPile;
+        cfg.epochs = epochs;
+        cfg.lr = DefaultLr(name);
+        cfg.buffer_fraction = pct;
+        auto r = RunConvergence(ds, "svm", cfg);
+        CORGI_CHECK_OK(r.status());
+        char label[16];
+        std::snprintf(label, sizeof(label), "%.0f%%", pct * 100);
+        for (const auto& e : r->epochs) {
+          t.NewRow().Add(name).Add(label).Add(
+              static_cast<int64_t>(e.epoch)).Add(e.test_metric, 4);
+        }
+      }
+    }
+    env.Emit("fig14a_buffer_size", t);
+  }
+
+  // (b) block-size sensitivity (per-epoch time).
+  {
+    CsvTable t({"dataset", "device", "paper_block_mb", "per_epoch_s",
+                "io_s_per_epoch"});
+    for (const std::string& name : datasets) {
+      auto spec = CatalogLookup(name, env.DatasetScale(name)).ValueOrDie();
+      Dataset ds = GenerateDataset(spec, DataOrder::kClustered);
+      for (DeviceKind dev : {DeviceKind::kHdd, DeviceKind::kSsd}) {
+        for (double mb : {2.0, 10.0, 50.0}) {
+          TimedRunConfig cfg;
+          cfg.device = dev;
+          cfg.strategy = ShuffleStrategy::kCorgiPile;
+          cfg.epochs = env.quick ? 2 : 3;
+          cfg.lr = DefaultLr(name);
+          cfg.paper_block_mb = mb;
+          auto r = RunTimed(env, ds, "svm", "fig14_" + name, cfg);
+          CORGI_CHECK_OK(r.status());
+          t.NewRow()
+              .Add(name)
+              .Add(DeviceKindToString(dev))
+              .Add(mb, 3)
+              .Add(r->total_sim_seconds / cfg.epochs, 5)
+              .Add(r->io_sim_seconds / cfg.epochs, 5);
+        }
+      }
+    }
+    env.Emit("fig14b_block_size", t);
+    std::printf(
+        "\n(b): per-epoch time falls from 2MB to 10MB blocks (seek "
+        "amortization) and changes little from 10MB to 50MB — the paper's "
+        "recommendation to pick the smallest block with full throughput.\n");
+  }
+  return 0;
+}

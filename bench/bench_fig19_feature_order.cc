@@ -1,0 +1,118 @@
+// Figure 19 — beyond label-clustered data: the binary datasets ordered by
+// *feature* values instead of the label. For the low-dimensional datasets
+// (higgs, susy) every feature is tried and the distribution of converged
+// accuracy reported; for the high-dimensional ones a sample of features
+// with the highest/median/lowest label correlation is used, as in §7.4.3.
+
+#include <algorithm>
+#include <cmath>
+
+#include "runners.h"
+#include "util/stats.h"
+
+using namespace corgipile;
+using namespace corgipile::bench;
+
+namespace {
+
+// |corr(feature_d, label)| over a tuple sample.
+double FeatureLabelCorrelation(const std::vector<Tuple>& tuples, uint32_t d) {
+  std::vector<double> xs, ys;
+  const size_t step = std::max<size_t>(1, tuples.size() / 2000);
+  for (size_t i = 0; i < tuples.size(); i += step) {
+    const Tuple& t = tuples[i];
+    double v = 0.0;
+    if (t.sparse()) {
+      auto it = std::lower_bound(t.feature_keys.begin(),
+                                 t.feature_keys.end(), d);
+      if (it != t.feature_keys.end() && *it == d) {
+        v = t.feature_values[static_cast<size_t>(
+            std::distance(t.feature_keys.begin(), it))];
+      }
+    } else if (d < t.feature_values.size()) {
+      v = t.feature_values[d];
+    }
+    xs.push_back(v);
+    ys.push_back(t.label);
+  }
+  return std::abs(PearsonCorrelation(xs, ys));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchEnv env = BenchEnv::FromArgs(argc, argv);
+  const uint32_t epochs = env.quick ? 4 : 8;
+
+  CsvTable t({"dataset", "model", "feature", "strategy", "final_accuracy"});
+  CsvTable summary({"dataset", "model", "strategy", "min_acc", "mean_acc",
+                    "max_acc"});
+  for (const std::string& name : BinaryDatasets()) {
+    auto spec = CatalogLookup(name, env.DatasetScale(name)).ValueOrDie();
+
+    // Feature set: all features for low-dim datasets, else 9 features with
+    // top/median/bottom label correlation (3 each).
+    std::vector<uint32_t> features;
+    if (spec.dim <= 32) {
+      for (uint32_t d = 0; d < spec.dim; ++d) features.push_back(d);
+      if (env.quick) features.resize(6);
+    } else {
+      Dataset probe = GenerateDataset(spec, DataOrder::kShuffled);
+      std::vector<std::pair<double, uint32_t>> corr;
+      for (uint32_t d = 0; d < spec.dim; ++d) {
+        corr.emplace_back(FeatureLabelCorrelation(*probe.train, d), d);
+      }
+      std::sort(corr.begin(), corr.end());
+      const size_t n = corr.size();
+      for (size_t k = 0; k < 3; ++k) {
+        features.push_back(corr[n - 1 - k].second);      // highest
+        features.push_back(corr[n / 2 - 1 + k].second);  // median
+        features.push_back(corr[k].second);              // lowest
+      }
+      if (env.quick) features.resize(3);
+    }
+
+    for (const char* model_kind : {"lr", "svm"}) {
+      OnlineStats per_strategy[3];
+      const ShuffleStrategy strategies[3] = {ShuffleStrategy::kNoShuffle,
+                                             ShuffleStrategy::kShuffleOnce,
+                                             ShuffleStrategy::kCorgiPile};
+      for (uint32_t feature : features) {
+        Dataset ds =
+            GenerateDataset(spec, DataOrder::kFeatureOrdered, feature);
+        for (int si = 0; si < 3; ++si) {
+          ConvergenceConfig cfg;
+          cfg.strategy = strategies[si];
+          cfg.epochs = epochs;
+          cfg.lr = DefaultLr(name);
+          auto r = RunConvergence(ds, model_kind, cfg);
+          CORGI_CHECK_OK(r.status());
+          per_strategy[si].Add(r->final_test_metric);
+          t.NewRow()
+              .Add(name)
+              .Add(model_kind)
+              .Add(static_cast<int64_t>(feature))
+              .Add(ShuffleStrategyToString(strategies[si]))
+              .Add(r->final_test_metric, 4);
+        }
+      }
+      for (int si = 0; si < 3; ++si) {
+        summary.NewRow()
+            .Add(name)
+            .Add(model_kind)
+            .Add(ShuffleStrategyToString(strategies[si]))
+            .Add(per_strategy[si].min(), 4)
+            .Add(per_strategy[si].mean(), 4)
+            .Add(per_strategy[si].max(), 4);
+      }
+    }
+  }
+  CORGI_CHECK_OK(t.WriteFile(env.out_dir + "/fig19_per_feature.csv"));
+  std::printf("[csv: %s/fig19_per_feature.csv]\n", env.out_dir.c_str());
+  env.Emit("fig19_summary", summary);
+  std::printf(
+      "\nExpected: CorgiPile tracks Shuffle Once on every feature ordering; "
+      "No Shuffle's minimum (and often mean) accuracy drops when the "
+      "ordering feature correlates with the label.\n");
+  return 0;
+}

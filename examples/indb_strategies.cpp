@@ -1,0 +1,61 @@
+// In-DB scenario: the paper's Figure 1 in miniature. Train an SVM on a
+// clustered higgs-like table stored on simulated HDD and SSD, comparing
+// shuffling strategies on (a) converged accuracy and (b) simulated
+// end-to-end time including Shuffle Once's offline shuffle.
+//
+// Run:  ./indb_strategies [data_dir]
+
+#include <cstdio>
+#include <filesystem>
+
+#include "db/database.h"
+#include "dataset/catalog.h"
+#include "util/csv.h"
+
+using namespace corgipile;
+
+int main(int argc, char** argv) {
+  const std::string base = argc > 1 ? argv[1] : "/tmp/corgipile_indb";
+  DatasetSpec spec = CatalogLookup("higgs", /*scale=*/0.2).ValueOrDie();
+  Dataset dataset = GenerateDataset(spec, DataOrder::kClustered);
+
+  CsvTable table({"device", "strategy", "final_acc", "prep_s", "epochs_s",
+                  "end_to_end_s", "extra_disk_MB"});
+
+  for (DeviceKind kind : {DeviceKind::kHdd, DeviceKind::kSsd}) {
+    const std::string dir =
+        base + "/" + std::string(DeviceKindToString(kind));
+    std::filesystem::create_directories(dir);
+    Database db(dir, DeviceProfile::ForKind(kind));
+    CORGI_CHECK_OK(db.RegisterDataset("higgs", dataset));
+
+    for (const char* strategy :
+         {"no_shuffle", "block_only", "corgipile", "shuffle_once"}) {
+      db.ResetAccounting();
+      TrainStatement stmt;
+      stmt.table_name = "higgs";
+      stmt.model_kind = "svm";
+      stmt.params = Params::Parse(std::string("learning_rate=0.005, "
+                                              "max_epoch_num=5, "
+                                              "block_size=32KB, strategy=") +
+                                  strategy)
+                        .ValueOrDie();
+      auto r = db.Train(stmt);
+      CORGI_CHECK_OK(r.status());
+      table.NewRow()
+          .Add(DeviceKindToString(kind))
+          .Add(strategy)
+          .Add(r->final_metric, 4)
+          .Add(r->prep_seconds, 4)
+          .Add(r->end_to_end_epochs_double(), 4)
+          .Add(r->end_to_end_double_seconds, 4)
+          .Add(static_cast<double>(r->extra_disk_bytes) / (1024.0 * 1024), 3);
+    }
+  }
+  std::printf("%s", table.ToAlignedText().c_str());
+  std::printf(
+      "\nNote: CorgiPile matches Shuffle Once's accuracy without the "
+      "offline-shuffle prep time or the 2x disk copy; No Shuffle is fastest "
+      "but collapses on clustered data.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Theory scenario: measure the block-variance factor h_D of a dataset under
+// different storage orders, evaluate Theorem 1's bound for varying buffer
+// sizes, and print the §4.2 physical-time comparison against vanilla SGD.
+//
+// Run:  ./theory_explorer
+
+#include <cstdio>
+
+#include "core/theory.h"
+#include "dataset/catalog.h"
+#include "ml/linear_models.h"
+#include "util/csv.h"
+
+using namespace corgipile;
+
+int main() {
+  DatasetSpec spec = CatalogLookup("susy", /*scale=*/0.1).ValueOrDie();
+  const uint64_t block = 100;
+
+  std::printf("h_D (cluster factor) by storage order, %s, b=%llu:\n",
+              spec.name.c_str(), static_cast<unsigned long long>(block));
+  double h_d_clustered = 1.0, sigma_sq = 1.0;
+  for (DataOrder order :
+       {DataOrder::kClustered, DataOrder::kShuffled, DataOrder::kFeatureOrdered}) {
+    Dataset ds = GenerateDataset(spec, order);
+    InMemoryBlockSource src(ds.MakeSchema(), ds.train, block);
+    LogisticRegression model(spec.dim);
+    model.InitParams(0);
+    auto gv = MeasureGradientVariance(model, &src).ValueOrDie();
+    std::printf("  %-16s h_D=%7.3f  sigma^2=%.3f  block_var=%.5f\n",
+                DataOrderToString(order), gv.h_d, gv.tuple_variance,
+                gv.block_variance);
+    if (order == DataOrder::kClustered) {
+      h_d_clustered = gv.h_d;
+      sigma_sq = gv.tuple_variance;
+    }
+  }
+
+  Dataset ds = GenerateDataset(spec, DataOrder::kClustered);
+  const auto N = static_cast<uint32_t>((ds.train->size() + block - 1) / block);
+  const uint64_t m = ds.train->size();
+
+  std::printf("\nTheorem 1 bound (leading terms) after 10 epochs, vs buffer:\n");
+  CsvTable tbl({"buffer_blocks_n", "alpha", "bound", "hdd_speedup_vs_vanilla"});
+  for (uint32_t n : {1u, N / 10, N / 4, N / 2, N}) {
+    if (n == 0) continue;
+    auto f = ComputeTheoremFactors(n, N, block);
+    const double bound = TheoremOneBound(f, h_d_clustered, sigma_sq, m, 10 * m);
+    auto cmp = CompareToVanillaSgd(f, h_d_clustered, sigma_sq, /*epsilon=*/1e-3,
+                                   /*tuple_bytes=*/100, block,
+                                   DeviceProfile::Hdd());
+    tbl.NewRow().Add(static_cast<uint64_t>(n)).Add(f.alpha, 4).Add(bound, 4).Add(cmp.speedup, 4);
+  }
+  std::printf("%s", tbl.ToAlignedText().c_str());
+  std::printf(
+      "\nLarger buffers push alpha toward 1, killing the (1-alpha)*h_D "
+      "leading term; block reads amortize HDD seek latency, so CorgiPile "
+      "dominates tuple-at-a-time vanilla SGD.\n");
+  return 0;
+}

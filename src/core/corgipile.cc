@@ -1,0 +1,40 @@
+#include "core/corgipile.h"
+
+#include "shuffle/hierarchical.h"
+
+namespace corgipile {
+
+Result<TrainResult> RunCorgiPileAlgorithm(
+    Model* model, BlockSource* source,
+    const CorgiPileAlgorithmOptions& options) {
+  if (model == nullptr || source == nullptr) {
+    return Status::InvalidArgument("null model or source");
+  }
+  const uint32_t total = source->num_blocks();
+  const uint32_t n = options.blocks_per_epoch == 0
+                         ? total
+                         : std::min(options.blocks_per_epoch, total);
+  // Buffer sized to hold exactly the n sampled blocks.
+  uint64_t buffer_tuples = 0;
+  for (uint32_t b = 0; b < n; ++b) buffer_tuples += source->TuplesInBlock(b);
+
+  auto stream = MakeCorgiPileStream(source, buffer_tuples, options.seed,
+                                    options.blocks_per_epoch);
+  TrainerOptions topts;
+  topts.epochs = options.epochs;
+  topts.lr = options.lr;
+  topts.test_set = options.test_set;
+  topts.label_type = options.label_type;
+  return Train(model, stream.get(), topts);
+}
+
+Result<TrainResult> TrainWithStrategy(Model* model, BlockSource* source,
+                                      ShuffleStrategy strategy,
+                                      const ShuffleOptions& shuffle_options,
+                                      const TrainerOptions& trainer_options) {
+  CORGI_ASSIGN_OR_RETURN(std::unique_ptr<TupleStream> stream,
+                         MakeTupleStream(strategy, source, shuffle_options));
+  return Train(model, stream.get(), trainer_options);
+}
+
+}  // namespace corgipile

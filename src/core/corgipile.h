@@ -1,0 +1,45 @@
+// CorgiPile public entry points.
+//
+// Two layers:
+//  * RunCorgiPileAlgorithm — Algorithm 1 verbatim: each epoch samples n of
+//    N blocks without replacement into the buffer, shuffles the buffered
+//    tuples, and performs per-tuple SGD over them.
+//  * TrainWithStrategy — the system view used throughout the evaluation:
+//    train any Model over any BlockSource with any shuffling strategy.
+
+#pragma once
+
+#include <memory>
+
+#include "ml/trainer.h"
+#include "shuffle/tuple_stream.h"
+#include "storage/block_source.h"
+
+namespace corgipile {
+
+/// Options for the paper's Algorithm 1.
+struct CorgiPileAlgorithmOptions {
+  /// n — blocks sampled into the buffer per epoch. 0 means "all blocks",
+  /// which is the system behaviour (and α = 1: full-shuffle SGD).
+  uint32_t blocks_per_epoch = 0;
+  /// S — number of epochs.
+  uint32_t epochs = 20;
+  LrSchedule lr;
+  uint64_t seed = 42;
+  const std::vector<Tuple>* test_set = nullptr;
+  LabelType label_type = LabelType::kBinary;
+};
+
+/// Runs Algorithm 1. The buffer holds exactly the sampled blocks.
+Result<TrainResult> RunCorgiPileAlgorithm(
+    Model* model, BlockSource* source,
+    const CorgiPileAlgorithmOptions& options);
+
+/// Convenience wrapper: builds the requested strategy's stream over
+/// `source` and trains `model` with `trainer_options`.
+Result<TrainResult> TrainWithStrategy(Model* model, BlockSource* source,
+                                      ShuffleStrategy strategy,
+                                      const ShuffleOptions& shuffle_options,
+                                      const TrainerOptions& trainer_options);
+
+}  // namespace corgipile

@@ -1,0 +1,55 @@
+// Order-statistics analysis of shuffled streams (the paper's Figures 3/4).
+//
+// Given the sequence of tuple ids a strategy emits over one epoch of a
+// clustered dataset, these helpers compute:
+//  * the tuple-id scatter (position → original id),
+//  * the label distribution per window of W consecutive emissions, and
+//  * scalar randomness measures used by tests and Table-1-style summaries.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "shuffle/tuple_stream.h"
+#include "util/status.h"
+
+namespace corgipile {
+
+/// Raw emission record of one epoch.
+struct EmissionTrace {
+  std::vector<uint64_t> ids;     ///< tuple id per emission position
+  std::vector<double> labels;    ///< label per emission position
+};
+
+/// Runs one epoch of `stream` and records what it emits.
+Result<EmissionTrace> TraceEpoch(TupleStream* stream, uint64_t epoch);
+
+/// Per-window label counts: for every window of `window` consecutive
+/// emissions, how many tuples carried each of the two binary labels.
+struct WindowLabelCounts {
+  std::vector<uint64_t> negatives;  ///< count of -1 per window
+  std::vector<uint64_t> positives;  ///< count of +1 per window
+};
+
+WindowLabelCounts CountLabelsPerWindow(const EmissionTrace& trace,
+                                       uint64_t window);
+
+/// Scalar randomness measures over an id trace of a dataset whose storage
+/// ids are 0..n-1.
+struct RandomnessStats {
+  /// Pearson correlation between emission position and tuple id.
+  /// ~1 for No Shuffle / Sliding-Window, ~0 for a full shuffle.
+  double position_id_correlation = 0.0;
+  /// Mean |position − id| / n. ~0 unshuffled, → 1/3 for a uniform
+  /// permutation.
+  double mean_normalized_displacement = 0.0;
+  /// Mean over windows of |#neg − #pos| / window ("label imbalance").
+  /// ~1 on clustered data left unshuffled, ~small for a full shuffle.
+  double mean_window_label_imbalance = 0.0;
+};
+
+RandomnessStats ComputeRandomnessStats(const EmissionTrace& trace,
+                                       uint64_t window);
+
+}  // namespace corgipile

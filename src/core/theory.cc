@@ -1,0 +1,152 @@
+#include "core/theory.h"
+
+#include <cmath>
+#include <vector>
+
+namespace corgipile {
+
+Result<GradientVariance> MeasureGradientVariance(const Model& model,
+                                                 BlockSource* source) {
+  if (source == nullptr) return Status::InvalidArgument("null source");
+  const size_t p = model.num_params();
+  const uint32_t num_blocks = source->num_blocks();
+  const uint64_t m = source->num_tuples();
+  if (m == 0 || num_blocks == 0) {
+    return Status::InvalidArgument("empty source");
+  }
+
+  // Pass 1: full gradient and per-block mean gradients. We hold one block's
+  // tuples plus N block-gradients in memory.
+  std::vector<std::vector<double>> block_grads(
+      num_blocks, std::vector<double>(p, 0.0));
+  std::vector<double> full_grad(p, 0.0);
+  std::vector<double> scratch(p, 0.0);
+  std::vector<Tuple> block;
+  std::unique_ptr<Model> probe = model.Clone();
+
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    block.clear();
+    CORGI_RETURN_NOT_OK(source->ReadBlock(b, &block));
+    auto& bg = block_grads[b];
+    for (const Tuple& t : block) {
+      std::fill(scratch.begin(), scratch.end(), 0.0);
+      probe->AccumulateGrad(t, &scratch);
+      for (size_t i = 0; i < p; ++i) {
+        bg[i] += scratch[i];
+        full_grad[i] += scratch[i];
+      }
+    }
+    const double inv = block.empty() ? 0.0 : 1.0 / static_cast<double>(block.size());
+    for (double& g : bg) g *= inv;
+  }
+  for (double& g : full_grad) g /= static_cast<double>(m);
+
+  // Pass 2: tuple-level variance σ².
+  double tuple_var = 0.0;
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    block.clear();
+    CORGI_RETURN_NOT_OK(source->ReadBlock(b, &block));
+    for (const Tuple& t : block) {
+      std::fill(scratch.begin(), scratch.end(), 0.0);
+      probe->AccumulateGrad(t, &scratch);
+      double d2 = 0.0;
+      for (size_t i = 0; i < p; ++i) {
+        const double d = scratch[i] - full_grad[i];
+        d2 += d * d;
+      }
+      tuple_var += d2;
+    }
+  }
+  tuple_var /= static_cast<double>(m);
+
+  double block_var = 0.0;
+  for (const auto& bg : block_grads) {
+    double d2 = 0.0;
+    for (size_t i = 0; i < p; ++i) {
+      const double d = bg[i] - full_grad[i];
+      d2 += d * d;
+    }
+    block_var += d2;
+  }
+  block_var /= static_cast<double>(num_blocks);
+
+  GradientVariance out;
+  out.tuple_variance = tuple_var;
+  out.block_variance = block_var;
+  out.num_tuples = m;
+  out.num_blocks = num_blocks;
+  out.tuples_per_block = static_cast<double>(m) / num_blocks;
+  out.h_d = tuple_var > 0.0
+                ? out.tuples_per_block * block_var / tuple_var
+                : 0.0;
+  return out;
+}
+
+TheoremFactors ComputeTheoremFactors(uint32_t n_buffered_blocks,
+                                     uint32_t total_blocks,
+                                     uint64_t tuples_per_block) {
+  TheoremFactors f;
+  const double n = n_buffered_blocks;
+  const double N = total_blocks;
+  const double b = static_cast<double>(tuples_per_block);
+  f.alpha = N > 1 ? (n - 1.0) / (N - 1.0) : 1.0;
+  f.beta = f.alpha * f.alpha +
+           (1.0 - f.alpha) * (1.0 - f.alpha) * (b - 1.0) * (b - 1.0);
+  f.gamma = (n / N) * (n / N) * (n / N);
+  return f;
+}
+
+double TheoremOneBound(const TheoremFactors& f, double h_d, double sigma_sq,
+                       uint64_t m_total_tuples, uint64_t t_tuples_processed) {
+  const double T = static_cast<double>(t_tuples_processed);
+  const double m = static_cast<double>(m_total_tuples);
+  if (T <= 0) return 0.0;
+  return (1.0 - f.alpha) * h_d * sigma_sq / T + f.beta / (T * T) +
+         f.gamma * m * m * m / (T * T * T);
+}
+
+double TheoremTwoBound(uint32_t n_buffered_blocks, uint32_t total_blocks,
+                       uint64_t tuples_per_block, double h_d, double sigma_sq,
+                       uint64_t m_total_tuples, uint64_t t_tuples_processed) {
+  const double T = static_cast<double>(t_tuples_processed);
+  if (T <= 0) return 0.0;
+  const double m = static_cast<double>(m_total_tuples);
+  const double n = n_buffered_blocks;
+  const double N = total_blocks;
+  const double b = static_cast<double>(tuples_per_block);
+  const double alpha = N > 1 ? (n - 1.0) / (N - 1.0) : 1.0;
+  if (alpha >= (N - 2.0) / (N - 1.0) || N <= 2) {
+    // α = 1 branch: full-shuffle non-convex rate.
+    const double gamma_p = (n / N) * (n / N) * (n / N);
+    return std::pow(T, -2.0 / 3.0) + gamma_p * m * m * m / T;
+  }
+  const double hs2 = std::max(h_d * sigma_sq, 1e-12);
+  const double beta_p = alpha * alpha / ((1.0 - alpha) * hs2) +
+                        (1.0 - alpha) * (b - 1.0) * (b - 1.0) / hs2;
+  const double gamma_p = (n * n * n) / ((1.0 - alpha) * N * N * N);
+  return std::sqrt((1.0 - alpha) * h_d) * std::sqrt(sigma_sq) / std::sqrt(T) +
+         beta_p / T + gamma_p * m * m * m / std::pow(T, 1.5);
+}
+
+PhysicalTimeComparison CompareToVanillaSgd(const TheoremFactors& f,
+                                           double h_d, double sigma_sq,
+                                           double epsilon,
+                                           uint64_t tuple_bytes,
+                                           uint64_t block_tuples,
+                                           const DeviceProfile& device) {
+  PhysicalTimeComparison cmp;
+  const double t_lat = device.random_access_latency_s;
+  const double t_t =
+      static_cast<double>(tuple_bytes) / device.bandwidth_bytes_per_s;
+  const double samples = sigma_sq / epsilon;
+  const double b = static_cast<double>(block_tuples);
+  cmp.vanilla_seconds = samples * (t_lat + t_t);
+  cmp.corgipile_seconds = (1.0 - f.alpha) * h_d / b * samples * t_lat +
+                          (1.0 - f.alpha) * h_d * samples * t_t;
+  cmp.speedup = cmp.corgipile_seconds > 0.0
+                    ? cmp.vanilla_seconds / cmp.corgipile_seconds
+                    : 0.0;
+  return cmp;
+}
+
+}  // namespace corgipile

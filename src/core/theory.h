@@ -1,0 +1,81 @@
+// Convergence-theory helpers (paper §4.2).
+//
+// Implements the measurable quantities of Theorem 1/2: the block-variance
+// factor h_D, the α/β/γ factors, the bound's leading terms, and the
+// physical-time comparison between vanilla SGD and CorgiPile.
+
+#pragma once
+
+#include <cstdint>
+
+#include "iosim/device.h"
+#include "ml/model.h"
+#include "storage/block_source.h"
+#include "util/status.h"
+
+namespace corgipile {
+
+/// Empirical gradient-variance profile of a dataset at a model point x.
+struct GradientVariance {
+  /// σ²: mean over tuples of ‖∇f_i(x) − ∇F(x)‖².
+  double tuple_variance = 0.0;
+  /// (1/N) Σ_l ‖∇f_{B_l}(x) − ∇F(x)‖², with ∇f_{B_l} the block-mean
+  /// gradient.
+  double block_variance = 0.0;
+  /// h_D = b · block_variance / σ² — the paper's cluster factor. 1 for
+  /// fully shuffled data; up to b when every block is pure.
+  double h_d = 0.0;
+  uint64_t num_tuples = 0;
+  uint32_t num_blocks = 0;
+  double tuples_per_block = 0.0;
+};
+
+/// Measures the gradient variances of `source` at the current parameters of
+/// `model`. Reads every block once.
+Result<GradientVariance> MeasureGradientVariance(const Model& model,
+                                                 BlockSource* source);
+
+/// The factors of Theorem 1 (strongly convex case).
+struct TheoremFactors {
+  double alpha = 0.0;  ///< (n−1)/(N−1)
+  double beta = 0.0;   ///< α² + (1−α)²(b−1)²
+  double gamma = 0.0;  ///< n³/N³
+};
+
+TheoremFactors ComputeTheoremFactors(uint32_t n_buffered_blocks,
+                                     uint32_t total_blocks,
+                                     uint64_t tuples_per_block);
+
+/// Leading terms of Theorem 1's bound at T processed tuples (constants
+/// dropped):  (1−α)·h_D·σ²/T + β/T² + γ·m³/T³.
+double TheoremOneBound(const TheoremFactors& f, double h_d, double sigma_sq,
+                       uint64_t m_total_tuples, uint64_t t_tuples_processed);
+
+/// Leading terms of Theorem 2 (smooth non-convex case, α ≤ (N−2)/(N−1)):
+///   √((1−α)·h_D)·σ/√T + β'/T + γ'·m³/T^{3/2}
+/// with β' = α²/((1−α)h_Dσ²) + (1−α)(b−1)²/(h_Dσ²) and
+/// γ' = n³/((1−α)N³). At α = 1 the rate degenerates to the full-shuffle
+/// 1/T^{2/3} + (n³/N³)·m³/T form; this helper returns that branch too.
+double TheoremTwoBound(uint32_t n_buffered_blocks, uint32_t total_blocks,
+                       uint64_t tuples_per_block, double h_d, double sigma_sq,
+                       uint64_t m_total_tuples, uint64_t t_tuples_processed);
+
+/// Physical-time cost factors from §4.2's "Comparison to vanilla SGD":
+/// vanilla SGD reaches error ε in  O(σ²/ε · (t_lat + t_t)) while CorgiPile
+/// needs O((1−α)·h_D/b·σ²/ε·t_lat + (1−α)·h_D·σ²/ε·t_t).
+struct PhysicalTimeComparison {
+  double vanilla_seconds = 0.0;
+  double corgipile_seconds = 0.0;
+  double speedup = 0.0;  ///< vanilla / corgipile
+};
+
+/// `tuple_bytes` is the average serialized tuple size; t_lat and t_t are
+/// derived from `device` (latency, and transfer time per tuple).
+PhysicalTimeComparison CompareToVanillaSgd(const TheoremFactors& f,
+                                           double h_d, double sigma_sq,
+                                           double epsilon,
+                                           uint64_t tuple_bytes,
+                                           uint64_t block_tuples,
+                                           const DeviceProfile& device);
+
+}  // namespace corgipile

@@ -1,0 +1,34 @@
+#include "dataloader/data_loader.h"
+
+namespace corgipile {
+
+DataLoader::DataLoader(IterableDataset* dataset, Options options)
+    : dataset_(dataset), options_(options) {
+  if (options_.batch_size == 0) options_.batch_size = 1;
+}
+
+Status DataLoader::StartEpoch(uint64_t epoch) {
+  if (dataset_ == nullptr) return Status::InvalidArgument("null dataset");
+  return dataset_->StartEpoch(epoch, options_.worker_id,
+                              options_.num_workers);
+}
+
+Result<bool> DataLoader::NextBatch(std::vector<Tuple>* batch) {
+  batch->clear();
+  while (batch->size() < options_.batch_size) {
+    const Tuple* t = dataset_->Next();
+    if (t == nullptr) {
+      CORGI_RETURN_NOT_OK(dataset_->status());
+      break;
+    }
+    batch->push_back(*t);
+  }
+  if (batch->empty()) return false;
+  if (options_.drop_last && batch->size() < options_.batch_size) {
+    batch->clear();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace corgipile

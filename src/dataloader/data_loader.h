@@ -1,0 +1,36 @@
+// DataLoader: batches an IterableDataset, PyTorch style.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dataloader/dataset_api.h"
+
+namespace corgipile {
+
+class DataLoader {
+ public:
+  struct Options {
+    uint32_t batch_size = 1;
+    uint32_t worker_id = 0;
+    uint32_t num_workers = 1;
+    /// Drop the final short batch (PyTorch's drop_last).
+    bool drop_last = false;
+  };
+
+  /// `dataset` is borrowed.
+  DataLoader(IterableDataset* dataset, Options options);
+
+  Status StartEpoch(uint64_t epoch);
+
+  /// Fills *batch with up to batch_size tuples; returns false at epoch end
+  /// (batch left empty, or short with drop_last=false semantics applied).
+  Result<bool> NextBatch(std::vector<Tuple>* batch);
+
+ private:
+  IterableDataset* dataset_;
+  Options options_;
+};
+
+}  // namespace corgipile

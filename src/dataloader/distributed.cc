@@ -1,0 +1,172 @@
+#include "dataloader/distributed.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "dataloader/data_loader.h"
+#include "util/timer.h"
+
+namespace corgipile {
+
+Result<TrainResult> TrainDistributed(Model* model, BlockSource* source,
+                                     const DistributedTrainerOptions& options) {
+  if (model == nullptr || source == nullptr) {
+    return Status::InvalidArgument("null model or source");
+  }
+  const uint32_t P = std::max<uint32_t>(1, options.num_workers);
+  if (options.global_batch_size < P) {
+    return Status::InvalidArgument("global batch smaller than worker count");
+  }
+  const uint32_t microbatch = options.global_batch_size / P;
+
+  // Per-worker datasets and loaders.
+  const uint64_t buffer_total = std::max<uint64_t>(
+      P, static_cast<uint64_t>(options.buffer_fraction_total *
+                               static_cast<double>(source->num_tuples())));
+  CorgiPileDataset::Options dopts;
+  dopts.buffer_tuples = std::max<uint64_t>(1, buffer_total / P);
+  dopts.seed = options.seed;
+  dopts.shuffle_blocks = options.shuffle_blocks;
+  dopts.shuffle_tuples = options.shuffle_tuples;
+
+  std::vector<std::unique_ptr<CorgiPileDataset>> datasets;
+  std::vector<std::unique_ptr<DataLoader>> loaders;
+  for (uint32_t w = 0; w < P; ++w) {
+    datasets.push_back(std::make_unique<CorgiPileDataset>(source, dopts));
+    DataLoader::Options lopts;
+    lopts.batch_size = microbatch;
+    lopts.worker_id = w;
+    lopts.num_workers = P;
+    loaders.push_back(std::make_unique<DataLoader>(datasets[w].get(), lopts));
+  }
+
+  model->InitParams(options.init_seed);
+  std::unique_ptr<Optimizer> opt = MakeOptimizer(options.optimizer);
+  opt->Reset(model->num_params());
+
+  ThreadPool pool(P);
+  std::vector<std::unique_ptr<Model>> replicas;  // per-worker compute clones
+  std::vector<std::vector<double>> worker_grads(
+      P, std::vector<double>(model->num_params(), 0.0));
+  std::vector<std::vector<Tuple>> microbatches(P);
+  std::vector<double> worker_loss(P, 0.0);
+  std::vector<Status> worker_status(P);
+
+  TrainResult result;
+  for (uint32_t epoch = 0; epoch < options.epochs; ++epoch) {
+    const double lr = options.lr.LrAtEpoch(epoch);
+    for (uint32_t w = 0; w < P; ++w) {
+      CORGI_RETURN_NOT_OK(loaders[w]->StartEpoch(epoch));
+    }
+    WallTimer timer;
+    double loss_sum = 0.0;
+    uint64_t seen = 0;
+    std::vector<double> reduced(model->num_params(), 0.0);
+
+    for (;;) {
+      // Each worker pulls its microbatch (main thread: loader state is not
+      // thread-safe; pulling is cheap relative to gradient compute).
+      uint64_t batch_total = 0;
+      for (uint32_t w = 0; w < P; ++w) {
+        CORGI_ASSIGN_OR_RETURN(bool more,
+                               loaders[w]->NextBatch(&microbatches[w]));
+        (void)more;
+        batch_total += microbatches[w].size();
+      }
+      if (batch_total == 0) break;  // all shards exhausted → epoch end
+
+      // Parallel gradient computation against the shared parameters. Each
+      // worker uses its own model replica synced to the current params.
+      if (replicas.empty()) {
+        for (uint32_t w = 0; w < P; ++w) replicas.push_back(model->Clone());
+      }
+      pool.ParallelFor(P, [&](size_t w) {
+        worker_loss[w] = 0.0;
+        auto& grad = worker_grads[w];
+        std::fill(grad.begin(), grad.end(), 0.0);
+        if (microbatches[w].empty()) return;
+        replicas[w]->params() = model->params();
+        for (const Tuple& t : microbatches[w]) {
+          worker_loss[w] += replicas[w]->AccumulateGrad(t, &grad);
+        }
+      });
+
+      // AllReduce: average over all tuples of the global batch.
+      std::fill(reduced.begin(), reduced.end(), 0.0);
+      for (uint32_t w = 0; w < P; ++w) {
+        loss_sum += worker_loss[w];
+        for (size_t i = 0; i < reduced.size(); ++i) {
+          reduced[i] += worker_grads[w][i];
+        }
+      }
+      const double inv = 1.0 / static_cast<double>(batch_total);
+      for (double& g : reduced) g *= inv;
+      opt->Apply(&model->params(), reduced, lr);
+      seen += batch_total;
+    }
+
+    EpochLog log;
+    log.epoch = epoch;
+    log.lr = lr;
+    log.tuples_seen = seen;
+    log.epoch_wall_seconds = timer.ElapsedSeconds();
+    log.train_loss = seen > 0 ? loss_sum / static_cast<double>(seen) : 0.0;
+    if (options.clock != nullptr) {
+      options.clock->Advance(TimeCategory::kCompute, log.epoch_wall_seconds);
+    }
+    if (options.test_set != nullptr && !options.test_set->empty()) {
+      const EvalResult eval =
+          Evaluate(*model, *options.test_set, options.label_type);
+      log.test_loss = eval.mean_loss;
+      log.test_metric = eval.metric;
+    }
+    log.cumulative_sim_seconds =
+        options.clock != nullptr ? options.clock->TotalElapsed() : 0.0;
+    result.total_tuples += seen;
+    result.best_test_metric =
+        std::max(result.best_test_metric, log.test_metric);
+    result.epochs.push_back(log);
+    if (options.epoch_callback) options.epoch_callback(epoch, *model);
+  }
+  if (!result.epochs.empty()) {
+    result.final_test_metric = result.epochs.back().test_metric;
+    result.final_test_loss = result.epochs.back().test_loss;
+  }
+  return result;
+}
+
+Result<std::vector<uint64_t>> TraceDistributedOrder(
+    BlockSource* source, uint32_t num_workers, uint64_t buffer_per_worker,
+    uint32_t microbatch, uint64_t seed, uint64_t epoch) {
+  if (source == nullptr) return Status::InvalidArgument("null source");
+  const uint32_t P = std::max<uint32_t>(1, num_workers);
+  CorgiPileDataset::Options dopts;
+  dopts.buffer_tuples = std::max<uint64_t>(1, buffer_per_worker);
+  dopts.seed = seed;
+  std::vector<std::unique_ptr<CorgiPileDataset>> datasets;
+  std::vector<std::unique_ptr<DataLoader>> loaders;
+  for (uint32_t w = 0; w < P; ++w) {
+    datasets.push_back(std::make_unique<CorgiPileDataset>(source, dopts));
+    DataLoader::Options lopts;
+    lopts.batch_size = microbatch;
+    lopts.worker_id = w;
+    lopts.num_workers = P;
+    loaders.push_back(std::make_unique<DataLoader>(datasets[w].get(), lopts));
+    CORGI_RETURN_NOT_OK(loaders[w]->StartEpoch(epoch));
+  }
+  std::vector<uint64_t> order;
+  std::vector<Tuple> batch;
+  for (;;) {
+    uint64_t got = 0;
+    for (uint32_t w = 0; w < P; ++w) {
+      CORGI_ASSIGN_OR_RETURN(bool more, loaders[w]->NextBatch(&batch));
+      (void)more;
+      for (const Tuple& t : batch) order.push_back(t.id);
+      got += batch.size();
+    }
+    if (got == 0) break;
+  }
+  return order;
+}
+
+}  // namespace corgipile

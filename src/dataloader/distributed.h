@@ -1,0 +1,60 @@
+// Multi-process CorgiPile (paper §5): P workers, each with its own
+// CorgiPileDataset shard and buffer, training one shared model with
+// synchronous AllReduce gradient averaging per global batch — the
+// DistributedDataParallel pattern, with worker threads standing in for the
+// paper's one-process-per-GPU setup.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dataloader/dataset_api.h"
+#include "iosim/sim_clock.h"
+#include "ml/trainer.h"
+#include "util/threadpool.h"
+
+namespace corgipile {
+
+struct DistributedTrainerOptions {
+  uint32_t num_workers = 4;
+  /// Global batch size; each worker contributes batch/num_workers tuples
+  /// per step (the paper's 512 / 8 GPUs = 64).
+  uint32_t global_batch_size = 512;
+  /// Total buffer budget across all workers, as a fraction of the dataset;
+  /// each worker gets an equal slice (§5.1 step 3).
+  double buffer_fraction_total = 0.1;
+  uint32_t epochs = 10;
+  LrSchedule lr;
+  OptimizerKind optimizer = OptimizerKind::kSgd;
+  const std::vector<Tuple>* test_set = nullptr;
+  LabelType label_type = LabelType::kMulticlass;
+  SimClock* clock = nullptr;
+  uint64_t seed = 42;
+  uint64_t init_seed = 7;
+  /// Shuffle toggles forwarded to each worker's CorgiPileDataset; disable
+  /// both to reproduce the No Shuffle / Shuffle Once baselines.
+  bool shuffle_blocks = true;
+  bool shuffle_tuples = true;
+  /// Invoked after each epoch's evaluation with the current model (e.g. to
+  /// compute extra metrics such as Top-5).
+  std::function<void(uint32_t epoch, const Model&)> epoch_callback;
+};
+
+/// Trains `model` over `source` with multi-process CorgiPile. Gradients are
+/// computed by real worker threads against the (read-only) current
+/// parameters and AllReduce-averaged before each update, so the result is
+/// deterministic given the seed.
+Result<TrainResult> TrainDistributed(Model* model, BlockSource* source,
+                                     const DistributedTrainerOptions& options);
+
+/// Records the effective global data order the DDP execution induces:
+/// microbatches of batch/num_workers tuples are drawn round-robin from the
+/// workers (§5.2's argument for why multi-process ≈ single-process
+/// CorgiPile). Used by the Fig. 5 bench and tests.
+Result<std::vector<uint64_t>> TraceDistributedOrder(
+    BlockSource* source, uint32_t num_workers, uint64_t buffer_per_worker,
+    uint32_t microbatch, uint64_t seed, uint64_t epoch);
+
+}  // namespace corgipile

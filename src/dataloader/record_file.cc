@@ -1,0 +1,193 @@
+#include "dataloader/record_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace corgipile {
+
+RecordFileWriter::RecordFileWriter(int fd) : fd_(fd) {}
+
+RecordFileWriter::~RecordFileWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<RecordFileWriter>> RecordFileWriter::Create(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("create " + path + ": " + std::strerror(errno));
+  }
+  return std::unique_ptr<RecordFileWriter>(new RecordFileWriter(fd));
+}
+
+Status RecordFileWriter::Append(const Tuple& tuple) {
+  if (fd_ < 0) return Status::Internal("writer already finished");
+  scratch_.clear();
+  const auto len = static_cast<uint32_t>(tuple.SerializedSize());
+  const auto* lp = reinterpret_cast<const uint8_t*>(&len);
+  scratch_.insert(scratch_.end(), lp, lp + sizeof(len));
+  tuple.SerializeTo(&scratch_);
+  const ssize_t n = ::write(fd_, scratch_.data(), scratch_.size());
+  if (n != static_cast<ssize_t>(scratch_.size())) {
+    return Status::IoError(std::string("write: ") + std::strerror(errno));
+  }
+  bytes_written_ += scratch_.size();
+  ++records_written_;
+  return Status::OK();
+}
+
+Status RecordFileWriter::Finish() {
+  if (fd_ < 0) return Status::OK();
+  if (::close(fd_) != 0) {
+    fd_ = -1;
+    return Status::IoError(std::string("close: ") + std::strerror(errno));
+  }
+  fd_ = -1;
+  return Status::OK();
+}
+
+Status RecordBlockIndex::WriteFile(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return Status::IoError("cannot open " + path);
+  for (const Entry& e : blocks) {
+    f << e.offset << ' ' << e.bytes << ' ' << e.num_tuples << '\n';
+  }
+  if (!f.good()) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<RecordBlockIndex> RecordBlockIndex::ReadFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IoError("cannot open " + path);
+  RecordBlockIndex index;
+  Entry e;
+  while (f >> e.offset >> e.bytes >> e.num_tuples) {
+    index.blocks.push_back(e);
+    index.total_tuples += e.num_tuples;
+  }
+  return index;
+}
+
+Result<RecordBlockIndex> BuildRecordBlockIndex(const std::string& path,
+                                               uint64_t block_bytes) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::IoError("cannot open " + path);
+  RecordBlockIndex index;
+  RecordBlockIndex::Entry current;
+  uint64_t offset = 0;
+  uint32_t len = 0;
+  while (f.read(reinterpret_cast<char*>(&len), sizeof(len))) {
+    f.seekg(len, std::ios::cur);
+    if (!f.good()) return Status::Corruption("truncated record in " + path);
+    const uint64_t record_bytes = sizeof(len) + len;
+    if (current.bytes > 0 && current.bytes + record_bytes > block_bytes) {
+      index.blocks.push_back(current);
+      current = RecordBlockIndex::Entry{offset, 0, 0};
+    }
+    if (current.bytes == 0) current.offset = offset;
+    current.bytes += record_bytes;
+    ++current.num_tuples;
+    index.total_tuples += 1;
+    offset += record_bytes;
+  }
+  if (current.bytes > 0) index.blocks.push_back(current);
+  return index;
+}
+
+RecordFileBlockSource::RecordFileBlockSource(int fd, RecordBlockIndex index,
+                                             Schema schema)
+    : fd_(fd), index_(std::move(index)), schema_(std::move(schema)) {}
+
+RecordFileBlockSource::~RecordFileBlockSource() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<RecordFileBlockSource>> RecordFileBlockSource::Open(
+    const std::string& path, RecordBlockIndex index, Schema schema) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  return std::unique_ptr<RecordFileBlockSource>(
+      new RecordFileBlockSource(fd, std::move(index), std::move(schema)));
+}
+
+void RecordFileBlockSource::SetIoAccounting(DeviceProfile device,
+                                            SimClock* clock, IoStats* stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  device_ = std::move(device);
+  clock_ = clock;
+  stats_ = stats;
+}
+
+Status RecordFileBlockSource::ReadBlock(uint32_t block,
+                                        std::vector<Tuple>* out) {
+  if (block >= index_.blocks.size()) {
+    return Status::OutOfRange("block index");
+  }
+  const auto& entry = index_.blocks[block];
+  std::vector<uint8_t> buf(entry.bytes);
+  const ssize_t n = ::pread(fd_, buf.data(), buf.size(),
+                            static_cast<off_t>(entry.offset));
+  if (n != static_cast<ssize_t>(buf.size())) {
+    return Status::IoError(std::string("pread: ") + std::strerror(errno));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const bool sequential = last_end_offset_ == entry.offset;
+    if (clock_ != nullptr) {
+      clock_->Advance(TimeCategory::kIoRead,
+                      sequential ? device_.SequentialCost(entry.bytes)
+                                 : device_.RandomCost(entry.bytes));
+    }
+    if (stats_ != nullptr) {
+      if (sequential) {
+        ++stats_->sequential_reads;
+      } else {
+        ++stats_->random_reads;
+      }
+      stats_->bytes_read += entry.bytes;
+    }
+    last_end_offset_ = entry.offset + entry.bytes;
+  }
+
+  size_t pos = 0;
+  for (uint64_t i = 0; i < entry.num_tuples; ++i) {
+    if (pos + sizeof(uint32_t) > buf.size()) {
+      return Status::Corruption("truncated record header");
+    }
+    uint32_t len = 0;
+    std::memcpy(&len, buf.data() + pos, sizeof(len));
+    pos += sizeof(len);
+    if (pos + len > buf.size()) return Status::Corruption("truncated record");
+    size_t consumed = 0;
+    CORGI_ASSIGN_OR_RETURN(Tuple t,
+                           Tuple::Deserialize(buf.data() + pos, len, &consumed));
+    out->push_back(std::move(t));
+    pos += len;
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<RecordFileBlockSource>> MaterializeRecordFile(
+    const Schema& schema, const std::vector<Tuple>& tuples,
+    const std::string& path, uint64_t block_bytes) {
+  CORGI_ASSIGN_OR_RETURN(std::unique_ptr<RecordFileWriter> writer,
+                         RecordFileWriter::Create(path));
+  for (const Tuple& t : tuples) {
+    CORGI_RETURN_NOT_OK(writer->Append(t));
+  }
+  CORGI_RETURN_NOT_OK(writer->Finish());
+  CORGI_ASSIGN_OR_RETURN(RecordBlockIndex index,
+                         BuildRecordBlockIndex(path, block_bytes));
+  CORGI_RETURN_NOT_OK(index.WriteFile(path + ".idx"));
+  return RecordFileBlockSource::Open(path, std::move(index), schema);
+}
+
+}  // namespace corgipile

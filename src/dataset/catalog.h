@@ -1,0 +1,71 @@
+// Catalog of experiment datasets mirroring the paper's Table 2 (plus the
+// deep-learning and §7.4 datasets), at laptop scale. A scale factor
+// multiplies tuple counts for larger runs.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataset/ordering.h"
+#include "dataset/synthetic.h"
+#include "storage/schema.h"
+#include "util/status.h"
+
+namespace corgipile {
+
+/// Model family a dataset targets (drives which generator runs).
+enum class TaskKind {
+  kBinaryDense,
+  kBinarySparse,
+  kMulticlass,
+  kRegression,
+};
+
+const char* TaskKindToString(TaskKind kind);
+
+/// A named dataset configuration.
+struct DatasetSpec {
+  std::string name;          ///< e.g. "higgs"
+  TaskKind task = TaskKind::kBinaryDense;
+  uint64_t train_tuples = 0;
+  uint64_t test_tuples = 0;
+  uint32_t dim = 0;
+  uint32_t nnz = 0;          ///< sparse only
+  uint32_t num_classes = 2;  ///< multiclass only
+  double label_noise = 0.05;
+  double zero_fraction = 0.0;
+  double class_separation = 3.0;
+  /// Whether the in-DB table stores tuples TOAST-compressed (epsilon, yfcc).
+  bool compress_in_db = false;
+  uint64_t seed = 0;
+
+  Schema MakeSchema() const;
+};
+
+/// A generated train/test pair. Train tuples carry the requested storage
+/// order (ids renumbered by position); test tuples are always shuffled.
+struct Dataset {
+  DatasetSpec spec;
+  DataOrder order = DataOrder::kClustered;
+  std::shared_ptr<std::vector<Tuple>> train;
+  std::shared_ptr<std::vector<Tuple>> test;
+  std::vector<double> ground_truth;
+
+  Schema MakeSchema() const { return spec.MakeSchema(); }
+};
+
+/// Names available in the catalog: higgs, susy, epsilon, criteo, yfcc,
+/// cifar10, imagenet, yelp, yearpred, mnist8m.
+std::vector<std::string> CatalogNames();
+
+/// Looks up a catalog entry; `scale` multiplies tuple counts (default
+/// sizes are laptop-friendly: 10^4–10^5 train tuples).
+Result<DatasetSpec> CatalogLookup(const std::string& name, double scale = 1.0);
+
+/// Runs the right generator for the spec and applies the storage order.
+Dataset GenerateDataset(const DatasetSpec& spec, DataOrder order,
+                        uint32_t feature_idx = 0);
+
+}  // namespace corgipile

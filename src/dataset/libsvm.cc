@@ -1,0 +1,129 @@
+#include "dataset/libsvm.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+namespace corgipile {
+
+Result<LibsvmParseResult> ParseLibsvm(std::istream& in, bool binarize_labels) {
+  LibsvmParseResult result;
+  std::string line;
+  uint64_t line_no = 0;
+  uint64_t id = 0;
+  uint32_t max_index = 0;
+  bool all_dense = true;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and blank lines.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string label_text;
+    if (!(ls >> label_text)) continue;  // blank
+
+    char* end = nullptr;
+    double label = std::strtod(label_text.c_str(), &end);
+    if (end == label_text.c_str() || *end != '\0') {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": bad label '" + label_text + "'");
+    }
+    if (binarize_labels && (label == 0.0)) label = -1.0;
+
+    std::vector<uint32_t> keys;
+    std::vector<float> values;
+    std::string feat;
+    long long prev_index = -1;
+    while (ls >> feat) {
+      const auto colon = feat.find(':');
+      if (colon == std::string::npos) {
+        return Status::Corruption("line " + std::to_string(line_no) +
+                                  ": expected k:v, got '" + feat + "'");
+      }
+      char* iend = nullptr;
+      const long long index_1based =
+          std::strtoll(feat.c_str(), &iend, 10);
+      if (iend != feat.c_str() + colon || index_1based < 1) {
+        return Status::Corruption("line " + std::to_string(line_no) +
+                                  ": bad index in '" + feat + "'");
+      }
+      char* vend = nullptr;
+      const double v = std::strtod(feat.c_str() + colon + 1, &vend);
+      if (vend == feat.c_str() + colon + 1 || *vend != '\0') {
+        return Status::Corruption("line " + std::to_string(line_no) +
+                                  ": bad value in '" + feat + "'");
+      }
+      if (index_1based <= prev_index) {
+        return Status::Corruption("line " + std::to_string(line_no) +
+                                  ": indices not strictly increasing");
+      }
+      prev_index = index_1based;
+      keys.push_back(static_cast<uint32_t>(index_1based - 1));
+      values.push_back(static_cast<float>(v));
+    }
+    if (!keys.empty()) {
+      max_index = std::max(max_index, keys.back() + 1);
+      // Dense lines enumerate 1..d contiguously.
+      all_dense = all_dense && keys.front() == 0 &&
+                  keys.back() + 1 == keys.size();
+    }
+    result.tuples.push_back(
+        MakeSparseTuple(id++, label, std::move(keys), std::move(values)));
+  }
+  result.inferred_dim = max_index;
+  result.looks_dense = all_dense && !result.tuples.empty();
+  // Dense data: strip the key arrays.
+  if (result.looks_dense) {
+    for (Tuple& t : result.tuples) {
+      if (t.feature_keys.size() != result.inferred_dim) {
+        result.looks_dense = false;
+        break;
+      }
+    }
+  }
+  if (result.looks_dense) {
+    for (Tuple& t : result.tuples) t.feature_keys.clear();
+  }
+  return result;
+}
+
+Result<LibsvmParseResult> ReadLibsvmFile(const std::string& path,
+                                         bool binarize_labels) {
+  std::ifstream f(path);
+  if (!f) return Status::IoError("cannot open " + path);
+  return ParseLibsvm(f, binarize_labels);
+}
+
+Status WriteLibsvm(const std::vector<Tuple>& tuples, std::ostream& out) {
+  // Full float round-trip precision.
+  out << std::setprecision(std::numeric_limits<float>::max_digits10);
+  for (const Tuple& t : tuples) {
+    out << t.label;
+    if (t.sparse()) {
+      for (size_t i = 0; i < t.feature_keys.size(); ++i) {
+        out << ' ' << (t.feature_keys[i] + 1) << ':' << t.feature_values[i];
+      }
+    } else {
+      for (size_t d = 0; d < t.feature_values.size(); ++d) {
+        if (t.feature_values[d] != 0.0f) {
+          out << ' ' << (d + 1) << ':' << t.feature_values[d];
+        }
+      }
+    }
+    out << '\n';
+    if (!out.good()) return Status::IoError("write failed");
+  }
+  return Status::OK();
+}
+
+Status WriteLibsvmFile(const std::vector<Tuple>& tuples,
+                       const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return Status::IoError("cannot open " + path);
+  return WriteLibsvm(tuples, f);
+}
+
+}  // namespace corgipile

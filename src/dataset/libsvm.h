@@ -1,0 +1,46 @@
+// LIBSVM text format reader/writer.
+//
+// The paper's GLM datasets (higgs, susy, epsilon, criteo) ship in LIBSVM
+// format: one tuple per line, "<label> <k>:<v> <k>:<v> ...", with 1-based
+// feature indices. This module lets the library ingest the real datasets
+// when they are available and round-trip its synthetic ones.
+
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/tuple.h"
+#include "util/status.h"
+
+namespace corgipile {
+
+struct LibsvmParseResult {
+  std::vector<Tuple> tuples;
+  /// Maximum 0-based feature index seen + 1.
+  uint32_t inferred_dim = 0;
+  /// True if every tuple's nonzero count equals the inferred dim (then the
+  /// data is effectively dense).
+  bool looks_dense = false;
+};
+
+/// Parses LIBSVM text. Labels may be {-1, +1}, {0, 1} (mapped to ±1 when
+/// `binarize_labels`), class ids, or continuous values. Indices are
+/// converted to 0-based. Ids are assigned by line order.
+Result<LibsvmParseResult> ParseLibsvm(std::istream& in,
+                                      bool binarize_labels = true);
+
+/// Convenience: parse from a file path.
+Result<LibsvmParseResult> ReadLibsvmFile(const std::string& path,
+                                         bool binarize_labels = true);
+
+/// Writes tuples in LIBSVM format (1-based indices; dense tuples emit every
+/// nonzero coordinate).
+Status WriteLibsvm(const std::vector<Tuple>& tuples, std::ostream& out);
+Status WriteLibsvmFile(const std::vector<Tuple>& tuples,
+                       const std::string& path);
+
+}  // namespace corgipile

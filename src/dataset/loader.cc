@@ -1,0 +1,25 @@
+#include "dataset/loader.h"
+
+namespace corgipile {
+
+Result<std::unique_ptr<Table>> MaterializeTable(const Schema& schema,
+                                                const std::vector<Tuple>& tuples,
+                                                const std::string& path,
+                                                const TableOptions& options) {
+  TableBuilder builder(schema, path, options);
+  for (const Tuple& t : tuples) {
+    CORGI_RETURN_NOT_OK(builder.Append(t));
+  }
+  return builder.Finish();
+}
+
+Result<std::unique_ptr<Table>> MaterializeTrainTable(const Dataset& dataset,
+                                                     const std::string& path,
+                                                     uint32_t page_size) {
+  TableOptions options;
+  options.page_size = page_size;
+  options.compress_tuples = dataset.spec.compress_in_db;
+  return MaterializeTable(dataset.MakeSchema(), *dataset.train, path, options);
+}
+
+}  // namespace corgipile

@@ -1,0 +1,26 @@
+// Materializing in-memory datasets as on-disk tables.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataset/catalog.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace corgipile {
+
+/// Writes `tuples` into a heap-file table at `path` in their current order.
+Result<std::unique_ptr<Table>> MaterializeTable(
+    const Schema& schema, const std::vector<Tuple>& tuples,
+    const std::string& path, const TableOptions& options = {});
+
+/// Convenience: materializes a generated dataset's train split, honoring the
+/// spec's compress_in_db flag.
+Result<std::unique_ptr<Table>> MaterializeTrainTable(
+    const Dataset& dataset, const std::string& path,
+    uint32_t page_size = Page::kDefaultSize);
+
+}  // namespace corgipile

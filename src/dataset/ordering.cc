@@ -1,0 +1,76 @@
+#include "dataset/ordering.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace corgipile {
+
+const char* DataOrderToString(DataOrder order) {
+  switch (order) {
+    case DataOrder::kClustered: return "clustered";
+    case DataOrder::kShuffled: return "shuffled";
+    case DataOrder::kFeatureOrdered: return "feature_ordered";
+  }
+  return "?";
+}
+
+void OrderClusteredByLabel(std::vector<Tuple>* tuples) {
+  std::stable_sort(tuples->begin(), tuples->end(),
+                   [](const Tuple& a, const Tuple& b) {
+                     return a.label < b.label;
+                   });
+}
+
+void OrderShuffled(std::vector<Tuple>* tuples, uint64_t seed) {
+  Rng rng(seed);
+  rng.Shuffle(*tuples);
+}
+
+namespace {
+float FeatureValue(const Tuple& t, uint32_t feature_idx) {
+  if (!t.sparse()) {
+    return feature_idx < t.feature_values.size() ? t.feature_values[feature_idx]
+                                                 : 0.0f;
+  }
+  auto it = std::lower_bound(t.feature_keys.begin(), t.feature_keys.end(),
+                             feature_idx);
+  if (it != t.feature_keys.end() && *it == feature_idx) {
+    return t.feature_values[static_cast<size_t>(
+        std::distance(t.feature_keys.begin(), it))];
+  }
+  return 0.0f;
+}
+}  // namespace
+
+void OrderByFeature(std::vector<Tuple>* tuples, uint32_t feature_idx) {
+  std::stable_sort(tuples->begin(), tuples->end(),
+                   [feature_idx](const Tuple& a, const Tuple& b) {
+                     return FeatureValue(a, feature_idx) <
+                            FeatureValue(b, feature_idx);
+                   });
+}
+
+void RenumberIds(std::vector<Tuple>* tuples) {
+  for (size_t i = 0; i < tuples->size(); ++i) {
+    (*tuples)[i].id = i;
+  }
+}
+
+void ApplyOrder(std::vector<Tuple>* tuples, DataOrder order, uint64_t seed,
+                uint32_t feature_idx) {
+  switch (order) {
+    case DataOrder::kClustered:
+      OrderClusteredByLabel(tuples);
+      break;
+    case DataOrder::kShuffled:
+      OrderShuffled(tuples, seed);
+      break;
+    case DataOrder::kFeatureOrdered:
+      OrderByFeature(tuples, feature_idx);
+      break;
+  }
+  RenumberIds(tuples);
+}
+
+}  // namespace corgipile

@@ -1,0 +1,44 @@
+// Storage orderings for experiment datasets.
+//
+// The paper evaluates each dataset in a "shuffled" version (tuples in random
+// order) and a "clustered" version (tuples ordered by label, negatives
+// before positives — the worst case for SGD). §7.4.3 additionally orders by
+// a feature column. After reordering we renumber tuple ids by storage
+// position, which is what the paper's Figures 3/4 plot.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/tuple.h"
+
+namespace corgipile {
+
+enum class DataOrder {
+  kClustered,       ///< sorted by label (ascending: -1 before +1)
+  kShuffled,        ///< uniformly random order
+  kFeatureOrdered,  ///< sorted by one feature's value
+};
+
+const char* DataOrderToString(DataOrder order);
+
+/// Sorts by label ascending (stable). Binary: all -1 before all +1;
+/// multiclass: class 0, 1, 2, ...
+void OrderClusteredByLabel(std::vector<Tuple>* tuples);
+
+/// Uniform random permutation.
+void OrderShuffled(std::vector<Tuple>* tuples, uint64_t seed);
+
+/// Sorts by the value of feature `feature_idx` ascending (dense: the
+/// component; sparse: the stored value if present else 0).
+void OrderByFeature(std::vector<Tuple>* tuples, uint32_t feature_idx);
+
+/// Applies `order` and renumbers ids to storage positions 0..n-1.
+void ApplyOrder(std::vector<Tuple>* tuples, DataOrder order, uint64_t seed,
+                uint32_t feature_idx = 0);
+
+/// Renumbers ids to storage positions (also done by ApplyOrder).
+void RenumberIds(std::vector<Tuple>* tuples);
+
+}  // namespace corgipile

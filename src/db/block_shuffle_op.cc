@@ -1,0 +1,69 @@
+#include "db/block_shuffle_op.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace corgipile {
+
+BlockShuffleOp::BlockShuffleOp(Table* table, Options options)
+    : table_(table), options_(options), rng_(options.seed) {}
+
+Status BlockShuffleOp::Init() {
+  if (table_ == nullptr) return Status::InvalidArgument("null table");
+  pages_per_block_ = std::max<uint64_t>(
+      1, options_.block_size_bytes / table_->options().page_size);
+  num_blocks_ = static_cast<uint32_t>(
+      (table_->num_pages() + pages_per_block_ - 1) / pages_per_block_);
+  initialized_ = true;
+  epoch_ = 0;
+  return ReScan();
+}
+
+Status BlockShuffleOp::ReScan() {
+  if (!initialized_) return Status::Internal("ReScan before Init");
+  status_ = Status::OK();
+  block_order_.resize(num_blocks_);
+  std::iota(block_order_.begin(), block_order_.end(), 0u);
+  if (options_.shuffle_blocks) {
+    Rng epoch_rng = rng_.Fork(epoch_);
+    epoch_rng.Shuffle(block_order_);
+  }
+  ++epoch_;
+  next_block_ = 0;
+  current_block_.clear();
+  pos_ = 0;
+  table_->ResetReadCursor();
+  return Status::OK();
+}
+
+bool BlockShuffleOp::LoadNextBlock() {
+  while (next_block_ < block_order_.size()) {
+    const uint32_t b = block_order_[next_block_++];
+    const uint64_t first = static_cast<uint64_t>(b) * pages_per_block_;
+    const uint64_t count =
+        std::min<uint64_t>(pages_per_block_, table_->num_pages() - first);
+    current_block_.clear();
+    pos_ = 0;
+    Status st = table_->ReadTuplesFromPages(first, count, &current_block_);
+    if (!st.ok()) {
+      status_ = st;
+      return false;
+    }
+    if (!current_block_.empty()) return true;
+  }
+  return false;
+}
+
+const Tuple* BlockShuffleOp::Next() {
+  if (pos_ >= current_block_.size()) {
+    if (!LoadNextBlock()) return nullptr;
+  }
+  return &current_block_[pos_++];
+}
+
+void BlockShuffleOp::Close() {
+  current_block_.clear();
+  block_order_.clear();
+}
+
+}  // namespace corgipile

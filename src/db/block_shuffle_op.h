@@ -1,0 +1,55 @@
+// BlockShuffle operator (paper §6.2 (1)).
+//
+// Computes BN = page_num · page_size / block_size, shuffles the block ids,
+// and streams the tuples of each block by reading its contiguous pages
+// (the heapgetpage() analog is Table::ReadTuplesFromPages). With
+// shuffle_blocks = false it degenerates into PostgreSQL's sequential Scan.
+
+#pragma once
+
+#include <vector>
+
+#include "db/operator.h"
+#include "storage/table.h"
+#include "util/rng.h"
+
+namespace corgipile {
+
+class BlockShuffleOp : public PhysicalOperator {
+ public:
+  struct Options {
+    uint64_t block_size_bytes = 10 * 1024 * 1024;
+    bool shuffle_blocks = true;
+    uint64_t seed = 42;
+  };
+
+  BlockShuffleOp(Table* table, Options options);
+
+  const char* name() const override { return "BlockShuffle"; }
+  Status Init() override;
+  const Tuple* Next() override;
+  Status ReScan() override;
+  void Close() override;
+  Status status() const override { return status_; }
+
+  uint32_t num_blocks() const { return num_blocks_; }
+  uint64_t pages_per_block() const { return pages_per_block_; }
+
+ private:
+  bool LoadNextBlock();
+
+  Table* table_;
+  Options options_;
+  Rng rng_;
+  uint64_t pages_per_block_ = 1;
+  uint32_t num_blocks_ = 0;
+  std::vector<uint32_t> block_order_;
+  size_t next_block_ = 0;
+  std::vector<Tuple> current_block_;
+  size_t pos_ = 0;
+  uint64_t epoch_ = 0;
+  Status status_;
+  bool initialized_ = false;
+};
+
+}  // namespace corgipile

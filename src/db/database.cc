@@ -1,0 +1,422 @@
+#include "db/database.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "db/block_shuffle_op.h"
+#include "db/sgd_op.h"
+#include "db/stream_adapter_op.h"
+#include "db/tuple_shuffle_op.h"
+#include "shuffle/tuple_stream.h"
+#include "storage/block_source.h"
+#include "ml/linear_models.h"
+#include "ml/mlp.h"
+#include "dataset/libsvm.h"
+#include "dataset/ordering.h"
+#include "storage/table_shuffle.h"
+
+namespace corgipile {
+
+Database::Database(std::string data_dir, DeviceProfile device,
+                   uint64_t buffer_pool_bytes)
+    : data_dir_(std::move(data_dir)), device_(std::move(device)) {
+  if (buffer_pool_bytes > 0) {
+    buffer_pool_ = std::make_unique<BufferManager>(buffer_pool_bytes);
+  }
+}
+
+Status Database::CreateTable(const std::string& name, const Schema& schema,
+                             const std::vector<Tuple>& tuples, bool compress,
+                             uint32_t page_size) {
+  if (tables_.count(name)) {
+    return Status::AlreadyExists("table '" + name + "' exists");
+  }
+  TableOptions options;
+  options.page_size = page_size;
+  options.compress_tuples = compress;
+  Schema named = schema;
+  named.name = name;
+  TableBuilder builder(named, data_dir_ + "/" + name + ".tbl", options);
+  for (const Tuple& t : tuples) {
+    CORGI_RETURN_NOT_OK(builder.Append(t));
+  }
+  TableEntry entry;
+  CORGI_ASSIGN_OR_RETURN(entry.table, builder.Finish());
+  // Sidecar so a later session can Attach() the table.
+  {
+    std::ofstream side(data_dir_ + "/" + name + ".schema", std::ios::trunc);
+    side << named.name << ' ' << named.dim << ' ' << (named.sparse ? 1 : 0)
+         << ' ' << static_cast<int>(named.label_type) << ' '
+         << named.num_classes << ' ' << (compress ? 1 : 0) << ' '
+         << page_size << '\n';
+    if (!side.good()) {
+      return Status::IoError("cannot write schema sidecar for " + name);
+    }
+  }
+  entry.table->SetIoAccounting(device_, &clock_, &io_stats_);
+  // Scan-resistant OS-cache model: only files that fit in the pool are
+  // cached; larger files cannot retain a working set under repeated scans,
+  // so neither access pattern benefits (§7.3.4's small-vs-large split).
+  if (buffer_pool_ != nullptr &&
+      entry.table->size_bytes() <= buffer_pool_->capacity_bytes()) {
+    entry.table->SetBufferManager(buffer_pool_.get());
+  }
+  entry.label_type = schema.label_type;
+  entry.num_classes = schema.num_classes;
+  tables_[name] = std::move(entry);
+  return Status::OK();
+}
+
+Status Database::RegisterDataset(const std::string& name,
+                                 const Dataset& dataset) {
+  CORGI_RETURN_NOT_OK(CreateTable(name, dataset.MakeSchema(), *dataset.train,
+                                  dataset.spec.compress_in_db));
+  tables_[name].test_set = dataset.test;
+  return Status::OK();
+}
+
+Status Database::Attach(const std::string& name) {
+  if (tables_.count(name)) {
+    return Status::AlreadyExists("table '" + name + "' already attached");
+  }
+  std::ifstream side(data_dir_ + "/" + name + ".schema");
+  if (!side) return Status::NotFound("no schema sidecar for '" + name + "'");
+  Schema schema;
+  int sparse = 0, label_type = 0, compress = 0;
+  uint32_t page_size = 0;
+  if (!(side >> schema.name >> schema.dim >> sparse >> label_type >>
+        schema.num_classes >> compress >> page_size)) {
+    return Status::Corruption("malformed schema sidecar for '" + name + "'");
+  }
+  schema.sparse = sparse != 0;
+  schema.label_type = static_cast<LabelType>(label_type);
+  TableOptions options;
+  options.page_size = page_size;
+  options.compress_tuples = compress != 0;
+  TableEntry entry;
+  CORGI_ASSIGN_OR_RETURN(
+      entry.table,
+      Table::Open(data_dir_ + "/" + name + ".tbl", schema, options));
+  entry.table->SetIoAccounting(device_, &clock_, &io_stats_);
+  if (buffer_pool_ != nullptr &&
+      entry.table->size_bytes() <= buffer_pool_->capacity_bytes()) {
+    entry.table->SetBufferManager(buffer_pool_.get());
+  }
+  entry.label_type = schema.label_type;
+  entry.num_classes = schema.num_classes;
+  tables_[name] = std::move(entry);
+  return Status::OK();
+}
+
+Result<Table*> Database::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table '" + name + "'");
+  }
+  return it->second.table.get();
+}
+
+Result<std::unique_ptr<Model>> Database::MakeModel(const std::string& kind,
+                                                   const Schema& schema,
+                                                   const Params& params) const {
+  if (kind == "lr") {
+    return std::unique_ptr<Model>(
+        std::make_unique<LogisticRegression>(schema.dim));
+  }
+  if (kind == "svm") {
+    return std::unique_ptr<Model>(std::make_unique<SvmModel>(schema.dim));
+  }
+  if (kind == "linreg") {
+    return std::unique_ptr<Model>(
+        std::make_unique<LinearRegressionModel>(schema.dim));
+  }
+  if (kind == "softmax") {
+    return std::unique_ptr<Model>(
+        std::make_unique<SoftmaxRegression>(schema.dim, schema.num_classes));
+  }
+  if (kind == "mlp") {
+    CORGI_ASSIGN_OR_RETURN(int64_t hidden, params.GetInt("hidden", 32));
+    return std::unique_ptr<Model>(std::make_unique<MlpModel>(
+        schema.dim, static_cast<uint32_t>(hidden), schema.num_classes));
+  }
+  return Status::InvalidArgument("unknown model kind '" + kind + "'");
+}
+
+Result<InDbTrainResult> Database::Train(const TrainStatement& stmt) {
+  auto it = tables_.find(stmt.table_name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table '" + stmt.table_name + "'");
+  }
+  TableEntry& entry = it->second;
+  Table* table = entry.table.get();
+
+  const Params& p = stmt.params;
+  CORGI_ASSIGN_OR_RETURN(double learning_rate, p.GetDouble("learning_rate", 0.01));
+  CORGI_ASSIGN_OR_RETURN(double decay, p.GetDouble("decay", 0.95));
+  CORGI_ASSIGN_OR_RETURN(int64_t max_epochs, p.GetInt("max_epoch_num", 20));
+  CORGI_ASSIGN_OR_RETURN(std::string block_size_text,
+                         p.GetString("block_size", "10MB"));
+  CORGI_ASSIGN_OR_RETURN(uint64_t block_size, ParseByteSize(block_size_text));
+  CORGI_ASSIGN_OR_RETURN(double buffer_fraction,
+                         p.GetDouble("buffer_fraction", 0.1));
+  CORGI_ASSIGN_OR_RETURN(int64_t batch_size, p.GetInt("batch_size", 1));
+  CORGI_ASSIGN_OR_RETURN(std::string strategy,
+                         p.GetString("strategy", "corgipile"));
+  CORGI_ASSIGN_OR_RETURN(bool double_buffer, p.GetBool("double_buffer", true));
+  CORGI_ASSIGN_OR_RETURN(int64_t seed, p.GetInt("seed", 42));
+  CORGI_ASSIGN_OR_RETURN(std::string opt_name, p.GetString("optimizer", "sgd"));
+
+  CORGI_ASSIGN_OR_RETURN(std::unique_ptr<Model> model,
+                         MakeModel(stmt.model_kind, table->schema(), p));
+
+  InDbTrainResult result;
+  const double sim_before = clock_.TotalElapsed();
+  const double io_before = clock_.Elapsed(TimeCategory::kIoRead) +
+                           clock_.Elapsed(TimeCategory::kIoWrite) +
+                           clock_.Elapsed(TimeCategory::kDecompress);
+
+  // --- strategy-specific preparation ---
+  Table* scan_table = table;
+  if (strategy == "shuffle_once_inplace") {
+    // No 2x disk copy: the base table itself is rewritten in random order
+    // (which is why it can break clustered indexes; §1).
+    CORGI_ASSIGN_OR_RETURN(
+        InPlaceShuffleResult shuffled,
+        ShuffleTableInPlace(std::move(entry.table),
+                            static_cast<uint64_t>(seed) ^ 0x1A9B,
+                            device_, &clock_, &io_stats_,
+                            buffer_pool_.get()));
+    entry.table = std::move(shuffled.table);
+    table = entry.table.get();
+    scan_table = table;
+    result.prep_seconds = shuffled.sim_seconds;
+  } else if (strategy == "shuffle_once") {
+    CORGI_ASSIGN_OR_RETURN(
+        ShuffledCopyResult copy,
+        BuildShuffledCopy(table,
+                          data_dir_ + "/" + stmt.table_name + ".shuffled.tbl",
+                          static_cast<uint64_t>(seed) ^ 0x50FF1E, device_,
+                          &clock_, &io_stats_));
+    result.prep_seconds = copy.sim_seconds;
+    result.extra_disk_bytes = copy.extra_disk_bytes;
+    if (buffer_pool_ != nullptr &&
+        copy.table->size_bytes() <= buffer_pool_->capacity_bytes()) {
+      copy.table->SetBufferManager(buffer_pool_.get());
+    }
+    shuffled_copies_[stmt.table_name] = std::move(copy.table);
+    scan_table = shuffled_copies_[stmt.table_name].get();
+  }
+
+  // --- pipeline construction ---
+  const bool stream_strategy =
+      (strategy == "sliding_window" || strategy == "mrs");
+  if (strategy != "corgipile" && strategy != "block_only" &&
+      strategy != "no_shuffle" && strategy != "shuffle_once" &&
+      strategy != "shuffle_once_inplace" && !stream_strategy) {
+    return Status::InvalidArgument(
+        "in-DB strategies: corgipile | block_only | no_shuffle | "
+        "shuffle_once | shuffle_once_inplace | sliding_window | mrs (got '" +
+        strategy + "')");
+  }
+  BlockShuffleOp::Options bopts;
+  bopts.block_size_bytes = block_size;
+  bopts.seed = static_cast<uint64_t>(seed);
+  bopts.shuffle_blocks =
+      (strategy == "corgipile" || strategy == "block_only");
+  std::unique_ptr<BlockShuffleOp> block_op;
+  std::unique_ptr<TupleShuffleOp> tuple_op;
+  std::unique_ptr<StreamAdapterOp> adapter_op;
+  PhysicalOperator* top = nullptr;
+  if (stream_strategy) {
+    // Sliding-Window / MRS hosted through the stream adapter.
+    auto source =
+        std::make_unique<TableBlockSource>(scan_table, block_size);
+    ShuffleOptions sopts;
+    sopts.buffer_fraction = buffer_fraction;
+    sopts.seed = static_cast<uint64_t>(seed);
+    CORGI_ASSIGN_OR_RETURN(ShuffleStrategy parsed,
+                           ShuffleStrategyFromString(strategy));
+    CORGI_ASSIGN_OR_RETURN(std::unique_ptr<TupleStream> stream,
+                           MakeTupleStream(parsed, source.get(), sopts));
+    adapter_op = std::make_unique<StreamAdapterOp>(std::move(stream),
+                                                   std::move(source));
+    top = adapter_op.get();
+  } else {
+    block_op = std::make_unique<BlockShuffleOp>(scan_table, bopts);
+    top = block_op.get();
+    if (strategy == "corgipile") {
+      TupleShuffleOp::Options topts;
+      topts.buffer_tuples = std::max<uint64_t>(
+          1, static_cast<uint64_t>(buffer_fraction *
+                                   static_cast<double>(table->num_tuples())));
+      topts.double_buffer = double_buffer;
+      topts.seed = static_cast<uint64_t>(seed) ^ 0x7F;
+      topts.clock = &clock_;
+      tuple_op = std::make_unique<TupleShuffleOp>(block_op.get(), topts);
+      top = tuple_op.get();
+    }
+  }
+
+  SgdOp::Options sopts;
+  sopts.lr.initial = learning_rate;
+  sopts.lr.decay = decay;
+  sopts.max_epochs = static_cast<uint32_t>(max_epochs);
+  sopts.batch_size = static_cast<uint32_t>(batch_size);
+  sopts.optimizer =
+      opt_name == "adam" ? OptimizerKind::kAdam : OptimizerKind::kSgd;
+  sopts.test_set = entry.test_set.get();
+  sopts.label_type = entry.label_type;
+  sopts.clock = &clock_;
+  sopts.init_seed = static_cast<uint64_t>(seed) ^ 0x11;
+
+  SgdOp sgd(model.get(), top, sopts);
+  CORGI_RETURN_NOT_OK(sgd.Init());
+  CORGI_ASSIGN_OR_RETURN(result.epochs, sgd.RunToCompletion());
+  sgd.Close();
+
+  const double sim_after = clock_.TotalElapsed();
+  const double io_after = clock_.Elapsed(TimeCategory::kIoRead) +
+                          clock_.Elapsed(TimeCategory::kIoWrite) +
+                          clock_.Elapsed(TimeCategory::kDecompress);
+  result.sim_io_seconds = io_after - io_before;
+  result.sim_compute_seconds = (sim_after - sim_before) - result.sim_io_seconds;
+
+  if (tuple_op != nullptr) {
+    // CorgiPile: derive both buffering disciplines from the recorded
+    // fill/consume timeline.
+    const PipelineTimeline& tl = tuple_op->timeline();
+    result.end_to_end_single_seconds =
+        result.prep_seconds + tl.SingleBufferedDuration();
+    result.end_to_end_double_seconds =
+        result.prep_seconds + tl.DoubleBufferedDuration();
+  } else {
+    // Scan-based pipelines: loading and compute serialize.
+    result.end_to_end_single_seconds = sim_after - sim_before;
+    result.end_to_end_double_seconds = sim_after - sim_before;
+  }
+
+  if (!result.epochs.empty()) {
+    result.final_metric = result.epochs.back().test_metric;
+    result.final_loss = result.epochs.back().test_loss;
+  }
+  result.model_id = models_.Put(std::move(model));
+  return result;
+}
+
+Result<InDbPredictResult> Database::Predict(const PredictStatement& stmt) {
+  auto it = tables_.find(stmt.table_name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table '" + stmt.table_name + "'");
+  }
+  CORGI_ASSIGN_OR_RETURN(Model * model, models_.Get(stmt.model_id));
+
+  InDbPredictResult out;
+  const LabelType label_type = it->second.label_type;
+  std::vector<Tuple> all;
+  Table* table = it->second.table.get();
+  table->ResetReadCursor();
+  CORGI_RETURN_NOT_OK(table->Scan([&](const Tuple& t) {
+    all.push_back(t);
+    return Status::OK();
+  }));
+  const EvalResult eval = Evaluate(*model, all, label_type);
+  out.count = eval.count;
+  out.metric = eval.metric;
+  out.mean_loss = eval.mean_loss;
+  return out;
+}
+
+Result<BinaryReport> Database::EvaluateModel(const EvaluateStatement& stmt) {
+  auto it = tables_.find(stmt.table_name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table '" + stmt.table_name + "'");
+  }
+  if (it->second.label_type != LabelType::kBinary) {
+    return Status::InvalidArgument(
+        "EVALUATE BY requires a binary-labelled table");
+  }
+  CORGI_ASSIGN_OR_RETURN(Model * model, models_.Get(stmt.model_id));
+  std::vector<Tuple> all;
+  Table* table = it->second.table.get();
+  table->ResetReadCursor();
+  CORGI_RETURN_NOT_OK(table->Scan([&](const Tuple& t) {
+    all.push_back(t);
+    return Status::OK();
+  }));
+  return EvaluateBinaryDetailed(*model, all);
+}
+
+Result<uint64_t> Database::Load(const LoadStatement& stmt) {
+  CORGI_ASSIGN_OR_RETURN(LibsvmParseResult parsed, ReadLibsvmFile(stmt.path));
+  if (parsed.tuples.empty()) {
+    return Status::InvalidArgument("no tuples in " + stmt.path);
+  }
+  CORGI_ASSIGN_OR_RETURN(int64_t dim_override,
+                         stmt.params.GetInt("dim", 0));
+  CORGI_ASSIGN_OR_RETURN(bool compress,
+                         stmt.params.GetBool("compress", false));
+  CORGI_ASSIGN_OR_RETURN(std::string order,
+                         stmt.params.GetString("order", "file"));
+  CORGI_ASSIGN_OR_RETURN(int64_t seed, stmt.params.GetInt("seed", 42));
+
+  Schema schema;
+  schema.name = stmt.table_name;
+  schema.dim = dim_override > 0 ? static_cast<uint32_t>(dim_override)
+                                : parsed.inferred_dim;
+  schema.sparse = !parsed.looks_dense;
+  schema.label_type = LabelType::kBinary;
+  schema.num_classes = 2;
+
+  if (order == "clustered") {
+    ApplyOrder(&parsed.tuples, DataOrder::kClustered,
+               static_cast<uint64_t>(seed));
+  } else if (order == "shuffled") {
+    ApplyOrder(&parsed.tuples, DataOrder::kShuffled,
+               static_cast<uint64_t>(seed));
+  } else if (order != "file") {
+    return Status::InvalidArgument("order must be file|clustered|shuffled");
+  }
+  CORGI_RETURN_NOT_OK(
+      CreateTable(stmt.table_name, schema, parsed.tuples, compress));
+  return static_cast<uint64_t>(parsed.tuples.size());
+}
+
+Result<std::string> Database::Execute(const std::string& sql) {
+  CORGI_ASSIGN_OR_RETURN(Statement stmt, ParseQuery(sql));
+  std::ostringstream os;
+  if (std::holds_alternative<LoadStatement>(stmt)) {
+    const auto& load = std::get<LoadStatement>(stmt);
+    CORGI_ASSIGN_OR_RETURN(uint64_t n, Load(load));
+    os << "loaded " << n << " tuples into " << load.table_name;
+    return os.str();
+  }
+  if (std::holds_alternative<TrainStatement>(stmt)) {
+    CORGI_ASSIGN_OR_RETURN(InDbTrainResult r,
+                           Train(std::get<TrainStatement>(stmt)));
+    os << "trained model " << r.model_id << " in " << r.epochs.size()
+       << " epochs; final metric " << r.final_metric << ", loss "
+       << r.final_loss << "; simulated end-to-end "
+       << r.end_to_end_double_seconds << "s (" << r.prep_seconds
+       << "s prep)";
+  } else if (std::holds_alternative<PredictStatement>(stmt)) {
+    CORGI_ASSIGN_OR_RETURN(InDbPredictResult r,
+                           Predict(std::get<PredictStatement>(stmt)));
+    os << "predicted " << r.count << " tuples; metric " << r.metric
+       << ", mean loss " << r.mean_loss;
+  } else {
+    CORGI_ASSIGN_OR_RETURN(BinaryReport r,
+                           EvaluateModel(std::get<EvaluateStatement>(stmt)));
+    os << "evaluated " << r.total() << " tuples; accuracy " << r.accuracy()
+       << ", precision " << r.precision() << ", recall " << r.recall()
+       << ", f1 " << r.f1() << ", auc " << r.auc;
+  }
+  return os.str();
+}
+
+void Database::ResetAccounting() {
+  clock_.Reset();
+  io_stats_.Clear();
+}
+
+}  // namespace corgipile

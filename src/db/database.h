@@ -1,0 +1,114 @@
+// The miniature database engine hosting CorgiPile (paper §6).
+//
+// Owns tables (heap files under a data directory), a buffer-manager-style
+// device/clock configuration, and the in-memory model store. Executes the
+// SQL-ish TRAIN BY / PREDICT BY statements by building Volcano pipelines
+// out of BlockShuffleOp → TupleShuffleOp → SgdOp.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "db/model_store.h"
+#include "ml/metrics.h"
+#include "db/query.h"
+#include "db/run_result.h"
+#include "dataset/catalog.h"
+#include "iosim/device.h"
+#include "iosim/sim_clock.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace corgipile {
+
+/// Outcome of a PREDICT BY statement.
+struct InDbPredictResult {
+  uint64_t count = 0;
+  double metric = 0.0;  ///< accuracy or R²
+  double mean_loss = 0.0;
+};
+
+class Database {
+ public:
+  /// Tables are created under `data_dir`; all I/O is billed against
+  /// `device` on the internal SimClock. Pages read by any operator pass
+  /// through a shared buffer manager of `buffer_pool_bytes` (the paper's
+  /// setup tunes shared_buffers / relies on the OS cache; datasets smaller
+  /// than the pool run at memory speed after their first epoch). Pass 0 to
+  /// disable caching.
+  Database(std::string data_dir, DeviceProfile device,
+           uint64_t buffer_pool_bytes = 32ull << 20);
+
+  // --- catalog ---
+
+  /// Materializes `tuples` as a heap table. `compress` enables the TOAST
+  /// analog. Fails with AlreadyExists on duplicate names.
+  Status CreateTable(const std::string& name, const Schema& schema,
+                     const std::vector<Tuple>& tuples, bool compress = false,
+                     uint32_t page_size = Page::kDefaultSize);
+
+  /// Convenience: creates the train table of a generated dataset and
+  /// registers its test split for post-epoch evaluation.
+  Status RegisterDataset(const std::string& name, const Dataset& dataset);
+
+  Result<Table*> GetTable(const std::string& name);
+
+  // --- execution ---
+
+  /// Parses and runs one statement; returns a printable summary.
+  Result<std::string> Execute(const std::string& sql);
+
+  Result<InDbTrainResult> Train(const TrainStatement& stmt);
+  Result<InDbPredictResult> Predict(const PredictStatement& stmt);
+
+  /// Detailed binary evaluation of a stored model over a table (accuracy,
+  /// precision/recall/F1, AUC). Binary tables only.
+  Result<BinaryReport> EvaluateModel(const EvaluateStatement& stmt);
+
+  /// Ingests a LIBSVM file as a table. Params: order=clustered|shuffled
+  /// (default: keep file order), compress=true|false, dim=<override>,
+  /// seed=<shuffle seed>. Returns the tuple count loaded.
+  Result<uint64_t> Load(const LoadStatement& stmt);
+
+  /// Reattaches a table created by a previous session in this data
+  /// directory (the engine writes a `<name>.schema` sidecar next to each
+  /// heap file). Test splits are not persisted.
+  Status Attach(const std::string& name);
+
+  // --- introspection ---
+
+  SimClock& clock() { return clock_; }
+  IoStats& io_stats() { return io_stats_; }
+  ModelStore& models() { return models_; }
+  const DeviceProfile& device() const { return device_; }
+  BufferManager* buffer_pool() { return buffer_pool_.get(); }
+
+  /// Resets the clock and I/O stats (tables keep their data).
+  void ResetAccounting();
+
+ private:
+  struct TableEntry {
+    std::unique_ptr<Table> table;
+    std::shared_ptr<const std::vector<Tuple>> test_set;
+    LabelType label_type = LabelType::kBinary;
+    uint32_t num_classes = 2;
+  };
+
+  Result<std::unique_ptr<Model>> MakeModel(const std::string& kind,
+                                           const Schema& schema,
+                                           const Params& params) const;
+
+  std::string data_dir_;
+  DeviceProfile device_;
+  std::unique_ptr<BufferManager> buffer_pool_;
+  SimClock clock_;
+  IoStats io_stats_;
+  std::map<std::string, TableEntry> tables_;
+  /// Shuffled copies created by strategy=shuffle_once, kept alive per table.
+  std::map<std::string, std::unique_ptr<Table>> shuffled_copies_;
+  ModelStore models_;
+};
+
+}  // namespace corgipile

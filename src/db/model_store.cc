@@ -1,0 +1,32 @@
+#include "db/model_store.h"
+
+namespace corgipile {
+
+std::string ModelStore::Put(std::unique_ptr<Model> model) {
+  std::string id =
+      std::string(model->name()) + "_" + std::to_string(next_id_++);
+  models_[id] = std::move(model);
+  return id;
+}
+
+Result<Model*> ModelStore::Get(const std::string& id) const {
+  auto it = models_.find(id);
+  if (it == models_.end()) return Status::NotFound("no model '" + id + "'");
+  return it->second.get();
+}
+
+Status ModelStore::Remove(const std::string& id) {
+  if (models_.erase(id) == 0) {
+    return Status::NotFound("no model '" + id + "'");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> ModelStore::Ids() const {
+  std::vector<std::string> ids;
+  ids.reserve(models_.size());
+  for (const auto& [id, _] : models_) ids.push_back(id);
+  return ids;
+}
+
+}  // namespace corgipile

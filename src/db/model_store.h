@@ -1,0 +1,33 @@
+// In-memory model store (paper §6.1): learned models live as in-kernel
+// objects with an ID; inference queries reference them by that ID.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "ml/model.h"
+#include "util/status.h"
+
+namespace corgipile {
+
+class ModelStore {
+ public:
+  /// Stores a model, returning its generated id ("<name>_<n>").
+  std::string Put(std::unique_ptr<Model> model);
+
+  /// Borrowed pointer; NotFound if absent.
+  Result<Model*> Get(const std::string& id) const;
+
+  Status Remove(const std::string& id);
+
+  size_t size() const { return models_.size(); }
+  std::vector<std::string> Ids() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Model>> models_;
+  uint64_t next_id_ = 0;
+};
+
+}  // namespace corgipile

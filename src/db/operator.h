@@ -1,0 +1,39 @@
+// Volcano-style physical operator interface (paper §6.2).
+//
+// Mirrors PostgreSQL's executor protocol: ExecInit → getNext* → ExecReScan
+// (per epoch) → Close. Operators stream Tuple pointers; nullptr signals end
+// of the current scan.
+
+#pragma once
+
+#include <memory>
+
+#include "storage/tuple.h"
+#include "util/status.h"
+
+namespace corgipile {
+
+class PhysicalOperator {
+ public:
+  virtual ~PhysicalOperator() = default;
+
+  virtual const char* name() const = 0;
+
+  /// One-time initialization (buffers, model state, ...).
+  virtual Status Init() = 0;
+
+  /// Produces the next tuple or nullptr at end-of-scan / on error; after
+  /// nullptr, check status().
+  virtual const Tuple* Next() = 0;
+
+  /// Resets the scan for the next epoch (PostgreSQL's re-scan mechanism):
+  /// reshuffle block ids, reset buffers, and recurse into children.
+  virtual Status ReScan() = 0;
+
+  /// Releases resources. Idempotent.
+  virtual void Close() = 0;
+
+  virtual Status status() const { return Status::OK(); }
+};
+
+}  // namespace corgipile

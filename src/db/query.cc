@@ -1,0 +1,129 @@
+#include "db/query.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace corgipile {
+
+namespace {
+
+std::string Upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+// Splits on whitespace, keeping everything after WITH as one blob.
+struct Tokens {
+  std::vector<std::string> words;
+  std::string with_clause;
+};
+
+Tokens Tokenize(std::string sql) {
+  // Strip trailing semicolon.
+  while (!sql.empty() && (sql.back() == ';' || std::isspace(
+                              static_cast<unsigned char>(sql.back())))) {
+    sql.pop_back();
+  }
+  Tokens out;
+  std::istringstream in(sql);
+  std::string w;
+  while (in >> w) {
+    if (Upper(w) == "WITH") {
+      std::getline(in, out.with_clause);
+      break;
+    }
+    out.words.push_back(w);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Statement> ParseQuery(const std::string& sql) {
+  Tokens t = Tokenize(sql);
+  const auto& w = t.words;
+  // LOAD TABLE <name> FROM '<path>' [WITH ...]
+  if (!w.empty() && Upper(w[0]) == "LOAD") {
+    if (w.size() != 5 || Upper(w[1]) != "TABLE" || Upper(w[3]) != "FROM") {
+      return Status::InvalidArgument(
+          "expected: LOAD TABLE <name> FROM '<path>' [WITH ...]");
+    }
+    LoadStatement stmt;
+    stmt.table_name = w[2];
+    stmt.path = w[4];
+    // Strip optional single quotes.
+    if (stmt.path.size() >= 2 && stmt.path.front() == '\'' &&
+        stmt.path.back() == '\'') {
+      stmt.path = stmt.path.substr(1, stmt.path.size() - 2);
+    }
+    CORGI_ASSIGN_OR_RETURN(stmt.params, Params::Parse(t.with_clause));
+    return Statement{std::move(stmt)};
+  }
+  // Expected: SELECT * FROM <table> (TRAIN|PREDICT|EVALUATE) BY <name>
+  if (w.size() != 7 || Upper(w[0]) != "SELECT" || w[1] != "*" ||
+      Upper(w[2]) != "FROM" || Upper(w[5]) != "BY") {
+    return Status::InvalidArgument(
+        "expected: SELECT * FROM <table> TRAIN BY <model> [WITH ...] | "
+        "SELECT * FROM <table> PREDICT BY <model_id>");
+  }
+  const std::string verb = Upper(w[4]);
+  if (verb == "TRAIN") {
+    TrainStatement stmt;
+    stmt.table_name = w[3];
+    stmt.model_kind = w[6];
+    CORGI_ASSIGN_OR_RETURN(stmt.params, Params::Parse(t.with_clause));
+    return Statement{std::move(stmt)};
+  }
+  if (verb == "PREDICT") {
+    if (!t.with_clause.empty()) {
+      return Status::InvalidArgument("PREDICT takes no WITH clause");
+    }
+    PredictStatement stmt;
+    stmt.table_name = w[3];
+    stmt.model_id = w[6];
+    return Statement{std::move(stmt)};
+  }
+  if (verb == "EVALUATE") {
+    if (!t.with_clause.empty()) {
+      return Status::InvalidArgument("EVALUATE takes no WITH clause");
+    }
+    EvaluateStatement stmt;
+    stmt.table_name = w[3];
+    stmt.model_id = w[6];
+    return Statement{std::move(stmt)};
+  }
+  return Status::InvalidArgument("unknown verb '" + w[4] + "'");
+}
+
+Result<uint64_t> ParseByteSize(const std::string& text) {
+  if (text.empty()) return Status::InvalidArgument("empty size");
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || v < 0) {
+    return Status::InvalidArgument("bad size '" + text + "'");
+  }
+  std::string unit = Upper(std::string(end));
+  // Trim whitespace.
+  unit.erase(std::remove_if(unit.begin(), unit.end(),
+                            [](unsigned char c) { return std::isspace(c); }),
+             unit.end());
+  double mult = 1.0;
+  if (unit.empty() || unit == "B") {
+    mult = 1.0;
+  } else if (unit == "KB" || unit == "K") {
+    mult = 1024.0;
+  } else if (unit == "MB" || unit == "M") {
+    mult = 1024.0 * 1024;
+  } else if (unit == "GB" || unit == "G") {
+    mult = 1024.0 * 1024 * 1024;
+  } else {
+    return Status::InvalidArgument("bad size unit '" + unit + "'");
+  }
+  return static_cast<uint64_t>(v * mult);
+}
+
+}  // namespace corgipile

@@ -1,0 +1,50 @@
+// SQL-ish query interface (paper §6):
+//   SELECT * FROM <table> TRAIN BY <model> [WITH k=v, k=v, ...]
+//   SELECT * FROM <table> PREDICT BY <model_id>
+//   SELECT * FROM <table> EVALUATE BY <model_id>   (detailed report)
+//   LOAD TABLE <table> FROM '<libsvm_path>' [WITH order=clustered, ...]
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "util/config.h"
+#include "util/status.h"
+
+namespace corgipile {
+
+struct TrainStatement {
+  std::string table_name;
+  std::string model_kind;  ///< lr | svm | linreg | softmax | mlp
+  Params params;           ///< learning_rate, max_epoch_num, block_size, ...
+};
+
+struct PredictStatement {
+  std::string table_name;
+  std::string model_id;
+};
+
+struct EvaluateStatement {
+  std::string table_name;
+  std::string model_id;
+};
+
+struct LoadStatement {
+  std::string table_name;
+  std::string path;  ///< LIBSVM file
+  Params params;     ///< order=clustered|shuffled, compress=true, dim=, seed=
+};
+
+using Statement = std::variant<TrainStatement, PredictStatement,
+                               EvaluateStatement, LoadStatement>;
+
+/// Parses one statement. Keywords are case-insensitive; identifiers are
+/// case-sensitive. Trailing semicolon optional.
+Result<Statement> ParseQuery(const std::string& sql);
+
+/// Parses sizes like "8192", "64KB", "10MB", "1GB" (case-insensitive).
+Result<uint64_t> ParseByteSize(const std::string& text);
+
+}  // namespace corgipile

@@ -1,0 +1,56 @@
+// Result record shared by the CorgiPile engine and the UDA baselines.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/trainer.h"
+
+namespace corgipile {
+
+/// Outcome of one in-database training run.
+struct InDbTrainResult {
+  std::string model_id;  ///< id in the model store (when stored)
+  std::vector<EpochLog> epochs;
+
+  /// Pre-training preparation (Shuffle Once's offline shuffle), simulated
+  /// seconds. Included in end_to_end_seconds.
+  double prep_seconds = 0.0;
+  uint64_t extra_disk_bytes = 0;
+
+  /// Simulated time decomposition over the whole run.
+  double sim_io_seconds = 0.0;
+  double sim_compute_seconds = 0.0;
+
+  /// End-to-end simulated time assuming loading and compute serialize
+  /// (single buffering) vs overlap (double buffering). For pipelines
+  /// without a TupleShuffle stage the two are equal.
+  double end_to_end_single_seconds = 0.0;
+  double end_to_end_double_seconds = 0.0;
+
+  double final_metric = 0.0;
+  double final_loss = 0.0;
+
+  /// Set when the engine refuses/cannot finish (e.g. MADlib LR on wide
+  /// dense data, which the paper reports as not finishing in 4 hours).
+  bool timed_out = false;
+
+  double AvgEpochSingleSeconds() const {
+    return epochs.empty() ? 0.0
+                          : end_to_end_epochs_single() / epochs.size();
+  }
+  double AvgEpochDoubleSeconds() const {
+    return epochs.empty() ? 0.0
+                          : end_to_end_epochs_double() / epochs.size();
+  }
+  double end_to_end_epochs_single() const {
+    return end_to_end_single_seconds - prep_seconds;
+  }
+  double end_to_end_epochs_double() const {
+    return end_to_end_double_seconds - prep_seconds;
+  }
+};
+
+}  // namespace corgipile

@@ -1,0 +1,106 @@
+#include "db/sgd_op.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace corgipile {
+
+SgdOp::SgdOp(Model* model, PhysicalOperator* child, Options options)
+    : model_(model), child_(child), options_(options) {}
+
+Status SgdOp::Init() {
+  if (model_ == nullptr || child_ == nullptr) {
+    return Status::InvalidArgument("null model or child");
+  }
+  if (options_.batch_size == 0) {
+    return Status::InvalidArgument("batch_size must be >= 1");
+  }
+  CORGI_RETURN_NOT_OK(child_->Init());
+  model_->InitParams(options_.init_seed);
+  batched_ = options_.batch_size > 1 ||
+             options_.optimizer != OptimizerKind::kSgd;
+  if (batched_) {
+    opt_ = MakeOptimizer(options_.optimizer);
+    opt_->Reset(model_->num_params());
+    grad_.assign(model_->num_params(), 0.0);
+  }
+  epoch_ = 0;
+  initialized_ = true;
+  return Status::OK();
+}
+
+Result<bool> SgdOp::NextEpoch(EpochLog* log) {
+  if (!initialized_) return Status::Internal("NextEpoch before Init");
+  if (epoch_ >= options_.max_epochs) return false;
+
+  const double lr = options_.lr.LrAtEpoch(epoch_);
+  WallTimer timer;
+  double loss_sum = 0.0;
+  uint64_t seen = 0;
+
+  if (!batched_) {
+    while (const Tuple* t = child_->Next()) {
+      loss_sum += model_->SgdStep(*t, lr);
+      ++seen;
+    }
+  } else {
+    uint32_t in_batch = 0;
+    auto flush = [&] {
+      if (in_batch == 0) return;
+      const double inv = 1.0 / static_cast<double>(in_batch);
+      for (double& g : grad_) g *= inv;
+      opt_->Apply(&model_->params(), grad_, lr);
+      std::fill(grad_.begin(), grad_.end(), 0.0);
+      in_batch = 0;
+    };
+    while (const Tuple* t = child_->Next()) {
+      loss_sum += model_->AccumulateGrad(*t, &grad_);
+      ++seen;
+      if (++in_batch == options_.batch_size) flush();
+    }
+    flush();
+  }
+  CORGI_RETURN_NOT_OK(child_->status());
+
+  log->epoch = epoch_;
+  log->lr = lr;
+  log->tuples_seen = seen;
+  log->epoch_wall_seconds = timer.ElapsedSeconds();
+  log->train_loss = seen > 0 ? loss_sum / static_cast<double>(seen) : 0.0;
+  if (options_.clock != nullptr) {
+    options_.clock->Advance(TimeCategory::kCompute, log->epoch_wall_seconds);
+  }
+  if (options_.test_set != nullptr && !options_.test_set->empty()) {
+    const EvalResult eval =
+        Evaluate(*model_, *options_.test_set, options_.label_type);
+    log->test_loss = eval.mean_loss;
+    log->test_metric = eval.metric;
+  }
+  log->cumulative_sim_seconds =
+      options_.clock != nullptr ? options_.clock->TotalElapsed() : 0.0;
+
+  ++epoch_;
+  if (epoch_ < options_.max_epochs) {
+    // The paper's re-scan mechanism: reshuffle + reread for the next epoch.
+    CORGI_RETURN_NOT_OK(child_->ReScan());
+  }
+  return true;
+}
+
+Result<std::vector<EpochLog>> SgdOp::RunToCompletion() {
+  std::vector<EpochLog> logs;
+  for (;;) {
+    EpochLog log;
+    CORGI_ASSIGN_OR_RETURN(bool more, NextEpoch(&log));
+    if (!more) break;
+    logs.push_back(log);
+  }
+  return logs;
+}
+
+void SgdOp::Close() {
+  if (child_ != nullptr) child_->Close();
+}
+
+}  // namespace corgipile

@@ -1,0 +1,65 @@
+// SGD operator (paper §6.2 (3)).
+//
+// Sits on top of the TupleShuffle/BlockShuffle pipeline. Each call to
+// NextEpoch() pulls every tuple of the scan, performs the SGD update(s),
+// then drives PostgreSQL's re-scan mechanism (child->ReScan()) so the next
+// epoch sees freshly shuffled data. Per-epoch metrics are produced the way
+// the paper's implementation reports loss/accuracy/time after each epoch.
+
+#pragma once
+
+#include <memory>
+
+#include "db/operator.h"
+#include "iosim/sim_clock.h"
+#include "ml/metrics.h"
+#include "ml/model.h"
+#include "ml/optimizer.h"
+#include "ml/trainer.h"
+#include "storage/schema.h"
+#include "util/status.h"
+
+namespace corgipile {
+
+class SgdOp {
+ public:
+  struct Options {
+    LrSchedule lr;
+    uint32_t max_epochs = 20;
+    uint32_t batch_size = 1;  ///< 1 = per-tuple SGD
+    OptimizerKind optimizer = OptimizerKind::kSgd;
+    const std::vector<Tuple>* test_set = nullptr;
+    LabelType label_type = LabelType::kBinary;
+    SimClock* clock = nullptr;  ///< compute time charged here
+    uint64_t init_seed = 7;
+  };
+
+  /// `model` and `child` are borrowed; both must outlive the operator.
+  SgdOp(Model* model, PhysicalOperator* child, Options options);
+
+  /// ExecInitSGD: initializes the model and the child pipeline.
+  Status Init();
+
+  /// Runs one epoch; fills *log. Returns false when max_epochs reached.
+  Result<bool> NextEpoch(EpochLog* log);
+
+  /// Runs all remaining epochs, collecting the logs.
+  Result<std::vector<EpochLog>> RunToCompletion();
+
+  void Close();
+
+  Model* model() { return model_; }
+  uint32_t epochs_run() const { return epoch_; }
+
+ private:
+  Model* model_;
+  PhysicalOperator* child_;
+  Options options_;
+  uint32_t epoch_ = 0;
+  std::unique_ptr<Optimizer> opt_;
+  std::vector<double> grad_;
+  bool batched_ = false;
+  bool initialized_ = false;
+};
+
+}  // namespace corgipile

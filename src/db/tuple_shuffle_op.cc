@@ -1,0 +1,172 @@
+#include "db/tuple_shuffle_op.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace corgipile {
+
+TupleShuffleOp::TupleShuffleOp(PhysicalOperator* child, Options options)
+    : child_(child), options_(options), rng_(options.seed) {
+  if (options_.buffer_tuples == 0) options_.buffer_tuples = 1;
+}
+
+TupleShuffleOp::~TupleShuffleOp() { Close(); }
+
+double TupleShuffleOp::IoElapsed() const {
+  if (options_.clock == nullptr) return 0.0;
+  return options_.clock->Elapsed(TimeCategory::kIoRead) +
+         options_.clock->Elapsed(TimeCategory::kDecompress);
+}
+
+Status TupleShuffleOp::Init() {
+  if (child_ == nullptr) return Status::InvalidArgument("null child");
+  CORGI_RETURN_NOT_OK(child_->Init());
+  if (options_.double_buffer) StartProducer();
+  return Status::OK();
+}
+
+std::optional<TupleShuffleOp::Batch> TupleShuffleOp::FillBatch() {
+  Batch batch;
+  batch.tuples.reserve(options_.buffer_tuples);
+  const double io_before = IoElapsed();
+  WallTimer timer;
+  while (batch.tuples.size() < options_.buffer_tuples) {
+    const Tuple* t = child_->Next();
+    if (t == nullptr) {
+      Status st = child_->status();
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(status_mu_);
+        status_ = st;
+      }
+      break;
+    }
+    batch.tuples.push_back(*t);
+  }
+  if (batch.tuples.empty()) return std::nullopt;
+  if (options_.shuffle_tuples) {
+    std::lock_guard<std::mutex> lock(mu_);  // rng_ is also reseeded in ReScan
+    rng_.Shuffle(batch.tuples);
+  }
+  batch.fill_seconds = (IoElapsed() - io_before) + timer.ElapsedSeconds();
+  peak_buffer_ = std::max<uint64_t>(peak_buffer_, batch.tuples.size());
+  return batch;
+}
+
+void TupleShuffleOp::StartProducer() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (producer_running_) return;
+  stop_producer_ = false;
+  producer_done_ = false;
+  producer_running_ = true;
+  producer_ = std::thread([this] { ProducerLoop(); });
+}
+
+void TupleShuffleOp::StopProducer() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!producer_running_) return;
+    stop_producer_ = true;
+  }
+  cv_.notify_all();
+  producer_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  producer_running_ = false;
+  ready_.clear();
+}
+
+void TupleShuffleOp::ProducerLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_producer_ || ready_.empty(); });
+      if (stop_producer_) return;
+    }
+    std::optional<Batch> batch = FillBatch();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!batch.has_value()) {
+        producer_done_ = true;
+      } else {
+        ready_.push_back(std::move(*batch));
+      }
+    }
+    cv_.notify_all();
+    if (!batch.has_value()) return;
+  }
+}
+
+bool TupleShuffleOp::AdvanceBatch() {
+  // Record the finished batch's timings.
+  if (have_batch_) {
+    timeline_.AddBatch(current_.fill_seconds, consume_acc_);
+    consume_acc_ = 0.0;
+    have_batch_ = false;
+  }
+  if (options_.double_buffer) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return !ready_.empty() || producer_done_; });
+    if (ready_.empty()) return false;
+    current_ = std::move(ready_.front());
+    ready_.pop_front();
+    lock.unlock();
+    cv_.notify_all();  // wake producer to fill the next buffer
+  } else {
+    std::optional<Batch> batch = FillBatch();
+    if (!batch.has_value()) return false;
+    current_ = std::move(*batch);
+  }
+  pos_ = 0;
+  have_batch_ = true;
+  return true;
+}
+
+const Tuple* TupleShuffleOp::Next() {
+  const auto now = std::chrono::steady_clock::now();
+  if (last_emit_.has_value() && have_batch_) {
+    consume_acc_ += std::chrono::duration<double>(now - *last_emit_).count();
+  }
+  if (!have_batch_ || pos_ >= current_.tuples.size()) {
+    if (!AdvanceBatch()) {
+      last_emit_.reset();
+      return nullptr;
+    }
+  }
+  const Tuple* t = &current_.tuples[pos_++];
+  last_emit_ = std::chrono::steady_clock::now();
+  return t;
+}
+
+Status TupleShuffleOp::ReScan() {
+  if (options_.double_buffer) StopProducer();
+  // Flush the in-flight batch's timing record.
+  if (have_batch_) {
+    timeline_.AddBatch(current_.fill_seconds, consume_acc_);
+    have_batch_ = false;
+  }
+  consume_acc_ = 0.0;
+  last_emit_.reset();
+  current_ = Batch{};
+  pos_ = 0;
+  CORGI_RETURN_NOT_OK(child_->ReScan());
+  {
+    std::lock_guard<std::mutex> lock(status_mu_);
+    status_ = Status::OK();
+  }
+  if (options_.double_buffer) StartProducer();
+  return Status::OK();
+}
+
+void TupleShuffleOp::Close() {
+  if (options_.double_buffer) StopProducer();
+  current_ = Batch{};
+  have_batch_ = false;
+  if (child_ != nullptr) child_->Close();
+}
+
+Status TupleShuffleOp::status() const {
+  std::lock_guard<std::mutex> lock(status_mu_);
+  return status_;
+}
+
+}  // namespace corgipile

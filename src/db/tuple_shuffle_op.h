@@ -1,0 +1,107 @@
+// TupleShuffle operator (paper §6.2 (2), §6.3).
+//
+// Pulls tuples from its child into an in-memory buffer; when the buffer is
+// full (or the child is exhausted) the buffered tuples are shuffled and
+// served one by one — PostgreSQL's Sort-operator pattern.
+//
+// Two execution modes:
+//  * single buffering: fills happen inline, serializing I/O and SGD;
+//  * double buffering (§6.3): a producer thread fills and shuffles the next
+//    buffer while the consumer drains the current one — data loading and
+//    SGD computation overlap.
+//
+// The operator also records a PipelineTimeline: per buffer, the fill cost
+// (simulated I/O + decompression read through the child, plus real
+// fill/shuffle CPU) and the consume cost (real time the consumer spent
+// between Next() calls). Benches derive single- and double-buffered epoch
+// durations from the same run.
+
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "db/operator.h"
+#include "iosim/sim_clock.h"
+#include "util/rng.h"
+
+namespace corgipile {
+
+class TupleShuffleOp : public PhysicalOperator {
+ public:
+  struct Options {
+    uint64_t buffer_tuples = 1;
+    bool shuffle_tuples = true;
+    bool double_buffer = false;
+    uint64_t seed = 42;
+    /// Clock whose kIoRead/kDecompress categories the child charges; used
+    /// to attribute simulated fill time. May be null.
+    SimClock* clock = nullptr;
+  };
+
+  TupleShuffleOp(PhysicalOperator* child, Options options);
+  ~TupleShuffleOp() override;
+
+  const char* name() const override { return "TupleShuffle"; }
+  Status Init() override;
+  const Tuple* Next() override;
+  Status ReScan() override;
+  void Close() override;
+  Status status() const override;
+
+  /// Fill/consume timings accumulated since the last ResetTimeline().
+  const PipelineTimeline& timeline() const { return timeline_; }
+  void ResetTimeline() { timeline_ = PipelineTimeline(); }
+
+  uint64_t peak_buffer_tuples() const { return peak_buffer_; }
+
+ private:
+  struct Batch {
+    std::vector<Tuple> tuples;
+    double fill_seconds = 0.0;
+  };
+
+  double IoElapsed() const;
+  /// Pulls from the child until `buffer_tuples` tuples or end; returns an
+  /// empty optional at end-of-scan. Thread-safe w.r.t. the child only when
+  /// called from a single thread at a time.
+  std::optional<Batch> FillBatch();
+
+  void StartProducer();
+  void StopProducer();
+  void ProducerLoop();
+
+  /// Finishes the current batch bookkeeping and fetches the next one.
+  bool AdvanceBatch();
+
+  PhysicalOperator* child_;
+  Options options_;
+  Rng rng_;
+
+  // Current batch being served.
+  Batch current_;
+  size_t pos_ = 0;
+  bool have_batch_ = false;
+  double consume_acc_ = 0.0;
+  std::optional<std::chrono::steady_clock::time_point> last_emit_;
+
+  // Double-buffer machinery.
+  std::thread producer_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Batch> ready_;      // capacity 1: one buffer ahead
+  bool producer_done_ = false;
+  bool stop_producer_ = false;
+  bool producer_running_ = false;
+
+  PipelineTimeline timeline_;
+  uint64_t peak_buffer_ = 0;
+  Status status_;
+  mutable std::mutex status_mu_;
+};
+
+}  // namespace corgipile

@@ -1,0 +1,60 @@
+// UDA-based in-DB ML baselines: Apache MADlib and Bismarck (paper §2.3,
+// §7.3).
+//
+// Both systems implement SGD as a User-Defined Aggregate driven by a plain
+// sequential scan — one UDA invocation per epoch, the model as aggregate
+// state. Neither shuffles inside the scan; their two supported disciplines
+// are No Shuffle and Shuffle Once (an offline ORDER BY random() copy).
+//
+// Flavor differences reproduced from the paper's measurements:
+//  * MADlib spends extra per-tuple work on auxiliary statistical metrics
+//    (it is consistently slower than Bismarck; we charge a constant
+//    compute factor).
+//  * MADlib's LR computes a stderr metric with dense matrix work that makes
+//    wide dense datasets (epsilon, yfcc) not finish within hours — runs on
+//    such inputs return timed_out = true.
+//  * MADlib does not support sparse LR/SVM input (criteo) — NotImplemented.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "db/run_result.h"
+#include "iosim/device.h"
+#include "iosim/sim_clock.h"
+#include "ml/model.h"
+#include "ml/optimizer.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace corgipile {
+
+enum class UdaFlavor { kMadlib, kBismarck };
+
+const char* UdaFlavorToString(UdaFlavor flavor);
+
+struct UdaEngineOptions {
+  UdaFlavor flavor = UdaFlavor::kBismarck;
+  /// true = Shuffle Once (offline shuffled copy first); false = No Shuffle.
+  bool shuffle_once = false;
+  LrSchedule lr;
+  uint32_t max_epochs = 20;
+  const std::vector<Tuple>* test_set = nullptr;
+  LabelType label_type = LabelType::kBinary;
+  SimClock* clock = nullptr;
+  IoStats* io_stats = nullptr;
+  DeviceProfile device = DeviceProfile::Memory();
+  std::string scratch_dir = "/tmp";
+  uint64_t seed = 42;
+  uint64_t init_seed = 7;
+  /// Extra per-tuple compute multiplier for MADlib's auxiliary metrics.
+  double madlib_compute_factor = 2.5;
+};
+
+/// Trains `model` over `table` the way the UDA systems do. The model is
+/// updated in place; per-epoch logs and timing are returned.
+Result<InDbTrainResult> RunUdaBaseline(Table* table, Model* model,
+                                       const UdaEngineOptions& options);
+
+}  // namespace corgipile

@@ -1,0 +1,72 @@
+#include "iosim/device.h"
+
+#include <sstream>
+
+namespace corgipile {
+
+const char* DeviceKindToString(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kHdd: return "HDD";
+    case DeviceKind::kSsd: return "SSD";
+    case DeviceKind::kMemory: return "MEM";
+  }
+  return "?";
+}
+
+DeviceProfile DeviceProfile::Hdd() {
+  // §7.1.1: HDD with a maximum 140 MB/s bandwidth; typical 7.2k-rpm
+  // seek+rotate ~8 ms.
+  return DeviceProfile{"HDD", 8e-3, 140.0 * 1024 * 1024, 20e-6};
+}
+
+DeviceProfile DeviceProfile::Ssd() {
+  // §7.1.1: SSD with a maximum 1 GB/s bandwidth; NVMe-class read latency
+  // ~90 µs for a cold random request.
+  return DeviceProfile{"SSD", 90e-6, 1024.0 * 1024 * 1024, 10e-6};
+}
+
+DeviceProfile DeviceProfile::Memory() {
+  return DeviceProfile{"MEM", 100e-9, 10.0 * 1024 * 1024 * 1024, 0.0};
+}
+
+DeviceProfile DeviceProfile::ForKind(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kHdd: return Hdd();
+    case DeviceKind::kSsd: return Ssd();
+    case DeviceKind::kMemory: return Memory();
+  }
+  return Memory();
+}
+
+DeviceProfile DeviceProfile::Scaled(double factor) const {
+  DeviceProfile scaled = *this;
+  scaled.name = name + "-scaled";
+  scaled.random_access_latency_s *= factor;
+  scaled.per_request_overhead_s *= factor;
+  return scaled;
+}
+
+double DeviceProfile::SequentialCost(uint64_t bytes) const {
+  return per_request_overhead_s +
+         static_cast<double>(bytes) / bandwidth_bytes_per_s;
+}
+
+double DeviceProfile::RandomCost(uint64_t bytes) const {
+  return random_access_latency_s + per_request_overhead_s +
+         static_cast<double>(bytes) / bandwidth_bytes_per_s;
+}
+
+double DeviceProfile::RandomChunkThroughput(uint64_t chunk_bytes) const {
+  if (chunk_bytes == 0) return 0.0;
+  return static_cast<double>(chunk_bytes) / RandomCost(chunk_bytes);
+}
+
+std::string IoStats::ToString() const {
+  std::ostringstream os;
+  os << "seq_reads=" << sequential_reads << " rand_reads=" << random_reads
+     << " writes=" << writes << " bytes_read=" << bytes_read
+     << " bytes_written=" << bytes_written;
+  return os.str();
+}
+
+}  // namespace corgipile

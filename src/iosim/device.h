@@ -1,0 +1,87 @@
+// Storage device cost model.
+//
+// The paper's hardware results are driven by the latency/bandwidth asymmetry
+// between random and sequential access on block-addressable secondary
+// storage (its §4.1 analysis models a random read of b tuples as
+// t_lat + b * t_t). We capture exactly that: a device is a pair
+// (access latency, transfer bandwidth), and a read of `bytes` bytes costs
+//   latency (if it is a discontiguous access) + bytes / bandwidth.
+//
+// Profiles are calibrated from the paper's testbed description (§7.1.1):
+// HDD with ~140 MB/s peak bandwidth, SSD with ~1 GB/s.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace corgipile {
+
+/// Device kind for the built-in profiles.
+enum class DeviceKind { kHdd, kSsd, kMemory };
+
+const char* DeviceKindToString(DeviceKind kind);
+
+/// Latency/bandwidth description of a storage device.
+struct DeviceProfile {
+  std::string name;
+  /// Cost of one discontiguous (random) access: seek+rotate for HDD, command
+  /// latency for SSD, ~nothing for memory. Seconds.
+  double random_access_latency_s = 0.0;
+  /// Sustained sequential transfer bandwidth, bytes per second.
+  double bandwidth_bytes_per_s = 1.0;
+  /// Per-request fixed CPU/driver overhead applied to every I/O, including
+  /// sequential ones. Seconds.
+  double per_request_overhead_s = 0.0;
+
+  /// Built-in profiles.
+  static DeviceProfile Hdd();
+  static DeviceProfile Ssd();
+  static DeviceProfile Memory();
+  static DeviceProfile ForKind(DeviceKind kind);
+
+  /// Profile for experiments on down-scaled data: per-access latencies are
+  /// multiplied by `factor` (the data-scale ratio, e.g. 1/1000 when a
+  /// 2.8 GB dataset is reproduced at 2.8 MB) while bandwidth is unchanged.
+  /// With block sizes scaled by the same factor, every cost *ratio* of the
+  /// paper's experiments (random vs sequential, seek amortization per
+  /// block) is preserved exactly; absolute simulated times scale by factor.
+  DeviceProfile Scaled(double factor) const;
+
+  /// Simulated time to read/write `bytes` contiguous bytes, continuing from
+  /// the previous access (no seek).
+  double SequentialCost(uint64_t bytes) const;
+
+  /// Simulated time for a discontiguous access of `bytes` bytes.
+  double RandomCost(uint64_t bytes) const;
+
+  /// Effective throughput (bytes/s) when reading the whole device in random
+  /// chunks of `chunk_bytes`. This is the quantity plotted in the paper's
+  /// Fig. 20: as chunk size grows, random throughput approaches sequential.
+  double RandomChunkThroughput(uint64_t chunk_bytes) const;
+};
+
+/// Counters for I/O activity, kept separately from the simulated clock so
+/// tests can assert on access patterns.
+struct IoStats {
+  uint64_t sequential_reads = 0;
+  uint64_t random_reads = 0;
+  uint64_t writes = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+
+  void Clear() { *this = IoStats{}; }
+
+  IoStats& operator+=(const IoStats& o) {
+    sequential_reads += o.sequential_reads;
+    random_reads += o.random_reads;
+    writes += o.writes;
+    bytes_read += o.bytes_read;
+    bytes_written += o.bytes_written;
+    return *this;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace corgipile

@@ -1,0 +1,82 @@
+#include "iosim/sim_clock.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace corgipile {
+
+const char* TimeCategoryToString(TimeCategory c) {
+  switch (c) {
+    case TimeCategory::kIoRead: return "io_read";
+    case TimeCategory::kIoWrite: return "io_write";
+    case TimeCategory::kDecompress: return "decompress";
+    case TimeCategory::kCompute: return "compute";
+    case TimeCategory::kShuffleCpu: return "shuffle_cpu";
+    case TimeCategory::kOther: return "other";
+    case TimeCategory::kNumCategories: break;
+  }
+  return "?";
+}
+
+void SimClock::Advance(TimeCategory category, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  elapsed_[static_cast<size_t>(category)] += seconds;
+}
+
+double SimClock::Elapsed(TimeCategory category) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return elapsed_[static_cast<size_t>(category)];
+}
+
+double SimClock::TotalElapsed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double t = 0.0;
+  for (double x : elapsed_) t += x;
+  return t;
+}
+
+void SimClock::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  elapsed_.fill(0.0);
+}
+
+std::string SimClock::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (size_t i = 0; i < elapsed_.size(); ++i) {
+    if (i) os << " ";
+    os << TimeCategoryToString(static_cast<TimeCategory>(i)) << "="
+       << elapsed_[i] << "s";
+  }
+  return os.str();
+}
+
+void PipelineTimeline::AddBatch(double fill_seconds, double consume_seconds) {
+  fills_.push_back(fill_seconds);
+  consumes_.push_back(consume_seconds);
+}
+
+double PipelineTimeline::TotalFill() const {
+  return std::accumulate(fills_.begin(), fills_.end(), 0.0);
+}
+
+double PipelineTimeline::TotalConsume() const {
+  return std::accumulate(consumes_.begin(), consumes_.end(), 0.0);
+}
+
+double PipelineTimeline::SingleBufferedDuration() const {
+  return TotalFill() + TotalConsume();
+}
+
+double PipelineTimeline::DoubleBufferedDuration() const {
+  if (fills_.empty()) return 0.0;
+  double t = fills_[0];
+  for (size_t i = 1; i < fills_.size(); ++i) {
+    t += std::max(fills_[i], consumes_[i - 1]);
+  }
+  t += consumes_.back();
+  return t;
+}
+
+}  // namespace corgipile

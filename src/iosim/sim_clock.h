@@ -1,0 +1,72 @@
+// Simulated clock: accumulates modeled time by category.
+//
+// Benches combine modeled I/O time (from DeviceProfile costs) with real
+// measured compute time so that "HDD" and "SSD" experiment rows are
+// meaningful on any build machine.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace corgipile {
+
+/// Time categories tracked by SimClock.
+enum class TimeCategory : int {
+  kIoRead = 0,
+  kIoWrite,
+  kDecompress,
+  kCompute,
+  kShuffleCpu,
+  kOther,
+  kNumCategories,
+};
+
+const char* TimeCategoryToString(TimeCategory c);
+
+/// Thread-safe accumulator of simulated seconds per category.
+class SimClock {
+ public:
+  void Advance(TimeCategory category, double seconds);
+
+  double Elapsed(TimeCategory category) const;
+  /// Sum over all categories.
+  double TotalElapsed() const;
+
+  void Reset();
+
+  std::string ToString() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::array<double, static_cast<size_t>(TimeCategory::kNumCategories)>
+      elapsed_{};
+};
+
+/// Computes the duration of a producer/consumer pipeline given per-batch
+/// fill (producer) and consume (consumer) durations.
+///
+/// Single buffering serializes fills and consumes:
+///   T = sum(fill_i) + sum(consume_i).
+/// Double buffering overlaps the fill of batch i+1 with the consumption of
+/// batch i (the paper's §6.3 optimization):
+///   T = fill_0 + sum_{i=1..n-1} max(fill_i, consume_{i-1}) + consume_{n-1}.
+class PipelineTimeline {
+ public:
+  void AddBatch(double fill_seconds, double consume_seconds);
+
+  size_t num_batches() const { return fills_.size(); }
+  double TotalFill() const;
+  double TotalConsume() const;
+  double SingleBufferedDuration() const;
+  double DoubleBufferedDuration() const;
+
+ private:
+  std::vector<double> fills_;
+  std::vector<double> consumes_;
+};
+
+}  // namespace corgipile

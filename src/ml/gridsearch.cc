@@ -1,0 +1,28 @@
+#include "ml/gridsearch.h"
+
+namespace corgipile {
+
+Result<GridSearchResult> GridSearchLr(
+    const Model& prototype, const std::function<TupleStream*()>& get_stream,
+    TrainerOptions options, const std::vector<double>& candidates) {
+  if (candidates.empty()) {
+    return Status::InvalidArgument("empty lr candidate list");
+  }
+  GridSearchResult result;
+  result.best_metric = -1.0;
+  for (double lr : candidates) {
+    std::unique_ptr<Model> model = prototype.Clone();
+    options.lr.initial = lr;
+    TupleStream* stream = get_stream();
+    if (stream == nullptr) return Status::InvalidArgument("null stream");
+    CORGI_ASSIGN_OR_RETURN(TrainResult r, Train(model.get(), stream, options));
+    result.tried.emplace_back(lr, r.final_test_metric);
+    if (r.final_test_metric > result.best_metric) {
+      result.best_metric = r.final_test_metric;
+      result.best_lr = lr;
+    }
+  }
+  return result;
+}
+
+}  // namespace corgipile

@@ -1,0 +1,28 @@
+// Learning-rate grid search, mirroring the paper's tuning protocol
+// ("grid search to tune the best learning rate from {0.1, 0.01, 0.001}").
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ml/trainer.h"
+
+namespace corgipile {
+
+struct GridSearchResult {
+  double best_lr = 0.0;
+  double best_metric = 0.0;
+  std::vector<std::pair<double, double>> tried;  ///< (lr, final metric)
+};
+
+/// Runs `make_stream`+Train once per candidate lr (fresh model clone each
+/// time) and returns the lr with the best final test metric.
+///
+/// `make_stream` must return a fresh or restartable stream per call.
+Result<GridSearchResult> GridSearchLr(
+    const Model& prototype, const std::function<TupleStream*()>& get_stream,
+    TrainerOptions options, const std::vector<double>& candidates = {
+                                0.1, 0.01, 0.001});
+
+}  // namespace corgipile

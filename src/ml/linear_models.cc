@@ -1,0 +1,265 @@
+#include "ml/linear_models.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace corgipile {
+
+namespace {
+// Numerically stable log(1 + exp(z)).
+double Log1pExp(double z) {
+  if (z > 35.0) return z;
+  if (z < -35.0) return 0.0;
+  return std::log1p(std::exp(z));
+}
+// Stable sigmoid.
+double Sigmoid(double z) {
+  if (z >= 0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+}  // namespace
+
+BinaryLinearModel::BinaryLinearModel(uint32_t dim, double l2_reg)
+    : dim_(dim), l2_reg_(l2_reg), params_(dim + 1, 0.0) {}
+
+void BinaryLinearModel::InitParams(uint64_t) {
+  std::fill(params_.begin(), params_.end(), 0.0);
+}
+
+double BinaryLinearModel::Margin(const Tuple& t) const {
+  return t.Dot(params_) + params_[dim_];
+}
+
+double BinaryLinearModel::Predict(const Tuple& t) const { return Margin(t); }
+
+bool BinaryLinearModel::Correct(const Tuple& t) const {
+  return (Margin(t) >= 0 ? 1.0 : -1.0) == t.label;
+}
+
+void BinaryLinearModel::ApplyLinearStep(const Tuple& t, double lr,
+                                        double coef) {
+  // Gradient of loss wrt w is coef * x (+ l2 w); wrt bias is coef.
+  if (l2_reg_ != 0.0) {
+    const double shrink = 1.0 - lr * l2_reg_;
+    if (t.sparse()) {
+      for (uint32_t k : t.feature_keys) params_[k] *= shrink;
+    } else {
+      for (uint32_t d = 0; d < dim_; ++d) params_[d] *= shrink;
+    }
+  }
+  if (coef != 0.0) {
+    t.AxpyInto(-lr * coef, &params_);
+    params_[dim_] -= lr * coef;
+  }
+}
+
+void BinaryLinearModel::AccumulateLinear(const Tuple& t, double coef,
+                                         std::vector<double>* grad) const {
+  if (coef != 0.0) {
+    t.AxpyInto(coef, grad);
+    (*grad)[dim_] += coef;
+  }
+  if (l2_reg_ != 0.0) {
+    for (uint32_t d = 0; d < dim_; ++d) {
+      (*grad)[d] += l2_reg_ * params_[d];
+    }
+  }
+}
+
+// ---------- Logistic regression ----------
+
+double LogisticRegression::Loss(const Tuple& t) const {
+  return Log1pExp(-t.label * Margin(t));
+}
+
+double LogisticRegression::SgdStep(const Tuple& t, double lr) {
+  const double m = Margin(t);
+  const double z = -t.label * m;
+  const double loss = Log1pExp(z);
+  const double coef = -t.label * Sigmoid(z);  // dLoss/dMargin
+  ApplyLinearStep(t, lr, coef);
+  return loss;
+}
+
+double LogisticRegression::AccumulateGrad(const Tuple& t,
+                                          std::vector<double>* grad) const {
+  const double z = -t.label * Margin(t);
+  AccumulateLinear(t, -t.label * Sigmoid(z), grad);
+  return Log1pExp(z);
+}
+
+std::unique_ptr<Model> LogisticRegression::Clone() const {
+  return std::make_unique<LogisticRegression>(*this);
+}
+
+// ---------- SVM ----------
+
+double SvmModel::Loss(const Tuple& t) const {
+  return std::max(0.0, 1.0 - t.label * Margin(t));
+}
+
+double SvmModel::SgdStep(const Tuple& t, double lr) {
+  const double m = Margin(t);
+  const double hinge = 1.0 - t.label * m;
+  const double coef = hinge > 0.0 ? -t.label : 0.0;
+  ApplyLinearStep(t, lr, coef);
+  return std::max(0.0, hinge);
+}
+
+double SvmModel::AccumulateGrad(const Tuple& t,
+                                std::vector<double>* grad) const {
+  const double hinge = 1.0 - t.label * Margin(t);
+  AccumulateLinear(t, hinge > 0.0 ? -t.label : 0.0, grad);
+  return std::max(0.0, hinge);
+}
+
+std::unique_ptr<Model> SvmModel::Clone() const {
+  return std::make_unique<SvmModel>(*this);
+}
+
+// ---------- Linear regression ----------
+
+double LinearRegressionModel::Loss(const Tuple& t) const {
+  const double r = Margin(t) - t.label;
+  return 0.5 * r * r;
+}
+
+double LinearRegressionModel::SgdStep(const Tuple& t, double lr) {
+  const double r = Margin(t) - t.label;
+  ApplyLinearStep(t, lr, r);
+  return 0.5 * r * r;
+}
+
+double LinearRegressionModel::AccumulateGrad(const Tuple& t,
+                                             std::vector<double>* grad) const {
+  const double r = Margin(t) - t.label;
+  AccumulateLinear(t, r, grad);
+  return 0.5 * r * r;
+}
+
+std::unique_ptr<Model> LinearRegressionModel::Clone() const {
+  return std::make_unique<LinearRegressionModel>(*this);
+}
+
+// ---------- Softmax regression ----------
+
+SoftmaxRegression::SoftmaxRegression(uint32_t dim, uint32_t num_classes)
+    : dim_(dim), classes_(std::max<uint32_t>(2, num_classes)),
+      params_(static_cast<size_t>(dim) * classes_ + classes_, 0.0),
+      scratch_probs_(classes_, 0.0) {}
+
+void SoftmaxRegression::InitParams(uint64_t) {
+  std::fill(params_.begin(), params_.end(), 0.0);
+}
+
+double SoftmaxRegression::ForwardProbs(const Tuple& t,
+                                       std::vector<double>* probs) const {
+  probs->assign(classes_, 0.0);
+  // logits_c = W_c · x + b_c
+  for (uint32_t c = 0; c < classes_; ++c) {
+    const double* w = params_.data() + static_cast<size_t>(c) * dim_;
+    double z = params_[static_cast<size_t>(dim_) * classes_ + c];
+    if (t.sparse()) {
+      for (size_t i = 0; i < t.feature_keys.size(); ++i) {
+        z += w[t.feature_keys[i]] * static_cast<double>(t.feature_values[i]);
+      }
+    } else {
+      for (uint32_t d = 0; d < dim_; ++d) {
+        z += w[d] * static_cast<double>(t.feature_values[d]);
+      }
+    }
+    (*probs)[c] = z;
+  }
+  const double zmax = *std::max_element(probs->begin(), probs->end());
+  double sum = 0.0;
+  for (double& p : *probs) {
+    p = std::exp(p - zmax);
+    sum += p;
+  }
+  for (double& p : *probs) p /= sum;
+  const auto label = static_cast<uint32_t>(t.label);
+  const double py = std::max((*probs)[label], 1e-300);
+  return -std::log(py);
+}
+
+double SoftmaxRegression::Loss(const Tuple& t) const {
+  return ForwardProbs(t, &scratch_probs_);
+}
+
+double SoftmaxRegression::SgdStep(const Tuple& t, double lr) {
+  const double loss = ForwardProbs(t, &scratch_probs_);
+  const auto label = static_cast<uint32_t>(t.label);
+  for (uint32_t c = 0; c < classes_; ++c) {
+    const double coef = scratch_probs_[c] - (c == label ? 1.0 : 0.0);
+    if (coef == 0.0) continue;
+    double* w = params_.data() + static_cast<size_t>(c) * dim_;
+    if (t.sparse()) {
+      for (size_t i = 0; i < t.feature_keys.size(); ++i) {
+        w[t.feature_keys[i]] -=
+            lr * coef * static_cast<double>(t.feature_values[i]);
+      }
+    } else {
+      for (uint32_t d = 0; d < dim_; ++d) {
+        w[d] -= lr * coef * static_cast<double>(t.feature_values[d]);
+      }
+    }
+    params_[static_cast<size_t>(dim_) * classes_ + c] -= lr * coef;
+  }
+  return loss;
+}
+
+double SoftmaxRegression::AccumulateGrad(const Tuple& t,
+                                         std::vector<double>* grad) const {
+  const double loss = ForwardProbs(t, &scratch_probs_);
+  const auto label = static_cast<uint32_t>(t.label);
+  for (uint32_t c = 0; c < classes_; ++c) {
+    const double coef = scratch_probs_[c] - (c == label ? 1.0 : 0.0);
+    if (coef == 0.0) continue;
+    double* g = grad->data() + static_cast<size_t>(c) * dim_;
+    if (t.sparse()) {
+      for (size_t i = 0; i < t.feature_keys.size(); ++i) {
+        g[t.feature_keys[i]] +=
+            coef * static_cast<double>(t.feature_values[i]);
+      }
+    } else {
+      for (uint32_t d = 0; d < dim_; ++d) {
+        g[d] += coef * static_cast<double>(t.feature_values[d]);
+      }
+    }
+    (*grad)[static_cast<size_t>(dim_) * classes_ + c] += coef;
+  }
+  return loss;
+}
+
+double SoftmaxRegression::Predict(const Tuple& t) const {
+  ForwardProbs(t, &scratch_probs_);
+  return static_cast<double>(std::distance(
+      scratch_probs_.begin(),
+      std::max_element(scratch_probs_.begin(), scratch_probs_.end())));
+}
+
+bool SoftmaxRegression::Correct(const Tuple& t) const {
+  return Predict(t) == t.label;
+}
+
+bool SoftmaxRegression::TopKCorrect(const Tuple& t, uint32_t k) const {
+  ForwardProbs(t, &scratch_probs_);
+  const double p_label = scratch_probs_[static_cast<uint32_t>(t.label)];
+  uint32_t better = 0;
+  for (double p : scratch_probs_) {
+    if (p > p_label) ++better;
+  }
+  return better < k;
+}
+
+std::unique_ptr<Model> SoftmaxRegression::Clone() const {
+  return std::make_unique<SoftmaxRegression>(*this);
+}
+
+}  // namespace corgipile

@@ -1,0 +1,117 @@
+// Generalized linear models: logistic regression, SVM (hinge loss), linear
+// regression, and softmax (multinomial logistic) regression — the model set
+// the paper trains in-database (§7.3–§7.4).
+//
+// All keep a dense weight vector of `dim` coordinates plus a bias term as
+// the final parameter. Per-tuple SGD updates touch only the tuple's nonzero
+// coordinates plus the bias.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ml/model.h"
+
+namespace corgipile {
+
+/// Common base for the binary linear models (w ∈ R^dim, bias appended).
+class BinaryLinearModel : public Model {
+ public:
+  explicit BinaryLinearModel(uint32_t dim, double l2_reg = 0.0);
+
+  size_t num_params() const override { return params_.size(); }
+  std::vector<double>& params() override { return params_; }
+  const std::vector<double>& params() const override { return params_; }
+  void InitParams(uint64_t seed) override;
+
+  double Predict(const Tuple& t) const override;  // signed margin
+  bool Correct(const Tuple& t) const override;
+
+ protected:
+  double Margin(const Tuple& t) const;
+  /// w ← w − lr·(coef·x + l2·w_active); coef is dLoss/dMargin · y-part.
+  void ApplyLinearStep(const Tuple& t, double lr, double coef);
+  void AccumulateLinear(const Tuple& t, double coef,
+                        std::vector<double>* grad) const;
+
+  uint32_t dim_;
+  double l2_reg_;
+  std::vector<double> params_;  // dim weights + 1 bias
+};
+
+/// Logistic regression: f = log(1 + exp(−y·m)), y ∈ {−1, +1}.
+class LogisticRegression : public BinaryLinearModel {
+ public:
+  explicit LogisticRegression(uint32_t dim, double l2_reg = 0.0)
+      : BinaryLinearModel(dim, l2_reg) {}
+  const char* name() const override { return "lr"; }
+  double SgdStep(const Tuple& t, double lr) override;
+  double AccumulateGrad(const Tuple& t,
+                        std::vector<double>* grad) const override;
+  double Loss(const Tuple& t) const override;
+  std::unique_ptr<Model> Clone() const override;
+};
+
+/// Linear SVM: f = max(0, 1 − y·m).
+class SvmModel : public BinaryLinearModel {
+ public:
+  explicit SvmModel(uint32_t dim, double l2_reg = 0.0)
+      : BinaryLinearModel(dim, l2_reg) {}
+  const char* name() const override { return "svm"; }
+  double SgdStep(const Tuple& t, double lr) override;
+  double AccumulateGrad(const Tuple& t,
+                        std::vector<double>* grad) const override;
+  double Loss(const Tuple& t) const override;
+  std::unique_ptr<Model> Clone() const override;
+};
+
+/// Linear regression: f = ½(m − y)².
+class LinearRegressionModel : public BinaryLinearModel {
+ public:
+  explicit LinearRegressionModel(uint32_t dim, double l2_reg = 0.0)
+      : BinaryLinearModel(dim, l2_reg) {}
+  const char* name() const override { return "linreg"; }
+  double SgdStep(const Tuple& t, double lr) override;
+  double AccumulateGrad(const Tuple& t,
+                        std::vector<double>* grad) const override;
+  double Loss(const Tuple& t) const override;
+  double Predict(const Tuple& t) const override { return Margin(t); }
+  bool Correct(const Tuple&) const override { return false; }
+  std::unique_ptr<Model> Clone() const override;
+};
+
+/// Softmax regression over C classes; labels are class ids 0..C−1.
+/// Parameters: C × dim weights followed by C biases.
+class SoftmaxRegression : public Model {
+ public:
+  SoftmaxRegression(uint32_t dim, uint32_t num_classes);
+
+  const char* name() const override { return "softmax"; }
+  size_t num_params() const override { return params_.size(); }
+  std::vector<double>& params() override { return params_; }
+  const std::vector<double>& params() const override { return params_; }
+  void InitParams(uint64_t seed) override;
+
+  double SgdStep(const Tuple& t, double lr) override;
+  double AccumulateGrad(const Tuple& t,
+                        std::vector<double>* grad) const override;
+  double Loss(const Tuple& t) const override;
+  double Predict(const Tuple& t) const override;  // argmax class id
+  bool Correct(const Tuple& t) const override;
+  bool TopKCorrect(const Tuple& t, uint32_t k) const override;
+  std::unique_ptr<Model> Clone() const override;
+
+  uint32_t num_classes() const { return classes_; }
+
+ private:
+  /// Fills probs[c]; returns −log p_label.
+  double ForwardProbs(const Tuple& t, std::vector<double>* probs) const;
+
+  uint32_t dim_;
+  uint32_t classes_;
+  std::vector<double> params_;
+  mutable std::vector<double> scratch_probs_;
+};
+
+}  // namespace corgipile

@@ -1,0 +1,79 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+
+namespace corgipile {
+
+EvalResult Evaluate(const Model& model, const std::vector<Tuple>& tuples,
+                    LabelType label_type) {
+  EvalResult r;
+  r.count = tuples.size();
+  if (tuples.empty()) return r;
+
+  double loss_sum = 0.0;
+  if (label_type == LabelType::kContinuous) {
+    // R² = 1 − SS_res / SS_tot.
+    double y_sum = 0.0;
+    for (const Tuple& t : tuples) y_sum += t.label;
+    const double y_mean = y_sum / static_cast<double>(tuples.size());
+    double ss_res = 0.0, ss_tot = 0.0;
+    for (const Tuple& t : tuples) {
+      loss_sum += model.Loss(t);
+      const double pred = model.Predict(t);
+      ss_res += (t.label - pred) * (t.label - pred);
+      ss_tot += (t.label - y_mean) * (t.label - y_mean);
+    }
+    r.metric = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 0.0;
+  } else {
+    uint64_t correct = 0;
+    for (const Tuple& t : tuples) {
+      loss_sum += model.Loss(t);
+      if (model.Correct(t)) ++correct;
+    }
+    r.metric = static_cast<double>(correct) / static_cast<double>(tuples.size());
+  }
+  r.mean_loss = loss_sum / static_cast<double>(tuples.size());
+  return r;
+}
+
+BinaryReport EvaluateBinaryDetailed(const Model& model,
+                                    const std::vector<Tuple>& tuples) {
+  BinaryReport report;
+  std::vector<std::pair<double, bool>> scored;  // (score, is_positive)
+  scored.reserve(tuples.size());
+  for (const Tuple& t : tuples) {
+    const double score = model.Predict(t);
+    const bool positive = t.label > 0;
+    const bool predicted_positive = score >= 0;
+    if (positive && predicted_positive) ++report.tp;
+    else if (positive) ++report.fn;
+    else if (predicted_positive) ++report.fp;
+    else ++report.tn;
+    scored.emplace_back(score, positive);
+  }
+  // AUC via the rank-sum (Mann–Whitney) statistic with tie handling.
+  const uint64_t pos = report.tp + report.fn;
+  const uint64_t neg = report.fp + report.tn;
+  if (pos == 0 || neg == 0) {
+    report.auc = 0.0;
+    return report;
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  double rank_sum_pos = 0.0;
+  size_t i = 0;
+  while (i < scored.size()) {
+    size_t j = i;
+    while (j < scored.size() && scored[j].first == scored[i].first) ++j;
+    const double avg_rank = 0.5 * static_cast<double>(i + 1 + j);  // 1-based
+    for (size_t k = i; k < j; ++k) {
+      if (scored[k].second) rank_sum_pos += avg_rank;
+    }
+    i = j;
+  }
+  report.auc = (rank_sum_pos - 0.5 * pos * (pos + 1)) /
+               (static_cast<double>(pos) * static_cast<double>(neg));
+  return report;
+}
+
+}  // namespace corgipile

@@ -1,0 +1,51 @@
+// Evaluation metrics.
+
+#pragma once
+
+#include <vector>
+
+#include "ml/model.h"
+#include "storage/schema.h"
+
+namespace corgipile {
+
+/// Aggregate evaluation over a tuple set.
+struct EvalResult {
+  double mean_loss = 0.0;
+  /// Classification: fraction correct. Regression: coefficient of
+  /// determination R² (the paper reports R² for linear regression, §7.4.2).
+  double metric = 0.0;
+  uint64_t count = 0;
+};
+
+/// Evaluates `model` on `tuples`. `label_type` selects the metric.
+EvalResult Evaluate(const Model& model, const std::vector<Tuple>& tuples,
+                    LabelType label_type);
+
+/// Detailed binary-classification report (labels in {-1, +1}; the model's
+/// Predict() is the decision score).
+struct BinaryReport {
+  uint64_t tp = 0, fp = 0, tn = 0, fn = 0;
+  /// Area under the ROC curve of the raw scores (ties averaged).
+  double auc = 0.0;
+
+  uint64_t total() const { return tp + fp + tn + fn; }
+  double accuracy() const {
+    return total() ? static_cast<double>(tp + tn) / total() : 0.0;
+  }
+  double precision() const {
+    return tp + fp ? static_cast<double>(tp) / (tp + fp) : 0.0;
+  }
+  double recall() const {
+    return tp + fn ? static_cast<double>(tp) / (tp + fn) : 0.0;
+  }
+  double f1() const {
+    const double p = precision(), r = recall();
+    return p + r > 0 ? 2 * p * r / (p + r) : 0.0;
+  }
+};
+
+BinaryReport EvaluateBinaryDetailed(const Model& model,
+                                    const std::vector<Tuple>& tuples);
+
+}  // namespace corgipile

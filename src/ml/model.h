@@ -1,0 +1,59 @@
+// Model interface for SGD training over tuples.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "storage/tuple.h"
+
+namespace corgipile {
+
+/// A trainable model. Two update paths mirror how the paper's systems run:
+///  * SgdStep — the standard per-tuple SGD used by the in-DB engines
+///    (sparse-friendly: touches only the tuple's nonzero coordinates), and
+///  * AccumulateGrad/params — dense gradient accumulation for mini-batch
+///    SGD and Adam.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  virtual const char* name() const = 0;
+  virtual size_t num_params() const = 0;
+  virtual std::vector<double>& params() = 0;
+  virtual const std::vector<double>& params() const = 0;
+
+  /// Initializes parameters deterministically from `seed` (zeros for convex
+  /// models, scaled Gaussians for the MLP).
+  virtual void InitParams(uint64_t seed) = 0;
+
+  /// One vanilla SGD step: w ← w − lr·∇f_i(w). Returns f_i(w) pre-update.
+  virtual double SgdStep(const Tuple& t, double lr) = 0;
+
+  /// grad += ∇f_i(w); returns f_i(w). `grad` must have num_params() zeros
+  /// or previously accumulated values.
+  virtual double AccumulateGrad(const Tuple& t,
+                                std::vector<double>* grad) const = 0;
+
+  /// Loss only.
+  virtual double Loss(const Tuple& t) const = 0;
+
+  /// Raw prediction: binary → signed margin, multiclass → argmax class id,
+  /// regression → predicted value.
+  virtual double Predict(const Tuple& t) const = 0;
+
+  /// Classification correctness (false always for regression models).
+  virtual bool Correct(const Tuple& t) const = 0;
+
+  /// Top-k correctness for multiclass models (the paper's Top-5 metric on
+  /// ImageNet). Defaults to Correct() — i.e. top-1 — for models without
+  /// class scores.
+  virtual bool TopKCorrect(const Tuple& t, uint32_t k) const {
+    (void)k;
+    return Correct(t);
+  }
+
+  virtual std::unique_ptr<Model> Clone() const = 0;
+};
+
+}  // namespace corgipile

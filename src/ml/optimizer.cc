@@ -1,0 +1,62 @@
+#include "ml/optimizer.h"
+
+#include <cmath>
+
+namespace corgipile {
+
+double LrSchedule::LrAtEpoch(uint32_t epoch) const {
+  if (kind == Kind::kInverse) {
+    const double a = std::max<uint32_t>(1, decay_every);
+    return initial * a / (static_cast<double>(epoch) + a);
+  }
+  const uint32_t steps = decay_every > 0 ? epoch / decay_every : 0;
+  return initial * std::pow(decay, static_cast<double>(steps));
+}
+
+void SgdOptimizer::Apply(std::vector<double>* params,
+                         const std::vector<double>& grad, double lr) {
+  for (size_t i = 0; i < params->size(); ++i) {
+    (*params)[i] -= lr * grad[i];
+  }
+}
+
+AdamOptimizer::AdamOptimizer(double beta1, double beta2, double eps)
+    : beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+void AdamOptimizer::Reset(size_t num_params) {
+  step_ = 0;
+  m_.assign(num_params, 0.0);
+  v_.assign(num_params, 0.0);
+}
+
+void AdamOptimizer::Apply(std::vector<double>* params,
+                          const std::vector<double>& grad, double lr) {
+  ++step_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(step_));
+  for (size_t i = 0; i < params->size(); ++i) {
+    m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * grad[i];
+    v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * grad[i] * grad[i];
+    const double mhat = m_[i] / bc1;
+    const double vhat = v_[i] / bc2;
+    (*params)[i] -= lr * mhat / (std::sqrt(vhat) + eps_);
+  }
+}
+
+const char* OptimizerKindToString(OptimizerKind k) {
+  switch (k) {
+    case OptimizerKind::kSgd: return "sgd";
+    case OptimizerKind::kAdam: return "adam";
+  }
+  return "?";
+}
+
+std::unique_ptr<Optimizer> MakeOptimizer(OptimizerKind kind) {
+  switch (kind) {
+    case OptimizerKind::kSgd: return std::make_unique<SgdOptimizer>();
+    case OptimizerKind::kAdam: return std::make_unique<AdamOptimizer>();
+  }
+  return nullptr;
+}
+
+}  // namespace corgipile

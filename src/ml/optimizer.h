@@ -1,0 +1,71 @@
+// Learning-rate schedules and dense-gradient optimizers (mini-batch SGD,
+// Adam).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace corgipile {
+
+/// Learning-rate schedule. Two families:
+///  * kExponential — the paper's experimental default: initial·decay^(e/k);
+///  * kInverse — Theorem 1's prescription η_s = initial·a/(s+a), decaying
+///    like 1/s with a warm offset a (= decay_every here).
+struct LrSchedule {
+  enum class Kind { kExponential, kInverse };
+  Kind kind = Kind::kExponential;
+  double initial = 0.1;
+  double decay = 0.95;
+  uint32_t decay_every = 1;  ///< exponential: epochs per decay; inverse: a
+
+  double LrAtEpoch(uint32_t epoch) const;
+};
+
+/// Dense optimizer applied to accumulated mini-batch gradients.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual const char* name() const = 0;
+  /// (Re)initializes state for `num_params` parameters.
+  virtual void Reset(size_t num_params) = 0;
+  /// params ← update(params, grad) with step size `lr`. `grad` is the
+  /// *mean* gradient of the batch.
+  virtual void Apply(std::vector<double>* params,
+                     const std::vector<double>& grad, double lr) = 0;
+};
+
+/// Plain SGD: params -= lr * grad.
+class SgdOptimizer : public Optimizer {
+ public:
+  const char* name() const override { return "sgd"; }
+  void Reset(size_t) override {}
+  void Apply(std::vector<double>* params, const std::vector<double>& grad,
+             double lr) override;
+};
+
+/// Adam (Kingma & Ba 2015) with the standard bias correction.
+class AdamOptimizer : public Optimizer {
+ public:
+  AdamOptimizer(double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-8);
+  const char* name() const override { return "adam"; }
+  void Reset(size_t num_params) override;
+  void Apply(std::vector<double>* params, const std::vector<double>& grad,
+             double lr) override;
+
+ private:
+  double beta1_, beta2_, eps_;
+  uint64_t step_ = 0;
+  std::vector<double> m_, v_;
+};
+
+enum class OptimizerKind { kSgd, kAdam };
+
+const char* OptimizerKindToString(OptimizerKind k);
+std::unique_ptr<Optimizer> MakeOptimizer(OptimizerKind kind);
+
+}  // namespace corgipile

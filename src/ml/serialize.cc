@@ -1,0 +1,53 @@
+#include "ml/serialize.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace corgipile {
+
+namespace {
+constexpr char kMagic[] = "corgimodel_v1";
+}
+
+Status SaveModelParams(const Model& model, const std::string& path) {
+  std::ofstream f(path, std::ios::trunc | std::ios::binary);
+  if (!f) return Status::IoError("cannot open " + path);
+  f << kMagic << ' ' << model.name() << ' ' << model.num_params() << '\n';
+  f.write(reinterpret_cast<const char*>(model.params().data()),
+          static_cast<std::streamsize>(model.num_params() * sizeof(double)));
+  if (!f.good()) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Status LoadModelParams(Model* model, const std::string& path) {
+  if (model == nullptr) return Status::InvalidArgument("null model");
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::IoError("cannot open " + path);
+  std::string magic, name;
+  size_t count = 0;
+  if (!(f >> magic >> name >> count)) {
+    return Status::Corruption("malformed model header in " + path);
+  }
+  if (magic != kMagic) return Status::Corruption("bad magic in " + path);
+  if (name != model->name()) {
+    return Status::InvalidArgument("model kind mismatch: file has '" + name +
+                                   "', target is '" + model->name() + "'");
+  }
+  if (count != model->num_params()) {
+    return Status::InvalidArgument(
+        "parameter count mismatch: file has " + std::to_string(count) +
+        ", model expects " + std::to_string(model->num_params()));
+  }
+  f.ignore(1);  // the newline after the header
+  std::vector<double> params(count);
+  f.read(reinterpret_cast<char*>(params.data()),
+         static_cast<std::streamsize>(count * sizeof(double)));
+  if (f.gcount() != static_cast<std::streamsize>(count * sizeof(double))) {
+    return Status::Corruption("truncated parameters in " + path);
+  }
+  model->params() = std::move(params);
+  return Status::OK();
+}
+
+}  // namespace corgipile

@@ -1,0 +1,25 @@
+// Model parameter persistence.
+//
+// The in-DB model store keeps learned models as in-memory objects (§6.1);
+// this module lets them survive process restarts: a small text header
+// (magic, model name, parameter count) followed by raw little-endian
+// float64 parameters.
+
+#pragma once
+
+#include <string>
+
+#include "ml/model.h"
+#include "util/status.h"
+
+namespace corgipile {
+
+/// Writes `model`'s parameters to `path`.
+Status SaveModelParams(const Model& model, const std::string& path);
+
+/// Loads parameters into `model`. Fails with Corruption on a malformed
+/// file and InvalidArgument when the model name or parameter count does
+/// not match the file.
+Status LoadModelParams(Model* model, const std::string& path);
+
+}  // namespace corgipile

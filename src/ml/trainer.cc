@@ -1,0 +1,122 @@
+#include "ml/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/timer.h"
+
+namespace corgipile {
+
+Result<TrainResult> Train(Model* model, TupleStream* stream,
+                          const TrainerOptions& options) {
+  if (model == nullptr || stream == nullptr) {
+    return Status::InvalidArgument("null model or stream");
+  }
+  if (options.batch_size == 0) {
+    return Status::InvalidArgument("batch_size must be >= 1");
+  }
+  model->InitParams(options.init_seed);
+
+  std::unique_ptr<Optimizer> opt;
+  std::vector<double> grad;
+  const bool batched =
+      options.batch_size > 1 || options.optimizer != OptimizerKind::kSgd;
+  if (batched) {
+    opt = MakeOptimizer(options.optimizer);
+    opt->Reset(model->num_params());
+    grad.assign(model->num_params(), 0.0);
+  }
+
+  TrainResult result;
+  result.epochs.reserve(options.epochs);
+
+  // Theorem-1 averaging state.
+  std::vector<double> avg_params;
+  double weight_sum = 0.0;
+  std::unique_ptr<Model> eval_model;  // averaged clone used for evaluation
+  if (options.theorem_averaging) {
+    avg_params.assign(model->num_params(), 0.0);
+    eval_model = model->Clone();
+  }
+
+  for (uint32_t epoch = 0; epoch < options.epochs; ++epoch) {
+    const double lr = options.lr.LrAtEpoch(epoch);
+    CORGI_RETURN_NOT_OK(stream->StartEpoch(epoch));
+
+    WallTimer timer;
+    double loss_sum = 0.0;
+    uint64_t seen = 0;
+    if (!batched) {
+      while (const Tuple* t = stream->Next()) {
+        loss_sum += model->SgdStep(*t, lr);
+        ++seen;
+      }
+    } else {
+      uint32_t in_batch = 0;
+      auto flush = [&] {
+        if (in_batch == 0) return;
+        const double inv = 1.0 / static_cast<double>(in_batch);
+        for (double& g : grad) g *= inv;
+        opt->Apply(&model->params(), grad, lr);
+        std::fill(grad.begin(), grad.end(), 0.0);
+        in_batch = 0;
+      };
+      while (const Tuple* t = stream->Next()) {
+        loss_sum += model->AccumulateGrad(*t, &grad);
+        ++seen;
+        if (++in_batch == options.batch_size) flush();
+      }
+      flush();
+    }
+    CORGI_RETURN_NOT_OK(stream->status());
+
+    const Model* metrics_model = model;
+    if (options.theorem_averaging) {
+      const double w =
+          std::pow(static_cast<double>(epoch) + options.averaging_offset, 3.0);
+      weight_sum += w;
+      const auto& p = model->params();
+      for (size_t i = 0; i < avg_params.size(); ++i) {
+        avg_params[i] += (w / weight_sum) * (p[i] - avg_params[i]);
+      }
+      eval_model->params() = avg_params;
+      metrics_model = eval_model.get();
+    }
+
+    EpochLog log;
+    log.epoch = epoch;
+    log.lr = lr;
+    log.tuples_seen = seen;
+    log.epoch_wall_seconds = timer.ElapsedSeconds();
+    log.train_loss = seen > 0 ? loss_sum / static_cast<double>(seen) : 0.0;
+    if (options.clock != nullptr) {
+      options.clock->Advance(TimeCategory::kCompute, log.epoch_wall_seconds);
+    }
+    if (options.test_set != nullptr && !options.test_set->empty()) {
+      const EvalResult eval =
+          Evaluate(*metrics_model, *options.test_set, options.label_type);
+      log.test_loss = eval.mean_loss;
+      log.test_metric = eval.metric;
+    }
+    log.cumulative_sim_seconds =
+        options.clock != nullptr ? options.clock->TotalElapsed() : 0.0;
+    result.total_tuples += seen;
+    result.best_test_metric = std::max(result.best_test_metric, log.test_metric);
+    result.epochs.push_back(log);
+
+    if (options.target_metric > 0.0 &&
+        log.test_metric >= options.target_metric) {
+      break;
+    }
+  }
+  if (options.theorem_averaging && !avg_params.empty()) {
+    model->params() = avg_params;  // expose x̄_S as the trained model
+  }
+  if (!result.epochs.empty()) {
+    result.final_test_metric = result.epochs.back().test_metric;
+    result.final_test_loss = result.epochs.back().test_loss;
+  }
+  return result;
+}
+
+}  // namespace corgipile

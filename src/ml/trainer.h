@@ -1,0 +1,74 @@
+// Epoch-driven trainer: runs a Model over a TupleStream with per-tuple SGD
+// or mini-batch SGD/Adam, logging metrics and (simulated + real) time per
+// epoch.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "iosim/sim_clock.h"
+#include "ml/metrics.h"
+#include "ml/model.h"
+#include "ml/optimizer.h"
+#include "shuffle/tuple_stream.h"
+#include "storage/schema.h"
+#include "util/status.h"
+
+namespace corgipile {
+
+struct TrainerOptions {
+  uint32_t epochs = 20;
+  LrSchedule lr;
+  /// 1 = standard per-tuple SGD (SgdStep path); >1 = mini-batch with the
+  /// configured optimizer over dense accumulated gradients.
+  uint32_t batch_size = 1;
+  OptimizerKind optimizer = OptimizerKind::kSgd;
+  /// Test tuples evaluated after each epoch (not owned; may be null).
+  const std::vector<Tuple>* test_set = nullptr;
+  LabelType label_type = LabelType::kBinary;
+  /// If set, each epoch's real compute wall time is charged here, so the
+  /// SimClock total (I/O + compute) is an end-to-end time estimate.
+  SimClock* clock = nullptr;
+  uint64_t init_seed = 7;
+  /// Stop early once test metric reaches this value (0 = never).
+  double target_metric = 0.0;
+  /// Theorem 1 evaluates the weighted average iterate
+  /// x̄_S = Σ_s (s+a)³ x_s / Σ_s (s+a)³ rather than the last iterate. When
+  /// enabled, the trainer maintains that running average (with
+  /// `averaging_offset` as a) and reports test metrics on it; the model's
+  /// final parameters are replaced by the average after the last epoch.
+  /// Averaging suppresses the end-of-epoch oscillation block-clustered
+  /// data induces in the raw iterates.
+  bool theorem_averaging = false;
+  uint32_t averaging_offset = 4;  ///< the theorem's a
+};
+
+struct EpochLog {
+  uint32_t epoch = 0;
+  double lr = 0.0;
+  double train_loss = 0.0;  ///< mean per-step loss seen during the epoch
+  double test_loss = 0.0;
+  double test_metric = 0.0;  ///< accuracy or R²
+  uint64_t tuples_seen = 0;
+  double epoch_wall_seconds = 0.0;      ///< real compute time of the epoch
+  double cumulative_sim_seconds = 0.0;  ///< SimClock total after the epoch
+};
+
+struct TrainResult {
+  std::vector<EpochLog> epochs;
+  double final_test_metric = 0.0;
+  double final_test_loss = 0.0;
+  double best_test_metric = 0.0;
+  uint64_t total_tuples = 0;
+
+  const EpochLog& back() const { return epochs.back(); }
+};
+
+/// Trains `model` (initialized with options.init_seed) by driving `stream`
+/// for options.epochs epochs.
+Result<TrainResult> Train(Model* model, TupleStream* stream,
+                          const TrainerOptions& options);
+
+}  // namespace corgipile

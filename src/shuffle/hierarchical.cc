@@ -1,0 +1,106 @@
+#include "shuffle/hierarchical.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace corgipile {
+
+HierarchicalBlockStream::HierarchicalBlockStream(const char* name,
+                                                 BlockSource* source,
+                                                 Options options)
+    : name_(name), source_(source), options_(options),
+      epoch_rng_(options.seed) {
+  if (options_.buffer_tuples == 0) options_.buffer_tuples = 1;
+}
+
+Status HierarchicalBlockStream::StartEpoch(uint64_t epoch) {
+  status_ = Status::OK();
+  source_->Reset();
+  const uint32_t n = source_->num_blocks();
+  block_order_.resize(n);
+  std::iota(block_order_.begin(), block_order_.end(), 0u);
+  if (options_.shuffle_blocks) {
+    Rng rng = epoch_rng_.Fork(epoch);
+    rng.Shuffle(block_order_);
+  }
+  if (options_.blocks_per_epoch > 0 && options_.blocks_per_epoch < n) {
+    block_order_.resize(options_.blocks_per_epoch);
+  }
+  next_block_ = 0;
+  buffer_.clear();
+  buffer_pos_ = 0;
+  return Status::OK();
+}
+
+bool HierarchicalBlockStream::RefillBuffer() {
+  buffer_.clear();
+  buffer_pos_ = 0;
+  while (next_block_ < block_order_.size()) {
+    Status st = source_->ReadBlock(block_order_[next_block_], &buffer_);
+    if (!st.ok()) {
+      status_ = st;
+      return false;
+    }
+    ++next_block_;
+    if (!options_.shuffle_tuples) break;  // one block at a time
+    if (buffer_.size() >= options_.buffer_tuples) break;
+  }
+  if (buffer_.empty()) return false;
+  peak_buffer_ = std::max<uint64_t>(peak_buffer_, buffer_.size());
+  if (options_.shuffle_tuples) {
+    epoch_rng_.Shuffle(buffer_);
+  }
+  return true;
+}
+
+const Tuple* HierarchicalBlockStream::Next() {
+  if (buffer_pos_ >= buffer_.size()) {
+    if (!RefillBuffer()) return nullptr;
+  }
+  return &buffer_[buffer_pos_++];
+}
+
+uint64_t HierarchicalBlockStream::TuplesPerEpoch() const {
+  if (options_.blocks_per_epoch == 0 ||
+      options_.blocks_per_epoch >= source_->num_blocks()) {
+    return source_->num_tuples();
+  }
+  uint64_t n = 0;
+  for (uint32_t b = 0; b < options_.blocks_per_epoch; ++b) {
+    n += source_->TuplesInBlock(b);  // blocks are near-uniform in size
+  }
+  return n;
+}
+
+std::unique_ptr<TupleStream> MakeNoShuffleStream(BlockSource* source) {
+  HierarchicalBlockStream::Options opts;
+  opts.shuffle_blocks = false;
+  opts.shuffle_tuples = false;
+  opts.buffer_tuples = 1;
+  return std::make_unique<HierarchicalBlockStream>("no_shuffle", source, opts);
+}
+
+std::unique_ptr<TupleStream> MakeBlockOnlyStream(BlockSource* source,
+                                                 uint64_t seed) {
+  HierarchicalBlockStream::Options opts;
+  opts.shuffle_blocks = true;
+  opts.shuffle_tuples = false;
+  opts.buffer_tuples = 1;
+  opts.seed = seed;
+  return std::make_unique<HierarchicalBlockStream>("block_only", source, opts);
+}
+
+std::unique_ptr<TupleStream> MakeCorgiPileStream(BlockSource* source,
+                                                 uint64_t buffer_tuples,
+                                                 uint64_t seed,
+                                                 uint32_t blocks_per_epoch) {
+  HierarchicalBlockStream::Options opts;
+  opts.shuffle_blocks = true;
+  opts.shuffle_tuples = true;
+  opts.buffer_tuples = buffer_tuples;
+  opts.seed = seed;
+  opts.blocks_per_epoch = blocks_per_epoch;
+  return std::make_unique<HierarchicalBlockStream>("corgipile", source, opts);
+}
+
+}  // namespace corgipile

@@ -1,0 +1,69 @@
+// HierarchicalBlockStream implements the family of block-oriented
+// strategies: No Shuffle, Block-Only Shuffle, and CorgiPile itself.
+//
+// Per epoch: visit blocks in storage order (No Shuffle) or in a fresh random
+// permutation (Block-Only, CorgiPile); load blocks into an in-memory buffer
+// of configurable capacity; optionally shuffle the buffered tuples before
+// emitting them (CorgiPile's tuple-level shuffle, §4.1).
+
+#pragma once
+
+#include <vector>
+
+#include "shuffle/tuple_stream.h"
+#include "util/rng.h"
+
+namespace corgipile {
+
+class HierarchicalBlockStream : public TupleStream {
+ public:
+  struct Options {
+    bool shuffle_blocks = true;
+    bool shuffle_tuples = true;
+    /// Buffer capacity in tuples. The stream loads whole blocks until the
+    /// buffer holds at least this many tuples (n blocks of b tuples in the
+    /// paper's notation). When shuffle_tuples is false the buffer holds a
+    /// single block.
+    uint64_t buffer_tuples = 0;
+    uint64_t seed = 42;
+    /// If > 0, visit only this many blocks per epoch (Algorithm 1's
+    /// sampled-epoch variant where an epoch is n of N blocks). 0 = visit
+    /// every block each epoch (the PyTorch/PostgreSQL system behaviour).
+    uint32_t blocks_per_epoch = 0;
+  };
+
+  HierarchicalBlockStream(const char* name, BlockSource* source,
+                          Options options);
+
+  const char* name() const override { return name_; }
+  Status StartEpoch(uint64_t epoch) override;
+  const Tuple* Next() override;
+  Status status() const override { return status_; }
+  uint64_t TuplesPerEpoch() const override;
+  uint64_t PeakBufferTuples() const override { return peak_buffer_; }
+
+ private:
+  bool RefillBuffer();
+
+  const char* name_;
+  BlockSource* source_;
+  Options options_;
+  Rng epoch_rng_;
+  std::vector<uint32_t> block_order_;
+  size_t next_block_ = 0;
+  std::vector<Tuple> buffer_;
+  size_t buffer_pos_ = 0;
+  uint64_t peak_buffer_ = 0;
+  Status status_;
+};
+
+/// Factories for the three named strategies.
+std::unique_ptr<TupleStream> MakeNoShuffleStream(BlockSource* source);
+std::unique_ptr<TupleStream> MakeBlockOnlyStream(BlockSource* source,
+                                                 uint64_t seed);
+std::unique_ptr<TupleStream> MakeCorgiPileStream(BlockSource* source,
+                                                 uint64_t buffer_tuples,
+                                                 uint64_t seed,
+                                                 uint32_t blocks_per_epoch = 0);
+
+}  // namespace corgipile

@@ -1,0 +1,62 @@
+#include "storage/compression.h"
+
+namespace corgipile {
+
+void CompressBytes(const std::vector<uint8_t>& input,
+                   std::vector<uint8_t>* out) {
+  out->clear();
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    if (input[i] == 0) {
+      size_t run = 1;
+      while (i + run < n && input[i + run] == 0 && run < 128) ++run;
+      out->push_back(static_cast<uint8_t>(0x80 | (run - 1)));
+      i += run;
+    } else {
+      size_t run = 1;
+      // Extend literal run until we hit a zero pair (single zeros inside a
+      // literal are cheaper to keep literal) or the 128-byte cap.
+      while (i + run < n && run < 128) {
+        if (input[i + run] == 0 &&
+            (i + run + 1 >= n || input[i + run + 1] == 0)) {
+          break;
+        }
+        ++run;
+      }
+      out->push_back(static_cast<uint8_t>(run - 1));
+      out->insert(out->end(), input.begin() + static_cast<long>(i),
+                  input.begin() + static_cast<long>(i + run));
+      i += run;
+    }
+  }
+}
+
+Status DecompressBytes(const uint8_t* data, size_t size,
+                       std::vector<uint8_t>* out) {
+  out->clear();
+  size_t i = 0;
+  while (i < size) {
+    const uint8_t c = data[i++];
+    if (c & 0x80) {
+      const size_t run = (c & 0x7F) + 1u;
+      out->insert(out->end(), run, 0);
+    } else {
+      const size_t run = c + 1u;
+      if (i + run > size) return Status::Corruption("truncated literal run");
+      out->insert(out->end(), data + i, data + i + run);
+      i += run;
+    }
+  }
+  return Status::OK();
+}
+
+double CompressionRatio(const std::vector<uint8_t>& input) {
+  if (input.empty()) return 1.0;
+  std::vector<uint8_t> compressed;
+  CompressBytes(input, &compressed);
+  return static_cast<double>(input.size()) /
+         static_cast<double>(compressed.size());
+}
+
+}  // namespace corgipile

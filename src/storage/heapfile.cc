@@ -1,0 +1,154 @@
+#include "storage/heapfile.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace corgipile {
+
+HeapFile::HeapFile(std::string path, int fd, uint32_t page_size,
+                   uint64_t num_pages)
+    : path_(std::move(path)), fd_(fd), page_size_(page_size),
+      num_pages_(num_pages) {}
+
+HeapFile::~HeapFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<HeapFile>> HeapFile::Create(const std::string& path,
+                                                   uint32_t page_size) {
+  if (page_size == 0 || page_size > Page::kMaxSize) {
+    return Status::InvalidArgument("bad page size");
+  }
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("create " + path + ": " + std::strerror(errno));
+  }
+  return std::unique_ptr<HeapFile>(new HeapFile(path, fd, page_size, 0));
+}
+
+Result<std::unique_ptr<HeapFile>> HeapFile::Open(const std::string& path,
+                                                 uint32_t page_size) {
+  if (page_size == 0 || page_size > Page::kMaxSize) {
+    return Status::InvalidArgument("bad page size");
+  }
+  int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError("fstat " + path + ": " + std::strerror(errno));
+  }
+  if (st.st_size % page_size != 0) {
+    ::close(fd);
+    return Status::Corruption("file size not a multiple of page size: " + path);
+  }
+  return std::unique_ptr<HeapFile>(new HeapFile(
+      path, fd, page_size, static_cast<uint64_t>(st.st_size) / page_size));
+}
+
+void HeapFile::SetIoAccounting(DeviceProfile device, SimClock* clock,
+                               IoStats* stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  device_ = std::move(device);
+  clock_ = clock;
+  stats_ = stats;
+}
+
+void HeapFile::ChargeRead(uint64_t first_page, uint64_t num, bool contiguous) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t bytes = num * page_size_;
+  const bool sequential =
+      contiguous && last_read_page_ + 1 == static_cast<int64_t>(first_page);
+  if (clock_ != nullptr) {
+    const double cost = sequential ? device_.SequentialCost(bytes)
+                                   : device_.RandomCost(bytes);
+    clock_->Advance(TimeCategory::kIoRead, cost);
+  }
+  if (stats_ != nullptr) {
+    if (sequential) {
+      ++stats_->sequential_reads;
+    } else {
+      ++stats_->random_reads;
+    }
+    stats_->bytes_read += bytes;
+  }
+  last_read_page_ = static_cast<int64_t>(first_page + num - 1);
+}
+
+void HeapFile::ChargeWrite(uint64_t num) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t bytes = num * page_size_;
+  if (clock_ != nullptr) {
+    clock_->Advance(TimeCategory::kIoWrite, device_.SequentialCost(bytes));
+  }
+  if (stats_ != nullptr) {
+    ++stats_->writes;
+    stats_->bytes_written += bytes;
+  }
+}
+
+Status HeapFile::AppendPage(const Page& page) {
+  if (page.size() != page_size_) {
+    return Status::InvalidArgument("page size mismatch");
+  }
+  const off_t off = static_cast<off_t>(num_pages_) * page_size_;
+  ssize_t n = ::pwrite(fd_, page.data(), page_size_, off);
+  if (n != static_cast<ssize_t>(page_size_)) {
+    return Status::IoError("pwrite " + path_ + ": " + std::strerror(errno));
+  }
+  ++num_pages_;
+  ChargeWrite(1);
+  return Status::OK();
+}
+
+Status HeapFile::ReadPage(uint64_t page_idx, Page* out) {
+  if (page_idx >= num_pages_) {
+    return Status::OutOfRange("page index " + std::to_string(page_idx) +
+                              " >= " + std::to_string(num_pages_));
+  }
+  std::vector<uint8_t> buf(page_size_);
+  const off_t off = static_cast<off_t>(page_idx) * page_size_;
+  ssize_t n = ::pread(fd_, buf.data(), page_size_, off);
+  if (n != static_cast<ssize_t>(page_size_)) {
+    return Status::IoError("pread " + path_ + ": " + std::strerror(errno));
+  }
+  ChargeRead(page_idx, 1, /*contiguous=*/true);
+  *out = Page::FromBytes(std::move(buf));
+  return Status::OK();
+}
+
+Status HeapFile::ReadPages(uint64_t first, uint64_t count,
+                           std::vector<Page>* out) {
+  if (first + count > num_pages_) {
+    return Status::OutOfRange("page range out of bounds");
+  }
+  out->clear();
+  out->reserve(count);
+  std::vector<uint8_t> buf(static_cast<size_t>(count) * page_size_);
+  const off_t off = static_cast<off_t>(first) * page_size_;
+  ssize_t n = ::pread(fd_, buf.data(), buf.size(), off);
+  if (n != static_cast<ssize_t>(buf.size())) {
+    return Status::IoError("pread " + path_ + ": " + std::strerror(errno));
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    std::vector<uint8_t> page_bytes(
+        buf.begin() + static_cast<size_t>(i) * page_size_,
+        buf.begin() + static_cast<size_t>(i + 1) * page_size_);
+    out->push_back(Page::FromBytes(std::move(page_bytes)));
+  }
+  ChargeRead(first, count, /*contiguous=*/true);
+  return Status::OK();
+}
+
+void HeapFile::ResetReadCursor() {
+  std::lock_guard<std::mutex> lock(mu_);
+  last_read_page_ = -2;
+}
+
+}  // namespace corgipile

@@ -1,0 +1,83 @@
+// File-backed heap of fixed-size pages with I/O cost accounting.
+//
+// Reads and writes hit a real file (POSIX pread/pwrite) and additionally
+// charge simulated device time on an attached SimClock: a read that
+// continues the previous one is billed at sequential cost, a discontiguous
+// read at random cost (seek + transfer). This is how "HDD" and "SSD"
+// experiment rows stay meaningful on any build machine.
+
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "iosim/device.h"
+#include "iosim/sim_clock.h"
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace corgipile {
+
+class HeapFile {
+ public:
+  ~HeapFile();
+
+  HeapFile(const HeapFile&) = delete;
+  HeapFile& operator=(const HeapFile&) = delete;
+
+  /// Creates (truncates) a heap file at `path`.
+  static Result<std::unique_ptr<HeapFile>> Create(const std::string& path,
+                                                  uint32_t page_size);
+
+  /// Opens an existing heap file. The file size must be a multiple of
+  /// `page_size`.
+  static Result<std::unique_ptr<HeapFile>> Open(const std::string& path,
+                                                uint32_t page_size);
+
+  /// Attaches the device model and clocks used for cost accounting. Both
+  /// pointers may be null (no accounting). Not owned.
+  void SetIoAccounting(DeviceProfile device, SimClock* clock, IoStats* stats);
+
+  const DeviceProfile& device() const { return device_; }
+
+  uint32_t page_size() const { return page_size_; }
+  uint64_t num_pages() const { return num_pages_; }
+  uint64_t size_bytes() const { return num_pages_ * page_size_; }
+  const std::string& path() const { return path_; }
+
+  /// Appends one page at the end of the file (sequential write cost).
+  Status AppendPage(const Page& page);
+
+  /// Reads page `page_idx` into *out. Billed sequential if it directly
+  /// follows the previous read on this file, else random.
+  Status ReadPage(uint64_t page_idx, Page* out);
+
+  /// Reads `count` contiguous pages starting at `first`. Billed as one
+  /// access: a seek (if discontiguous) plus one contiguous transfer. This is
+  /// the "read one block" primitive of CorgiPile.
+  Status ReadPages(uint64_t first, uint64_t count, std::vector<Page>* out);
+
+  /// Forgets read position so the next read is billed as random. Used to
+  /// model a cleared OS cache / reopened scan.
+  void ResetReadCursor();
+
+ private:
+  HeapFile(std::string path, int fd, uint32_t page_size, uint64_t num_pages);
+
+  void ChargeRead(uint64_t first_page, uint64_t num, bool contiguous);
+  void ChargeWrite(uint64_t num);
+
+  std::string path_;
+  int fd_;
+  uint32_t page_size_;
+  uint64_t num_pages_;
+
+  std::mutex mu_;
+  DeviceProfile device_ = DeviceProfile::Memory();
+  SimClock* clock_ = nullptr;
+  IoStats* stats_ = nullptr;
+  int64_t last_read_page_ = -2;  // -2: nothing read yet
+};
+
+}  // namespace corgipile

@@ -1,0 +1,54 @@
+// Slotted heap page, PostgreSQL-style.
+//
+// Layout (little-endian):
+//   [u16 num_slots][u16 data_start]
+//   num_slots * { u16 offset, u16 len }   (slot directory, grows forward)
+//   ... free space ...
+//   record bytes                          (grow backward from page end)
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace corgipile {
+
+class Page {
+ public:
+  static constexpr uint32_t kDefaultSize = 8192;
+  static constexpr uint32_t kHeaderBytes = 4;
+  static constexpr uint32_t kSlotBytes = 4;
+  static constexpr uint32_t kMaxSize = 65536;
+
+  explicit Page(uint32_t page_size = kDefaultSize);
+
+  /// Wraps raw page bytes read from disk (takes ownership by copy/move).
+  static Page FromBytes(std::vector<uint8_t> bytes);
+
+  uint32_t size() const { return static_cast<uint32_t>(bytes_.size()); }
+  const uint8_t* data() const { return bytes_.data(); }
+  uint8_t* data() { return bytes_.data(); }
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+  uint16_t num_records() const;
+  uint32_t free_space() const;
+
+  /// Appends a record; returns false if it does not fit.
+  bool AddRecord(const uint8_t* record, size_t len);
+
+  /// Pointer/length of record in `slot`. Precondition: slot < num_records().
+  std::pair<const uint8_t*, size_t> Record(uint16_t slot) const;
+
+  /// Resets to an empty page.
+  void Clear();
+
+ private:
+  uint16_t ReadU16(uint32_t off) const;
+  void WriteU16(uint32_t off, uint16_t v);
+
+  std::vector<uint8_t> bytes_;
+};
+
+}  // namespace corgipile

@@ -1,0 +1,25 @@
+#include "storage/schema.h"
+
+#include <sstream>
+
+namespace corgipile {
+
+const char* LabelTypeToString(LabelType t) {
+  switch (t) {
+    case LabelType::kBinary: return "binary";
+    case LabelType::kMulticlass: return "multiclass";
+    case LabelType::kContinuous: return "continuous";
+  }
+  return "?";
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << name << "(dim=" << dim << ", " << (sparse ? "sparse" : "dense")
+     << ", label=" << LabelTypeToString(label_type);
+  if (label_type == LabelType::kMulticlass) os << ", classes=" << num_classes;
+  os << ")";
+  return os.str();
+}
+
+}  // namespace corgipile

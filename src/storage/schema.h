@@ -1,0 +1,40 @@
+// Table schema for ML training data.
+//
+// Mirrors the layout the paper uses in PostgreSQL (§6.1):
+//   ⟨id, features_k[], features_v[], label⟩
+// where features_k[] is only populated for sparse datasets.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace corgipile {
+
+/// What the label column means.
+enum class LabelType : uint8_t {
+  kBinary = 0,     ///< -1 / +1
+  kMulticlass,     ///< 0 .. num_classes-1
+  kContinuous,     ///< regression target
+};
+
+const char* LabelTypeToString(LabelType t);
+
+/// Dataset schema. `dim` is the feature dimensionality; for sparse data it
+/// is the size of the feature space, not the per-tuple nonzero count.
+struct Schema {
+  std::string name;
+  uint32_t dim = 0;
+  bool sparse = false;
+  LabelType label_type = LabelType::kBinary;
+  uint32_t num_classes = 2;  ///< meaningful for kMulticlass
+
+  bool operator==(const Schema& o) const {
+    return name == o.name && dim == o.dim && sparse == o.sparse &&
+           label_type == o.label_type && num_classes == o.num_classes;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace corgipile

@@ -1,0 +1,202 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+#include "storage/compression.h"
+
+namespace corgipile {
+
+Table::Table(Schema schema, TableOptions options,
+             std::unique_ptr<HeapFile> file,
+             std::vector<uint32_t> tuples_per_page)
+    : schema_(std::move(schema)), options_(options), file_(std::move(file)),
+      tuples_per_page_(std::move(tuples_per_page)) {
+  page_prefix_.resize(tuples_per_page_.size() + 1, 0);
+  for (size_t i = 0; i < tuples_per_page_.size(); ++i) {
+    page_prefix_[i + 1] = page_prefix_[i] + tuples_per_page_[i];
+  }
+  num_tuples_ = page_prefix_.empty() ? 0 : page_prefix_.back();
+}
+
+Result<std::unique_ptr<Table>> Table::Open(const std::string& path,
+                                           Schema schema,
+                                           TableOptions options) {
+  CORGI_ASSIGN_OR_RETURN(std::unique_ptr<HeapFile> file,
+                         HeapFile::Open(path, options.page_size));
+  std::vector<uint32_t> tuples_per_page;
+  tuples_per_page.reserve(file->num_pages());
+  Page page(options.page_size);
+  for (uint64_t p = 0; p < file->num_pages(); ++p) {
+    CORGI_RETURN_NOT_OK(file->ReadPage(p, &page));
+    tuples_per_page.push_back(page.num_records());
+  }
+  file->ResetReadCursor();
+  return std::unique_ptr<Table>(new Table(std::move(schema), options,
+                                          std::move(file),
+                                          std::move(tuples_per_page)));
+}
+
+void Table::SetIoAccounting(DeviceProfile device, SimClock* clock,
+                            IoStats* stats) {
+  clock_ = clock;
+  file_->SetIoAccounting(std::move(device), clock, stats);
+}
+
+uint32_t Table::TuplesInPage(uint64_t p) const {
+  return p < tuples_per_page_.size() ? tuples_per_page_[p] : 0;
+}
+
+Status Table::DecodePage(const Page& page, std::vector<Tuple>* out) {
+  std::vector<uint8_t> decompressed;
+  uint64_t decompressed_bytes = 0;
+  for (uint16_t s = 0; s < page.num_records(); ++s) {
+    auto [data, len] = page.Record(s);
+    size_t consumed = 0;
+    if (options_.compress_tuples) {
+      CORGI_RETURN_NOT_OK(DecompressBytes(data, len, &decompressed));
+      decompressed_bytes += decompressed.size();
+      CORGI_ASSIGN_OR_RETURN(
+          Tuple t,
+          Tuple::Deserialize(decompressed.data(), decompressed.size(),
+                             &consumed));
+      out->push_back(std::move(t));
+    } else {
+      CORGI_ASSIGN_OR_RETURN(Tuple t, Tuple::Deserialize(data, len, &consumed));
+      out->push_back(std::move(t));
+    }
+  }
+  if (options_.compress_tuples && clock_ != nullptr) {
+    clock_->Advance(TimeCategory::kDecompress,
+                    static_cast<double>(decompressed_bytes) /
+                        kDecompressBandwidthBytesPerS);
+  }
+  return Status::OK();
+}
+
+Status Table::ReadTuplesFromPages(uint64_t first, uint64_t count,
+                                  std::vector<Tuple>* out) {
+  if (buffer_manager_ == nullptr) {
+    std::vector<Page> pages;
+    CORGI_RETURN_NOT_OK(file_->ReadPages(first, count, &pages));
+    for (const Page& p : pages) {
+      CORGI_RETURN_NOT_OK(DecodePage(p, out));
+    }
+    return Status::OK();
+  }
+  // Buffer-managed path: serve cached pages for free; read runs of
+  // uncached pages as single contiguous device accesses and cache them.
+  uint64_t p = first;
+  const uint64_t end = first + count;
+  while (p < end) {
+    if (buffer_manager_->Contains(file_.get(), p)) {
+      CORGI_ASSIGN_OR_RETURN(std::shared_ptr<const Page> page,
+                             buffer_manager_->Fetch(file_.get(), p));
+      CORGI_RETURN_NOT_OK(DecodePage(*page, out));
+      ++p;
+      continue;
+    }
+    uint64_t run_end = p + 1;
+    while (run_end < end && !buffer_manager_->Contains(file_.get(), run_end)) {
+      ++run_end;
+    }
+    std::vector<Page> pages;
+    CORGI_RETURN_NOT_OK(file_->ReadPages(p, run_end - p, &pages));
+    for (uint64_t i = 0; i < pages.size(); ++i) {
+      auto shared = std::make_shared<const Page>(std::move(pages[i]));
+      CORGI_RETURN_NOT_OK(DecodePage(*shared, out));
+      buffer_manager_->Insert(file_.get(), p + i, std::move(shared));
+    }
+    p = run_end;
+  }
+  return Status::OK();
+}
+
+Result<Tuple> Table::ReadTupleAt(uint64_t idx) {
+  if (idx >= num_tuples_) return Status::OutOfRange("tuple index");
+  // Find page via prefix sums.
+  auto it = std::upper_bound(page_prefix_.begin(), page_prefix_.end(), idx);
+  const auto page_idx =
+      static_cast<uint64_t>(std::distance(page_prefix_.begin(), it)) - 1;
+  std::vector<Tuple> tuples;
+  if (buffer_manager_ != nullptr) {
+    CORGI_ASSIGN_OR_RETURN(std::shared_ptr<const Page> page,
+                           buffer_manager_->Fetch(file_.get(), page_idx));
+    CORGI_RETURN_NOT_OK(DecodePage(*page, &tuples));
+  } else {
+    Page page(file_->page_size());
+    CORGI_RETURN_NOT_OK(file_->ReadPage(page_idx, &page));
+    CORGI_RETURN_NOT_OK(DecodePage(page, &tuples));
+  }
+  const uint64_t slot = idx - page_prefix_[page_idx];
+  if (slot >= tuples.size()) {
+    return Status::Corruption("tuple index beyond page contents");
+  }
+  return std::move(tuples[slot]);
+}
+
+Status Table::Scan(const std::function<Status(const Tuple&)>& fn) {
+  std::vector<Tuple> tuples;
+  for (uint64_t p = 0; p < file_->num_pages(); ++p) {
+    tuples.clear();
+    CORGI_RETURN_NOT_OK(ReadTuplesFromPages(p, 1, &tuples));
+    for (const Tuple& t : tuples) {
+      CORGI_RETURN_NOT_OK(fn(t));
+    }
+  }
+  return Status::OK();
+}
+
+TableBuilder::TableBuilder(Schema schema, std::string path,
+                           TableOptions options)
+    : schema_(std::move(schema)), path_(std::move(path)), options_(options),
+      current_page_(options.page_size) {
+  auto file = HeapFile::Create(path_, options_.page_size);
+  if (!file.ok()) {
+    init_status_ = file.status();
+  } else {
+    file_ = std::move(file).ValueOrDie();
+  }
+}
+
+Status TableBuilder::FlushPage() {
+  if (current_page_tuples_ == 0) return Status::OK();
+  CORGI_RETURN_NOT_OK(file_->AppendPage(current_page_));
+  tuples_per_page_.push_back(current_page_tuples_);
+  current_page_.Clear();
+  current_page_tuples_ = 0;
+  return Status::OK();
+}
+
+Status TableBuilder::Append(const Tuple& tuple) {
+  CORGI_RETURN_NOT_OK(init_status_);
+  scratch_.clear();
+  tuple.SerializeTo(&scratch_);
+  const std::vector<uint8_t>* record = &scratch_;
+  if (options_.compress_tuples) {
+    CompressBytes(scratch_, &compressed_scratch_);
+    record = &compressed_scratch_;
+  }
+  if (record->size() >
+      options_.page_size - Page::kHeaderBytes - Page::kSlotBytes) {
+    return Status::InvalidArgument("tuple larger than page");
+  }
+  if (!current_page_.AddRecord(record->data(), record->size())) {
+    CORGI_RETURN_NOT_OK(FlushPage());
+    if (!current_page_.AddRecord(record->data(), record->size())) {
+      return Status::Internal("record does not fit in empty page");
+    }
+  }
+  ++current_page_tuples_;
+  ++num_tuples_;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Table>> TableBuilder::Finish() {
+  CORGI_RETURN_NOT_OK(init_status_);
+  CORGI_RETURN_NOT_OK(FlushPage());
+  return std::unique_ptr<Table>(new Table(
+      std::move(schema_), options_, std::move(file_),
+      std::move(tuples_per_page_)));
+}
+
+}  // namespace corgipile

@@ -1,0 +1,119 @@
+// Table: schema + heap file + tuple placement index.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/buffer_manager.h"
+#include "storage/heapfile.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+#include "util/status.h"
+
+namespace corgipile {
+
+struct TableOptions {
+  uint32_t page_size = Page::kDefaultSize;
+  /// TOAST analog: compress each tuple record inside pages; reads charge
+  /// modeled decompression time (see storage/compression.h).
+  bool compress_tuples = false;
+};
+
+class Table {
+ public:
+  /// Reopens an existing heap table. The per-page tuple index is rebuilt
+  /// from the page headers (no tuple deserialization).
+  static Result<std::unique_ptr<Table>> Open(const std::string& path,
+                                             Schema schema,
+                                             TableOptions options);
+
+  const Schema& schema() const { return schema_; }
+  const TableOptions& options() const { return options_; }
+  HeapFile* file() { return file_.get(); }
+  const HeapFile* file() const { return file_.get(); }
+
+  uint64_t num_tuples() const { return num_tuples_; }
+  uint64_t num_pages() const { return file_->num_pages(); }
+  uint64_t size_bytes() const { return file_->size_bytes(); }
+
+  /// Attaches device model + clocks; forwarded to the heap file, and also
+  /// used to charge decompression time for compressed tables.
+  void SetIoAccounting(DeviceProfile device, SimClock* clock, IoStats* stats);
+
+  /// Routes page reads through a buffer manager (not owned; may be null).
+  /// Cached pages cost nothing — the OS-cache effect the paper observes
+  /// for datasets smaller than RAM (§7.3.4): the first epoch pays device
+  /// I/O, later epochs run at memory speed.
+  void SetBufferManager(BufferManager* buffer_manager) {
+    buffer_manager_ = buffer_manager;
+  }
+  BufferManager* buffer_manager() const { return buffer_manager_; }
+
+  /// Appends all tuples stored in pages [first, first+count) to *out.
+  /// One contiguous device access; decompression billed if applicable.
+  Status ReadTuplesFromPages(uint64_t first, uint64_t count,
+                             std::vector<Tuple>* out);
+
+  /// Reads the tuple with global index `idx` (0-based, in storage order).
+  /// Non-contiguous access pattern — billed as random by the heap file.
+  Result<Tuple> ReadTupleAt(uint64_t idx);
+
+  /// Sequential full scan.
+  Status Scan(const std::function<Status(const Tuple&)>& fn);
+
+  /// Tuples stored in page `p`.
+  uint32_t TuplesInPage(uint64_t p) const;
+
+  /// Resets the read cursor so the next access is billed as a fresh seek.
+  void ResetReadCursor() { file_->ResetReadCursor(); }
+
+ private:
+  friend class TableBuilder;
+  Table(Schema schema, TableOptions options, std::unique_ptr<HeapFile> file,
+        std::vector<uint32_t> tuples_per_page);
+
+  Status DecodePage(const Page& page, std::vector<Tuple>* out);
+
+  Schema schema_;
+  TableOptions options_;
+  std::unique_ptr<HeapFile> file_;
+  std::vector<uint32_t> tuples_per_page_;
+  std::vector<uint64_t> page_prefix_;  // page_prefix_[p] = tuples before page p
+  uint64_t num_tuples_ = 0;
+  SimClock* clock_ = nullptr;
+  BufferManager* buffer_manager_ = nullptr;
+};
+
+/// Streams tuples into pages and produces a Table.
+class TableBuilder {
+ public:
+  /// Creates the backing file eagerly; errors surface from Append/Finish.
+  TableBuilder(Schema schema, std::string path, TableOptions options = {});
+
+  Status Append(const Tuple& tuple);
+
+  /// Flushes the last partial page and returns the finished table.
+  Result<std::unique_ptr<Table>> Finish();
+
+  uint64_t tuples_appended() const { return num_tuples_; }
+
+ private:
+  Status FlushPage();
+
+  Schema schema_;
+  std::string path_;
+  TableOptions options_;
+  Status init_status_;
+  std::unique_ptr<HeapFile> file_;
+  Page current_page_;
+  uint32_t current_page_tuples_ = 0;
+  std::vector<uint32_t> tuples_per_page_;
+  uint64_t num_tuples_ = 0;
+  std::vector<uint8_t> scratch_;
+  std::vector<uint8_t> compressed_scratch_;
+};
+
+}  // namespace corgipile

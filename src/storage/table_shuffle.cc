@@ -1,0 +1,123 @@
+#include "storage/table_shuffle.h"
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace corgipile {
+
+Result<ShuffledCopyResult> BuildShuffledCopy(Table* source,
+                                             const std::string& copy_path,
+                                             uint64_t seed,
+                                             const DeviceProfile& device,
+                                             SimClock* clock, IoStats* stats) {
+  if (source == nullptr) return Status::InvalidArgument("null source table");
+  const double before = clock != nullptr ? clock->TotalElapsed() : 0.0;
+
+  // PostgreSQL's ORDER BY random() materializes an external sort: the table
+  // is sequentially scanned, spilled to sorted runs, merged, and rewritten.
+  // In I/O terms that is ~2 sequential reads and ~2 sequential writes of
+  // the table (run spill + result), plus the sort CPU. The paper's measured
+  // shuffle-vs-epoch ratios (e.g. 50 min shuffle vs 15 min epoch for the
+  // 55 GB yfcc) match this 3-4x-of-one-scan footprint.
+  //
+  // Mechanically we read the tuples once (billed as the first sequential
+  // pass), shuffle in memory (real CPU, billed as sort cost), and write the
+  // copy; the spill pass is billed explicitly below.
+  source->ResetReadCursor();
+  std::vector<Tuple> tuples;
+  tuples.reserve(source->num_tuples());
+  CORGI_RETURN_NOT_OK(source->Scan([&](const Tuple& t) {
+    tuples.push_back(t);
+    return Status::OK();
+  }));
+
+  WallTimer shuffle_timer;
+  Rng rng(seed);
+  rng.Shuffle(tuples);
+  if (clock != nullptr) {
+    clock->Advance(TimeCategory::kShuffleCpu, shuffle_timer.ElapsedSeconds());
+  }
+
+  TableBuilder builder(source->schema(), copy_path, source->options());
+  for (const Tuple& t : tuples) {
+    CORGI_RETURN_NOT_OK(builder.Append(t));
+  }
+  ShuffledCopyResult out;
+  CORGI_ASSIGN_OR_RETURN(out.table, builder.Finish());
+  CORGI_LOG(kDebug) << "shuffled copy of " << source->schema().name << " ("
+                    << tuples.size() << " tuples) at " << copy_path;
+
+  const uint64_t bytes = out.table->size_bytes();
+  if (clock != nullptr) {
+    // Result write + the external-sort spill pass (one write, one re-read).
+    clock->Advance(TimeCategory::kIoWrite, 2 * device.SequentialCost(bytes));
+    clock->Advance(TimeCategory::kIoRead, device.SequentialCost(bytes));
+  }
+  if (stats != nullptr) {
+    stats->writes += 2;
+    stats->bytes_written += 2 * bytes;
+    ++stats->sequential_reads;
+    stats->bytes_read += bytes;
+  }
+  out.table->SetIoAccounting(device, clock, stats);
+  out.extra_disk_bytes = bytes;
+  out.sim_seconds = clock != nullptr ? clock->TotalElapsed() - before : 0.0;
+  return out;
+}
+
+Result<InPlaceShuffleResult> ShuffleTableInPlace(std::unique_ptr<Table> table,
+                                                 uint64_t seed,
+                                                 const DeviceProfile& device,
+                                                 SimClock* clock,
+                                                 IoStats* stats,
+                                                 BufferManager* pool) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  const double before = clock != nullptr ? clock->TotalElapsed() : 0.0;
+
+  // Sequential read of the whole table (billed through its accounting).
+  table->ResetReadCursor();
+  std::vector<Tuple> tuples;
+  tuples.reserve(table->num_tuples());
+  CORGI_RETURN_NOT_OK(table->Scan([&](const Tuple& t) {
+    tuples.push_back(t);
+    return Status::OK();
+  }));
+
+  WallTimer shuffle_timer;
+  Rng rng(seed);
+  rng.Shuffle(tuples);
+  if (clock != nullptr) {
+    clock->Advance(TimeCategory::kShuffleCpu, shuffle_timer.ElapsedSeconds());
+  }
+
+  // Rewrite the same file. Drop stale cached pages first; the old HeapFile
+  // pointer dies with `table`.
+  const std::string path = table->file()->path();
+  const Schema schema = table->schema();
+  const TableOptions options = table->options();
+  const uint64_t bytes = table->size_bytes();
+  if (pool != nullptr) pool->Invalidate(table->file());
+  table.reset();  // release the fd before truncating
+
+  TableBuilder builder(schema, path, options);
+  for (const Tuple& t : tuples) {
+    CORGI_RETURN_NOT_OK(builder.Append(t));
+  }
+  InPlaceShuffleResult out;
+  CORGI_ASSIGN_OR_RETURN(out.table, builder.Finish());
+  if (clock != nullptr) {
+    // One sequential rewrite; no spill (the shuffle ran in memory).
+    clock->Advance(TimeCategory::kIoWrite, device.SequentialCost(bytes));
+  }
+  if (stats != nullptr) {
+    ++stats->writes;
+    stats->bytes_written += bytes;
+  }
+  out.table->SetIoAccounting(device, clock, stats);
+  out.table->SetBufferManager(pool);
+  out.sim_seconds = clock != nullptr ? clock->TotalElapsed() - before : 0.0;
+  return out;
+}
+
+}  // namespace corgipile

@@ -1,0 +1,52 @@
+// Offline full-shuffle of a table ("Shuffle Once" preparation, and the
+// ORDER BY random() analog MADlib/Bismarck rely on).
+//
+// Every tuple of the source table is fetched in a uniformly random order —
+// random page I/O billed by the heap file — and appended to a sequential
+// copy at `copy_path`. The copy doubles the on-disk footprint, exactly the
+// overhead the paper charges to Shuffle Once.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace corgipile {
+
+struct ShuffledCopyResult {
+  std::unique_ptr<Table> table;
+  double sim_seconds = 0.0;     ///< simulated time spent (if clock attached)
+  uint64_t extra_disk_bytes = 0;
+};
+
+/// Builds a shuffled copy of `source`. The copy inherits the source's
+/// TableOptions and gets the given accounting attached (writes are billed
+/// as one sequential stream).
+Result<ShuffledCopyResult> BuildShuffledCopy(Table* source,
+                                             const std::string& copy_path,
+                                             uint64_t seed,
+                                             const DeviceProfile& device,
+                                             SimClock* clock, IoStats* stats);
+
+struct InPlaceShuffleResult {
+  std::unique_ptr<Table> table;  ///< same path, shuffled contents
+  double sim_seconds = 0.0;
+};
+
+/// The paper's other Shuffle Once variant: shuffle the table *in place* —
+/// no 2x disk copy, at the price of destroying the original order (and any
+/// clustered index built on it, which is why §1 calls it not always
+/// applicable). Consumes the table: its file is rewritten at the same path
+/// and a fresh Table over it is returned with the same accounting attached.
+/// Stale pages of the old file are dropped from `pool` (may be null).
+Result<InPlaceShuffleResult> ShuffleTableInPlace(std::unique_ptr<Table> table,
+                                                 uint64_t seed,
+                                                 const DeviceProfile& device,
+                                                 SimClock* clock,
+                                                 IoStats* stats,
+                                                 BufferManager* pool = nullptr);
+
+}  // namespace corgipile

@@ -1,0 +1,103 @@
+#include "util/csv.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace corgipile {
+
+CsvTable::CsvTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+CsvTable& CsvTable::NewRow() {
+  rows_.emplace_back();
+  rows_.back().reserve(header_.size());
+  return *this;
+}
+
+CsvTable& CsvTable::Add(const std::string& v) {
+  rows_.back().push_back(v);
+  return *this;
+}
+
+CsvTable& CsvTable::Add(const char* v) { return Add(std::string(v)); }
+
+CsvTable& CsvTable::Add(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  return Add(std::string(buf));
+}
+
+CsvTable& CsvTable::Add(int64_t v) { return Add(std::to_string(v)); }
+CsvTable& CsvTable::Add(uint64_t v) { return Add(std::to_string(v)); }
+
+namespace {
+std::string CsvEscape(const std::string& v) {
+  if (v.find_first_of(",\"\n") == std::string::npos) return v;
+  std::string out = "\"";
+  for (char c : v) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string CsvTable::ToCsv() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < header_.size(); ++i) {
+    if (i) os << ",";
+    os << CsvEscape(header_[i]);
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ",";
+      os << CsvEscape(row[i]);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string CsvTable::ToAlignedText() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < header_.size(); ++i) {
+      const std::string& v = i < cells.size() ? cells[i] : std::string();
+      os << v;
+      if (i + 1 < header_.size()) {
+        os << std::string(widths[i] - v.size() + 2, ' ');
+      }
+    }
+    os << "\n";
+  };
+  emit(header_);
+  std::string rule;
+  for (size_t i = 0; i < header_.size(); ++i) {
+    rule += std::string(widths[i], '-');
+    if (i + 1 < header_.size()) rule += "  ";
+  }
+  os << rule << "\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+Status CsvTable::WriteFile(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return Status::IoError("cannot open " + path);
+  f << ToCsv();
+  if (!f.good()) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace corgipile

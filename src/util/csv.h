@@ -1,0 +1,47 @@
+// CSV table emitter used by bench binaries to record experiment series.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace corgipile {
+
+/// Accumulates rows of a fixed-width table and writes them as CSV and as an
+/// aligned text table for terminal output.
+class CsvTable {
+ public:
+  explicit CsvTable(std::vector<std::string> header);
+
+  /// Starts a new row. Subsequent Add* calls fill it left to right.
+  CsvTable& NewRow();
+  CsvTable& Add(const std::string& v);
+  CsvTable& Add(const char* v);
+  CsvTable& Add(double v, int precision = 6);
+  CsvTable& Add(int64_t v);
+  CsvTable& Add(uint64_t v);
+  CsvTable& Add(int v) { return Add(static_cast<int64_t>(v)); }
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::string>& row(size_t i) const { return rows_[i]; }
+
+  /// Serializes all rows as RFC-4180-ish CSV (values containing comma,
+  /// quote, or newline are quoted).
+  std::string ToCsv() const;
+
+  /// Column-aligned plain text, suitable for stdout.
+  std::string ToAlignedText() const;
+
+  /// Writes ToCsv() to `path`.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace corgipile

@@ -1,0 +1,64 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace corgipile {
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {}
+
+void Histogram::Add(double x) {
+  double pos = (x - lo_) / width_;
+  auto i = static_cast<int64_t>(std::floor(pos));
+  if (i < 0) i = 0;
+  if (i >= static_cast<int64_t>(counts_.size())) {
+    i = static_cast<int64_t>(counts_.size()) - 1;
+  }
+  ++counts_[static_cast<size_t>(i)];
+  ++total_;
+}
+
+double Histogram::bucket_lo(size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bucket_hi(size_t i) const {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    os << "[" << bucket_lo(i) << ", " << bucket_hi(i) << ") " << counts_[i]
+       << "\n";
+  }
+  return os.str();
+}
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  const double mx = Mean(x), my = Mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx, dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace corgipile

@@ -1,0 +1,52 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace corgipile {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kIoError: return "IOError";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kNotImplemented: return "NotImplemented";
+    case StatusCode::kInternal: return "Internal";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string msg) {
+  if (code != StatusCode::kOk) {
+    state_ = std::make_shared<const State>(State{code, std::move(msg)});
+  }
+}
+
+const std::string& Status::message() const {
+  static const std::string kEmpty;
+  return ok() ? kEmpty : state_->msg;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(state_->code);
+  out += ": ";
+  out += state_->msg;
+  return out;
+}
+
+namespace internal {
+
+void DieOnError(const Status& st, const char* file, int line) {
+  std::fprintf(stderr, "CORGI_CHECK_OK failed at %s:%d: %s\n", file, line,
+               st.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace corgipile

@@ -1,0 +1,165 @@
+// Status / Result error-handling primitives in the Arrow / RocksDB idiom.
+//
+// Functions that can fail return Status (or Result<T> when they also produce
+// a value). No exceptions cross module boundaries.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace corgipile {
+
+/// Error category attached to a non-OK Status.
+enum class StatusCode : int8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kIoError,
+  kCorruption,
+  kNotImplemented,
+  kInternal,
+  kResourceExhausted,
+};
+
+/// Returns a human-readable name for a StatusCode ("OK", "IOError", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Operation outcome: OK (cheap, no allocation) or an error code + message.
+class Status {
+ public:
+  Status() noexcept = default;
+  Status(StatusCode code, std::string msg);
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// Error message; empty for OK.
+  const std::string& message() const;
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<const State> state_;
+};
+
+/// Either a value of type T or an error Status. Like arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Implicit from a non-OK Status. Constructing from an OK Status is a bug
+  /// and is converted to an Internal error.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Value accessors. Precondition: ok().
+  const T& ValueOrDie() const& { return std::get<T>(repr_); }
+  T& ValueOrDie() & { return std::get<T>(repr_); }
+  T&& ValueOrDie() && { return std::get<T>(std::move(repr_)); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Moves the value into *out if ok, otherwise returns the error.
+  Status MoveTo(T* out) && {
+    if (!ok()) return status();
+    *out = std::get<T>(std::move(repr_));
+    return Status::OK();
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+namespace internal {
+// Concatenation helpers for unique temporary names in macros.
+#define CORGI_CONCAT_IMPL(x, y) x##y
+#define CORGI_CONCAT(x, y) CORGI_CONCAT_IMPL(x, y)
+}  // namespace internal
+
+/// Propagates a non-OK Status to the caller.
+#define CORGI_RETURN_NOT_OK(expr)                  \
+  do {                                             \
+    ::corgipile::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// assigns the value to `lhs` (which may be a declaration).
+#define CORGI_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  CORGI_ASSIGN_OR_RETURN_IMPL(CORGI_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+#define CORGI_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).ValueOrDie()
+
+/// Aborts the process with a message if `expr` is non-OK. For callers that
+/// cannot meaningfully continue (tests, benches, examples).
+#define CORGI_CHECK_OK(expr)                                       \
+  do {                                                             \
+    ::corgipile::Status _st = (expr);                              \
+    if (!_st.ok()) ::corgipile::internal::DieOnError(_st, __FILE__, __LINE__); \
+  } while (false)
+
+namespace internal {
+[[noreturn]] void DieOnError(const Status& st, const char* file, int line);
+}  // namespace internal
+
+}  // namespace corgipile

@@ -1,0 +1,27 @@
+// Wall-clock timer for real compute measurements.
+
+#pragma once
+
+#include <chrono>
+
+namespace corgipile {
+
+/// Monotonic stopwatch. Running on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace corgipile

@@ -1,0 +1,209 @@
+// Unit tests for core/: distribution analysis, theory helpers, and the
+// Algorithm 1 entry point.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/corgipile.h"
+#include "core/distribution.h"
+#include "core/theory.h"
+#include "dataset/catalog.h"
+#include "ml/linear_models.h"
+#include "shuffle/hierarchical.h"
+
+namespace corgipile {
+namespace {
+
+std::shared_ptr<std::vector<Tuple>> ClusteredToy(size_t n) {
+  auto tuples = std::make_shared<std::vector<Tuple>>();
+  for (size_t i = 0; i < n; ++i) {
+    tuples->push_back(
+        MakeDenseTuple(i, i < n / 2 ? -1.0 : 1.0, {static_cast<float>(i)}));
+  }
+  return tuples;
+}
+
+Schema ToySchema() { return Schema{"toy", 1, false, LabelType::kBinary, 2}; }
+
+TEST(DistributionTest, TraceCapturesEverything) {
+  auto tuples = ClusteredToy(100);
+  InMemoryBlockSource src(ToySchema(), tuples, 10);
+  auto stream = MakeNoShuffleStream(&src);
+  auto trace = TraceEpoch(stream.get(), 0);
+  ASSERT_TRUE(trace.ok());
+  ASSERT_EQ(trace->ids.size(), 100u);
+  EXPECT_EQ(trace->ids.front(), 0u);
+  EXPECT_EQ(trace->ids.back(), 99u);
+  EXPECT_EQ(trace->labels.front(), -1.0);
+  EXPECT_EQ(trace->labels.back(), 1.0);
+}
+
+TEST(DistributionTest, WindowLabelCounts) {
+  auto tuples = ClusteredToy(100);
+  InMemoryBlockSource src(ToySchema(), tuples, 10);
+  auto stream = MakeNoShuffleStream(&src);
+  auto trace = TraceEpoch(stream.get(), 0);
+  ASSERT_TRUE(trace.ok());
+  auto counts = CountLabelsPerWindow(*trace, 20);
+  ASSERT_EQ(counts.negatives.size(), 5u);
+  // Clustered data unshuffled: first windows all negative, last all positive.
+  EXPECT_EQ(counts.negatives[0], 20u);
+  EXPECT_EQ(counts.positives[0], 0u);
+  EXPECT_EQ(counts.negatives[4], 0u);
+  EXPECT_EQ(counts.positives[4], 20u);
+}
+
+TEST(DistributionTest, RandomnessStatsSeparateStrategies) {
+  // The quantitative core of Figures 3/4: CorgiPile's output looks like a
+  // full shuffle; No Shuffle does not.
+  const size_t n = 1000;
+  auto tuples = ClusteredToy(n);
+  InMemoryBlockSource src(ToySchema(), tuples, 20);
+
+  auto no_shuffle = MakeNoShuffleStream(&src);
+  auto ns_trace = TraceEpoch(no_shuffle.get(), 0);
+  ASSERT_TRUE(ns_trace.ok());
+  auto ns = ComputeRandomnessStats(*ns_trace, 20);
+  EXPECT_GT(ns.position_id_correlation, 0.999);
+  EXPECT_LT(ns.mean_normalized_displacement, 1e-9);
+  EXPECT_GT(ns.mean_window_label_imbalance, 0.99);
+
+  auto corgi = MakeCorgiPileStream(&src, 200, 7);
+  auto cp_trace = TraceEpoch(corgi.get(), 0);
+  ASSERT_TRUE(cp_trace.ok());
+  auto cp = ComputeRandomnessStats(*cp_trace, 20);
+  EXPECT_LT(std::abs(cp.position_id_correlation), 0.35);
+  EXPECT_GT(cp.mean_normalized_displacement, 0.2);
+  EXPECT_LT(cp.mean_window_label_imbalance, 0.45);
+}
+
+TEST(TheoryTest, HdIsOneForIidBlocksAndLargeForPureBlocks) {
+  // Clustered blocks (pure labels) must show much larger h_D than shuffled
+  // blocks at the same model point.
+  auto spec = CatalogLookup("susy", 0.02).ValueOrDie();
+  Dataset clustered = GenerateDataset(spec, DataOrder::kClustered);
+  Dataset shuffled = GenerateDataset(spec, DataOrder::kShuffled);
+  const uint64_t block = 50;
+  InMemoryBlockSource cl_src(clustered.MakeSchema(), clustered.train, block);
+  InMemoryBlockSource sh_src(shuffled.MakeSchema(), shuffled.train, block);
+  LogisticRegression model(spec.dim);
+  model.InitParams(0);
+  auto cl = MeasureGradientVariance(model, &cl_src);
+  auto sh = MeasureGradientVariance(model, &sh_src);
+  ASSERT_TRUE(cl.ok() && sh.ok());
+  // Gaussian feature noise dilutes the per-label signal, so h_D stays far
+  // from its ceiling b, but clustered blocks are still several times more
+  // "clustered" than iid blocks.
+  EXPECT_GT(cl->h_d, 3.0 * sh->h_d);
+  EXPECT_LT(sh->h_d, 1.5);  // ≈ 1 for iid blocks
+  EXPECT_GT(cl->h_d, 2.0);
+  EXPECT_LE(cl->h_d, static_cast<double>(block) + 1.0);
+  EXPECT_EQ(cl->num_tuples, clustered.train->size());
+}
+
+TEST(TheoryTest, FactorsAtLimits) {
+  // α = 1 when the buffer holds every block (full-shuffle SGD limit).
+  auto full = ComputeTheoremFactors(10, 10, 100);
+  EXPECT_DOUBLE_EQ(full.alpha, 1.0);
+  EXPECT_DOUBLE_EQ(full.beta, 1.0);
+  EXPECT_DOUBLE_EQ(full.gamma, 1.0);
+  // α = 0 when a single block is sampled (mini-batch-like limit).
+  auto one = ComputeTheoremFactors(1, 10, 100);
+  EXPECT_DOUBLE_EQ(one.alpha, 0.0);
+  EXPECT_DOUBLE_EQ(one.beta, 99.0 * 99.0);
+}
+
+TEST(TheoryTest, BoundDecreasesWithT) {
+  auto f = ComputeTheoremFactors(5, 50, 100);
+  const double at_1k = TheoremOneBound(f, 10.0, 1.0, 5000, 1000);
+  const double at_100k = TheoremOneBound(f, 10.0, 1.0, 5000, 100000);
+  EXPECT_GT(at_1k, at_100k);
+  EXPECT_GT(at_100k, 0.0);
+}
+
+TEST(TheoryTest, BoundLeadingTermVanishesAtFullBuffer) {
+  // With α = 1 the (1−α)h_Dσ²/T term disappears — the full-shuffle rate.
+  auto f = ComputeTheoremFactors(50, 50, 100);
+  const double b1 = TheoremOneBound(f, 100.0, 1.0, 5000, 10000);
+  const double b2 = TheoremOneBound(f, 1.0, 1.0, 5000, 10000);
+  EXPECT_DOUBLE_EQ(b1, b2);  // h_D no longer matters
+}
+
+TEST(TheoryTest, TheoremTwoBoundBehaviour) {
+  // Decreases with T; at alpha = 1 the h_D dependence disappears.
+  const double at_10k =
+      TheoremTwoBound(5, 50, 100, 10.0, 1.0, 5000, 10000);
+  const double at_1m =
+      TheoremTwoBound(5, 50, 100, 10.0, 1.0, 5000, 1000000);
+  EXPECT_GT(at_10k, at_1m);
+  EXPECT_GT(at_1m, 0.0);
+  const double full_a = TheoremTwoBound(50, 50, 100, 100.0, 1.0, 5000, 10000);
+  const double full_b = TheoremTwoBound(50, 50, 100, 1.0, 1.0, 5000, 10000);
+  EXPECT_DOUBLE_EQ(full_a, full_b);
+  // Larger h_D → larger bound once T is big enough that the √(h_D)σ/√T
+  // leading term dominates the 1/(h_Dσ²) lower-order term.
+  const double big_t_high =
+      TheoremTwoBound(5, 50, 100, 10.0, 1.0, 5000, 1000000000);
+  const double big_t_low =
+      TheoremTwoBound(5, 50, 100, 1.0, 1.0, 5000, 1000000000);
+  EXPECT_GT(big_t_high, big_t_low);
+}
+
+TEST(TheoryTest, CorgiPileBeatsVanillaOnHddLatency) {
+  // §4.2: because (1−α)h_D/b < 1, CorgiPile always wins on the latency
+  // term; on HDD (latency-dominated) the speedup is large.
+  auto f = ComputeTheoremFactors(5, 50, 1000);
+  auto cmp = CompareToVanillaSgd(f, /*h_d=*/20.0, /*sigma_sq=*/1.0,
+                                 /*epsilon=*/1e-3, /*tuple_bytes=*/200,
+                                 /*block_tuples=*/1000, DeviceProfile::Hdd());
+  EXPECT_GT(cmp.speedup, 5.0);
+  EXPECT_GT(cmp.vanilla_seconds, cmp.corgipile_seconds);
+}
+
+TEST(AlgorithmTest, RunCorgiPileAlgorithmConverges) {
+  auto spec = CatalogLookup("susy", 0.05).ValueOrDie();
+  Dataset ds = GenerateDataset(spec, DataOrder::kClustered);
+  InMemoryBlockSource src(ds.MakeSchema(), ds.train, 100);
+  LogisticRegression model(spec.dim);
+  CorgiPileAlgorithmOptions opts;
+  opts.epochs = 8;
+  opts.lr.initial = 0.005;
+  opts.test_set = ds.test.get();
+  auto result = RunCorgiPileAlgorithm(&model, &src, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->final_test_metric, 0.72);
+}
+
+TEST(AlgorithmTest, SampledEpochsSeeFewerTuples) {
+  auto spec = CatalogLookup("susy", 0.05).ValueOrDie();
+  Dataset ds = GenerateDataset(spec, DataOrder::kClustered);
+  InMemoryBlockSource src(ds.MakeSchema(), ds.train, 100);
+  LogisticRegression model(spec.dim);
+  CorgiPileAlgorithmOptions opts;
+  opts.epochs = 3;
+  opts.blocks_per_epoch = 4;  // n = 4 of N blocks per epoch
+  opts.test_set = ds.test.get();
+  auto result = RunCorgiPileAlgorithm(&model, &src, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->epochs[0].tuples_seen, 400u);
+}
+
+TEST(AlgorithmTest, TrainWithStrategyWrapper) {
+  auto spec = CatalogLookup("susy", 0.02).ValueOrDie();
+  Dataset ds = GenerateDataset(spec, DataOrder::kClustered);
+  InMemoryBlockSource src(ds.MakeSchema(), ds.train, 100);
+  SvmModel model(spec.dim);
+  ShuffleOptions sopts;
+  TrainerOptions topts;
+  topts.epochs = 3;
+  topts.lr.initial = 0.01;
+  topts.test_set = ds.test.get();
+  auto result = TrainWithStrategy(&model, &src, ShuffleStrategy::kCorgiPile,
+                                  sopts, topts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->epochs.size(), 3u);
+}
+
+}  // namespace
+}  // namespace corgipile

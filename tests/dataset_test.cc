@@ -1,0 +1,282 @@
+// Unit tests for dataset/: generators, orderings, catalog, loader.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "dataset/catalog.h"
+#include "dataset/loader.h"
+#include "dataset/ordering.h"
+#include "dataset/synthetic.h"
+
+namespace corgipile {
+namespace {
+
+TEST(SyntheticTest, DenseBinaryShapeAndLabels) {
+  SyntheticSpec spec;
+  spec.num_tuples = 1000;
+  spec.dim = 10;
+  spec.label_noise = 0.0;
+  auto data = GenerateDenseBinary(spec, 1);
+  ASSERT_EQ(data.tuples.size(), 1000u);
+  ASSERT_EQ(data.ground_truth.size(), 10u);
+  int pos = 0;
+  for (const auto& t : data.tuples) {
+    EXPECT_EQ(t.feature_values.size(), 10u);
+    EXPECT_FALSE(t.sparse());
+    EXPECT_TRUE(t.label == 1.0 || t.label == -1.0);
+    if (t.label == 1.0) ++pos;
+    // With zero noise the label must match the ground-truth sign.
+    double margin = 0;
+    for (uint32_t d = 0; d < 10; ++d) {
+      margin += data.ground_truth[d] * t.feature_values[d];
+    }
+    EXPECT_EQ(t.label, margin >= 0 ? 1.0 : -1.0);
+  }
+  // Roughly balanced.
+  EXPECT_GT(pos, 400);
+  EXPECT_LT(pos, 600);
+}
+
+TEST(SyntheticTest, LabelNoiseSetsBayesError) {
+  // label_noise is the Bayes error: the optimal linear classifier
+  // sign(w*·x) disagrees with the label with exactly that probability.
+  SyntheticSpec spec;
+  spec.num_tuples = 5000;
+  spec.dim = 10;
+  spec.label_noise = 0.3;
+  auto data = GenerateDenseBinary(spec, 2);
+  int disagree = 0;
+  for (const auto& t : data.tuples) {
+    double margin = 0;
+    for (uint32_t d = 0; d < 10; ++d) {
+      margin += data.ground_truth[d] * t.feature_values[d];
+    }
+    if (t.label != (margin >= 0 ? 1.0 : -1.0)) ++disagree;
+  }
+  EXPECT_NEAR(disagree / 5000.0, 0.3, 0.03);
+}
+
+TEST(SyntheticTest, SparseBinaryKeysSortedAndBounded) {
+  SyntheticSpec spec;
+  spec.num_tuples = 200;
+  spec.dim = 1000;
+  spec.nnz = 20;
+  auto data = GenerateSparseBinary(spec, 3);
+  for (const auto& t : data.tuples) {
+    ASSERT_EQ(t.feature_keys.size(), 20u);
+    EXPECT_TRUE(std::is_sorted(t.feature_keys.begin(), t.feature_keys.end()));
+    std::set<uint32_t> uniq(t.feature_keys.begin(), t.feature_keys.end());
+    EXPECT_EQ(uniq.size(), 20u);
+    EXPECT_LT(t.feature_keys.back(), 1000u);
+  }
+}
+
+TEST(SyntheticTest, MulticlassLabelsInRange) {
+  SyntheticSpec spec;
+  spec.num_tuples = 500;
+  spec.dim = 16;
+  spec.num_classes = 7;
+  auto data = GenerateMulticlass(spec, 4);
+  std::set<double> labels;
+  for (const auto& t : data.tuples) {
+    EXPECT_GE(t.label, 0.0);
+    EXPECT_LT(t.label, 7.0);
+    labels.insert(t.label);
+  }
+  EXPECT_EQ(labels.size(), 7u);
+}
+
+TEST(SyntheticTest, RegressionLabelsCorrelateWithGroundTruth) {
+  SyntheticSpec spec;
+  spec.num_tuples = 1000;
+  spec.dim = 10;
+  spec.label_noise = 0.01;
+  auto data = GenerateRegression(spec, 5);
+  for (const auto& t : data.tuples) {
+    double pred = 0;
+    for (uint32_t d = 0; d < 10; ++d) {
+      pred += data.ground_truth[d] * t.feature_values[d];
+    }
+    EXPECT_NEAR(t.label, pred, 0.1);
+  }
+}
+
+TEST(SyntheticTest, ZeroFractionProducesZeros) {
+  SyntheticSpec spec;
+  spec.num_tuples = 100;
+  spec.dim = 100;
+  spec.zero_fraction = 0.5;
+  auto data = GenerateDenseBinary(spec, 6);
+  uint64_t zeros = 0, total = 0;
+  for (const auto& t : data.tuples) {
+    for (float v : t.feature_values) {
+      if (v == 0.0f) ++zeros;
+      ++total;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / total, 0.5, 0.05);
+}
+
+TEST(SyntheticTest, DeterministicAcrossCalls) {
+  SyntheticSpec spec;
+  spec.num_tuples = 50;
+  spec.dim = 5;
+  auto a = GenerateDenseBinary(spec, 77);
+  auto b = GenerateDenseBinary(spec, 77);
+  ASSERT_EQ(a.tuples.size(), b.tuples.size());
+  for (size_t i = 0; i < a.tuples.size(); ++i) {
+    EXPECT_EQ(a.tuples[i], b.tuples[i]);
+  }
+}
+
+TEST(OrderingTest, ClusteredPutsNegativesFirst) {
+  SyntheticSpec spec;
+  spec.num_tuples = 500;
+  spec.dim = 4;
+  auto data = GenerateDenseBinary(spec, 8);
+  OrderClusteredByLabel(&data.tuples);
+  bool seen_positive = false;
+  for (const auto& t : data.tuples) {
+    if (t.label > 0) seen_positive = true;
+    if (seen_positive) {
+      EXPECT_GT(t.label, 0.0);
+    }
+  }
+}
+
+TEST(OrderingTest, ShuffledChangesOrderButKeepsMultiset) {
+  SyntheticSpec spec;
+  spec.num_tuples = 300;
+  spec.dim = 4;
+  auto data = GenerateDenseBinary(spec, 9);
+  auto original = data.tuples;
+  OrderShuffled(&data.tuples, 1234);
+  EXPECT_EQ(data.tuples.size(), original.size());
+  int moved = 0;
+  std::multiset<uint64_t> ids_a, ids_b;
+  for (size_t i = 0; i < original.size(); ++i) {
+    if (!(data.tuples[i] == original[i])) ++moved;
+    ids_a.insert(original[i].id);
+    ids_b.insert(data.tuples[i].id);
+  }
+  EXPECT_GT(moved, 250);
+  EXPECT_EQ(ids_a, ids_b);
+}
+
+TEST(OrderingTest, FeatureOrderedIsMonotone) {
+  SyntheticSpec spec;
+  spec.num_tuples = 200;
+  spec.dim = 6;
+  auto data = GenerateDenseBinary(spec, 10);
+  OrderByFeature(&data.tuples, 3);
+  for (size_t i = 1; i < data.tuples.size(); ++i) {
+    EXPECT_LE(data.tuples[i - 1].feature_values[3],
+              data.tuples[i].feature_values[3]);
+  }
+}
+
+TEST(OrderingTest, ApplyOrderRenumbersIds) {
+  SyntheticSpec spec;
+  spec.num_tuples = 100;
+  spec.dim = 4;
+  auto data = GenerateDenseBinary(spec, 11);
+  ApplyOrder(&data.tuples, DataOrder::kClustered, 0);
+  for (size_t i = 0; i < data.tuples.size(); ++i) {
+    EXPECT_EQ(data.tuples[i].id, i);
+  }
+}
+
+TEST(CatalogTest, AllNamesResolve) {
+  for (const auto& name : CatalogNames()) {
+    auto spec = CatalogLookup(name);
+    ASSERT_TRUE(spec.ok()) << name;
+    EXPECT_EQ(spec->name, name);
+    EXPECT_GT(spec->train_tuples, 0u);
+    EXPECT_GT(spec->dim, 0u);
+  }
+}
+
+TEST(CatalogTest, UnknownNameIsNotFound) {
+  EXPECT_TRUE(CatalogLookup("nope").status().IsNotFound());
+}
+
+TEST(CatalogTest, ScaleMultipliesTupleCounts) {
+  auto base = CatalogLookup("higgs", 1.0);
+  auto scaled = CatalogLookup("higgs", 0.1);
+  ASSERT_TRUE(base.ok() && scaled.ok());
+  EXPECT_EQ(scaled->train_tuples, base->train_tuples / 10);
+}
+
+TEST(CatalogTest, GenerateDatasetSplitsAndOrders) {
+  auto spec = CatalogLookup("susy", 0.05);
+  ASSERT_TRUE(spec.ok());
+  Dataset ds = GenerateDataset(*spec, DataOrder::kClustered);
+  EXPECT_EQ(ds.train->size(), spec->train_tuples);
+  EXPECT_EQ(ds.test->size(), spec->test_tuples);
+  // Train is clustered: negatives before positives.
+  bool seen_pos = false;
+  for (const auto& t : *ds.train) {
+    if (t.label > 0) seen_pos = true;
+    if (seen_pos) {
+      EXPECT_GT(t.label, 0.0);
+    }
+  }
+  // Test is shuffled: labels interleaved.
+  int flips = 0;
+  for (size_t i = 1; i < ds.test->size(); ++i) {
+    if ((*ds.test)[i].label != (*ds.test)[i - 1].label) ++flips;
+  }
+  EXPECT_GT(flips, 10);
+}
+
+TEST(CatalogTest, SparseSpecGeneratesSparseTuples) {
+  auto spec = CatalogLookup("criteo", 0.01);
+  ASSERT_TRUE(spec.ok());
+  Dataset ds = GenerateDataset(*spec, DataOrder::kShuffled);
+  EXPECT_TRUE(ds.train->front().sparse());
+  EXPECT_EQ(ds.train->front().nnz(), spec->nnz);
+}
+
+TEST(LoaderTest, MaterializeRoundTrip) {
+  auto spec = CatalogLookup("susy", 0.01);
+  ASSERT_TRUE(spec.ok());
+  Dataset ds = GenerateDataset(*spec, DataOrder::kClustered);
+  const std::string path = testing::TempDir() + "loader_rt.tbl";
+  auto table = MaterializeTrainTable(ds, path);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_tuples(), ds.train->size());
+  std::vector<Tuple> scanned;
+  ASSERT_TRUE((*table)
+                  ->Scan([&](const Tuple& t) {
+                    scanned.push_back(t);
+                    return Status::OK();
+                  })
+                  .ok());
+  ASSERT_EQ(scanned.size(), ds.train->size());
+  for (size_t i = 0; i < scanned.size(); ++i) {
+    EXPECT_EQ(scanned[i], (*ds.train)[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LoaderTest, CompressedDatasetRoundTrip) {
+  auto spec = CatalogLookup("yfcc", 0.005);
+  ASSERT_TRUE(spec.ok());
+  ASSERT_TRUE(spec->compress_in_db);
+  Dataset ds = GenerateDataset(*spec, DataOrder::kClustered);
+  const std::string path = testing::TempDir() + "loader_comp.tbl";
+  auto table = MaterializeTrainTable(ds, path);
+  ASSERT_TRUE(table.ok());
+  std::vector<Tuple> read;
+  ASSERT_TRUE(
+      (*table)->ReadTuplesFromPages(0, (*table)->num_pages(), &read).ok());
+  ASSERT_EQ(read.size(), ds.train->size());
+  EXPECT_EQ(read[0], (*ds.train)[0]);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace corgipile

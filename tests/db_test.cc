@@ -1,0 +1,540 @@
+// Unit and integration tests for db/: Volcano operators, the query parser,
+// the Database engine, the model store, and the UDA baselines.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "db/block_shuffle_op.h"
+#include "db/database.h"
+#include "db/query.h"
+#include "db/sgd_op.h"
+#include "db/tuple_shuffle_op.h"
+#include "db/uda_baseline.h"
+#include "dataset/catalog.h"
+#include "dataset/libsvm.h"
+#include "dataset/loader.h"
+#include "ml/linear_models.h"
+
+namespace corgipile {
+namespace {
+
+std::string MakeTempDir(const std::string& name) {
+  std::string dir = testing::TempDir() + name;
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+struct TableFixture {
+  Dataset ds;
+  std::unique_ptr<Table> table;
+
+  TableFixture(const std::string& name, DataOrder order, double scale,
+               const std::string& path_tag, uint32_t page_size = 2048) {
+    auto spec = CatalogLookup(name, scale);
+    ds = GenerateDataset(*spec, order);
+    auto t = MaterializeTrainTable(
+        ds, testing::TempDir() + path_tag + ".tbl", page_size);
+    table = std::move(t).ValueOrDie();
+  }
+};
+
+TEST(QueryParserTest, TrainStatement) {
+  auto stmt = ParseQuery(
+      "SELECT * FROM higgs TRAIN BY svm WITH learning_rate=0.1, "
+      "max_epoch_num=20, block_size=10MB;");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE(std::holds_alternative<TrainStatement>(*stmt));
+  const auto& train = std::get<TrainStatement>(*stmt);
+  EXPECT_EQ(train.table_name, "higgs");
+  EXPECT_EQ(train.model_kind, "svm");
+  EXPECT_DOUBLE_EQ(train.params.GetDouble("learning_rate", 0).ValueOrDie(),
+                   0.1);
+  EXPECT_EQ(train.params.GetString("block_size", "").ValueOrDie(), "10MB");
+}
+
+TEST(QueryParserTest, TrainWithoutWith) {
+  auto stmt = ParseQuery("select * from t train by lr");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(std::holds_alternative<TrainStatement>(*stmt));
+}
+
+TEST(QueryParserTest, PredictStatement) {
+  auto stmt = ParseQuery("SELECT * FROM higgs PREDICT BY svm_0");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE(std::holds_alternative<PredictStatement>(*stmt));
+  EXPECT_EQ(std::get<PredictStatement>(*stmt).model_id, "svm_0");
+}
+
+TEST(QueryParserTest, EvaluateStatement) {
+  auto stmt = ParseQuery("SELECT * FROM higgs EVALUATE BY svm_0");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE(std::holds_alternative<EvaluateStatement>(*stmt));
+  EXPECT_EQ(std::get<EvaluateStatement>(*stmt).model_id, "svm_0");
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t EVALUATE BY m WITH a=1").ok());
+}
+
+TEST(QueryParserTest, LoadStatement) {
+  auto stmt = ParseQuery(
+      "LOAD TABLE higgs FROM '/data/higgs.libsvm' WITH order=clustered");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE(std::holds_alternative<LoadStatement>(*stmt));
+  const auto& load = std::get<LoadStatement>(*stmt);
+  EXPECT_EQ(load.table_name, "higgs");
+  EXPECT_EQ(load.path, "/data/higgs.libsvm");
+  EXPECT_EQ(load.params.GetString("order", "").ValueOrDie(), "clustered");
+  EXPECT_FALSE(ParseQuery("LOAD TABLE t").ok());
+  EXPECT_FALSE(ParseQuery("LOAD TABLE t INTO x").ok());
+}
+
+TEST(QueryParserTest, Malformed) {
+  EXPECT_FALSE(ParseQuery("SELECT foo").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t DANCE BY lr").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t PREDICT BY m WITH a=1").ok());
+  EXPECT_FALSE(ParseQuery("INSERT INTO t VALUES (1)").ok());
+}
+
+TEST(QueryParserTest, ByteSizes) {
+  EXPECT_EQ(ParseByteSize("8192").ValueOrDie(), 8192u);
+  EXPECT_EQ(ParseByteSize("64KB").ValueOrDie(), 64u * 1024);
+  EXPECT_EQ(ParseByteSize("10MB").ValueOrDie(), 10u * 1024 * 1024);
+  EXPECT_EQ(ParseByteSize("1gb").ValueOrDie(), 1024ull * 1024 * 1024);
+  EXPECT_EQ(ParseByteSize("2 MB").ValueOrDie(), 2u * 1024 * 1024);
+  EXPECT_FALSE(ParseByteSize("").ok());
+  EXPECT_FALSE(ParseByteSize("12XB").ok());
+  EXPECT_FALSE(ParseByteSize("abc").ok());
+}
+
+TEST(BlockShuffleOpTest, EmitsAllTuplesShuffledByBlock) {
+  TableFixture f("susy", DataOrder::kClustered, 0.02, "bso");
+  BlockShuffleOp::Options opts;
+  opts.block_size_bytes = 8 * 2048;  // 8 pages per block
+  opts.seed = 5;
+  BlockShuffleOp op(f.table.get(), opts);
+  ASSERT_TRUE(op.Init().ok());
+
+  std::set<uint64_t> seen;
+  uint64_t count = 0;
+  while (const Tuple* t = op.Next()) {
+    seen.insert(t->id);
+    ++count;
+  }
+  ASSERT_TRUE(op.status().ok());
+  EXPECT_EQ(count, f.ds.train->size());
+  EXPECT_EQ(seen.size(), f.ds.train->size());
+
+  // ReScan produces a different block order.
+  std::vector<uint64_t> order1, order2;
+  ASSERT_TRUE(op.ReScan().ok());
+  while (const Tuple* t = op.Next()) order1.push_back(t->id);
+  ASSERT_TRUE(op.ReScan().ok());
+  while (const Tuple* t = op.Next()) order2.push_back(t->id);
+  EXPECT_EQ(order1.size(), order2.size());
+  EXPECT_NE(order1, order2);
+  op.Close();
+}
+
+TEST(BlockShuffleOpTest, SequentialModeIsStorageOrder) {
+  TableFixture f("susy", DataOrder::kClustered, 0.02, "bso_seq");
+  BlockShuffleOp::Options opts;
+  opts.shuffle_blocks = false;
+  BlockShuffleOp op(f.table.get(), opts);
+  ASSERT_TRUE(op.Init().ok());
+  uint64_t expect = 0;
+  while (const Tuple* t = op.Next()) {
+    EXPECT_EQ(t->id, expect++);
+  }
+  EXPECT_EQ(expect, f.ds.train->size());
+}
+
+class TupleShuffleModeTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(TupleShuffleModeTest, EmitsAllTuplesShuffled) {
+  const bool double_buffer = GetParam();
+  TableFixture f("susy", DataOrder::kClustered, 0.02,
+                 double_buffer ? "tso_d" : "tso_s");
+  BlockShuffleOp::Options bopts;
+  bopts.block_size_bytes = 4 * 2048;
+  BlockShuffleOp block_op(f.table.get(), bopts);
+
+  TupleShuffleOp::Options topts;
+  topts.buffer_tuples = f.ds.train->size() / 10;
+  topts.double_buffer = double_buffer;
+  TupleShuffleOp op(&block_op, topts);
+  ASSERT_TRUE(op.Init().ok());
+
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    std::set<uint64_t> seen;
+    std::vector<uint64_t> order;
+    while (const Tuple* t = op.Next()) {
+      seen.insert(t->id);
+      order.push_back(t->id);
+    }
+    ASSERT_TRUE(op.status().ok());
+    EXPECT_EQ(seen.size(), f.ds.train->size());
+    EXPECT_FALSE(std::is_sorted(order.begin(), order.end()));
+    if (epoch < 2) {
+      ASSERT_TRUE(op.ReScan().ok());
+    }
+  }
+  EXPECT_GT(op.timeline().num_batches(), 0u);
+  EXPECT_LE(op.timeline().DoubleBufferedDuration(),
+            op.timeline().SingleBufferedDuration() + 1e-12);
+  op.Close();
+}
+
+INSTANTIATE_TEST_SUITE_P(BufferModes, TupleShuffleModeTest,
+                         ::testing::Values(false, true),
+                         [](const auto& info) {
+                           return info.param ? "double" : "single";
+                         });
+
+TEST(SgdOpTest, TrainsThroughPipeline) {
+  TableFixture f("susy", DataOrder::kClustered, 0.05, "sgdop");
+  BlockShuffleOp::Options bopts;
+  bopts.block_size_bytes = 8 * 2048;
+  BlockShuffleOp block_op(f.table.get(), bopts);
+  TupleShuffleOp::Options topts;
+  topts.buffer_tuples = f.ds.train->size() / 10;
+  TupleShuffleOp tuple_op(&block_op, topts);
+
+  LogisticRegression model(f.ds.spec.dim);
+  SgdOp::Options sopts;
+  sopts.max_epochs = 6;
+  sopts.lr.initial = 0.005;
+  sopts.test_set = f.ds.test.get();
+  SgdOp sgd(&model, &tuple_op, sopts);
+  ASSERT_TRUE(sgd.Init().ok());
+  auto logs = sgd.RunToCompletion();
+  ASSERT_TRUE(logs.ok());
+  ASSERT_EQ(logs->size(), 6u);
+  EXPECT_GT(logs->back().test_metric, 0.72);
+  EXPECT_EQ(logs->front().tuples_seen, f.ds.train->size());
+  sgd.Close();
+}
+
+TEST(TupleShuffleOpStressTest, ManyEpochsDoubleBuffered) {
+  // Hammer the producer/consumer machinery across many quick epochs.
+  TableFixture f("susy", DataOrder::kClustered, 0.01, "tso_stress");
+  BlockShuffleOp::Options bopts;
+  bopts.block_size_bytes = 2 * 2048;
+  BlockShuffleOp block_op(f.table.get(), bopts);
+  TupleShuffleOp::Options topts;
+  topts.buffer_tuples = 37;  // deliberately awkward size
+  topts.double_buffer = true;
+  TupleShuffleOp op(&block_op, topts);
+  ASSERT_TRUE(op.Init().ok());
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    uint64_t n = 0;
+    while (op.Next() != nullptr) ++n;
+    ASSERT_TRUE(op.status().ok());
+    ASSERT_EQ(n, f.ds.train->size()) << "epoch " << epoch;
+    ASSERT_TRUE(op.ReScan().ok());
+  }
+  op.Close();
+}
+
+TEST(ModelStoreTest, PutGetRemove) {
+  ModelStore store;
+  auto id1 = store.Put(std::make_unique<LogisticRegression>(4));
+  auto id2 = store.Put(std::make_unique<SvmModel>(4));
+  EXPECT_NE(id1, id2);
+  EXPECT_EQ(store.size(), 2u);
+  ASSERT_TRUE(store.Get(id1).ok());
+  EXPECT_STREQ(store.Get(id1).ValueOrDie()->name(), "lr");
+  EXPECT_TRUE(store.Get("nope").status().IsNotFound());
+  ASSERT_TRUE(store.Remove(id1).ok());
+  EXPECT_TRUE(store.Get(id1).status().IsNotFound());
+  EXPECT_TRUE(store.Remove(id1).IsNotFound());
+}
+
+TEST(DatabaseTest, EndToEndTrainAndPredict) {
+  const std::string dir = MakeTempDir("db_e2e");
+  Database db(dir, DeviceProfile::Ssd());
+  auto spec = CatalogLookup("susy", 0.05).ValueOrDie();
+  Dataset ds = GenerateDataset(spec, DataOrder::kClustered);
+  ASSERT_TRUE(db.RegisterDataset("susy", ds).ok());
+
+  auto result = db.Execute(
+      "SELECT * FROM susy TRAIN BY lr WITH learning_rate=0.005, "
+      "max_epoch_num=6, block_size=64KB, buffer_fraction=0.1");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NE(result->find("trained model lr_0"), std::string::npos);
+
+  auto pred = db.Execute("SELECT * FROM susy PREDICT BY lr_0");
+  ASSERT_TRUE(pred.ok()) << pred.status().ToString();
+  EXPECT_NE(pred->find("predicted"), std::string::npos);
+
+  auto eval = db.Execute("SELECT * FROM susy EVALUATE BY lr_0");
+  ASSERT_TRUE(eval.ok()) << eval.status().ToString();
+  EXPECT_NE(eval->find("auc"), std::string::npos);
+  auto report = db.EvaluateModel(EvaluateStatement{"susy", "lr_0"});
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->auc, 0.7);
+  EXPECT_GT(report->accuracy(), 0.7);
+}
+
+TEST(DatabaseTest, StrategiesProduceExpectedAccuracyOrdering) {
+  const std::string dir = MakeTempDir("db_strat");
+  Database db(dir, DeviceProfile::Ssd());
+  auto spec = CatalogLookup("susy", 0.2).ValueOrDie();
+  Dataset ds = GenerateDataset(spec, DataOrder::kClustered);
+  ASSERT_TRUE(db.RegisterDataset("susy", ds).ok());
+
+  auto train = [&](const std::string& strategy) {
+    TrainStatement stmt;
+    stmt.table_name = "susy";
+    stmt.model_kind = "svm";
+    stmt.params =
+        Params::Parse("learning_rate=0.005, max_epoch_num=8, "
+                      "block_size=16KB, strategy=" + strategy)
+            .ValueOrDie();
+    auto r = db.Train(stmt);
+    EXPECT_TRUE(r.ok()) << strategy << ": " << r.status().ToString();
+    return r.ValueOrDie();
+  };
+
+  const auto corgi = train("corgipile");
+  const auto no_shuffle = train("no_shuffle");
+  const auto shuffle_once = train("shuffle_once");
+  const auto block_only = train("block_only");
+
+  EXPECT_LT(no_shuffle.final_metric, shuffle_once.final_metric - 0.08);
+  EXPECT_NEAR(corgi.final_metric, shuffle_once.final_metric, 0.04);
+  EXPECT_GT(corgi.final_metric, 0.72);
+  // Block-Only sits between NoShuffle and CorgiPile on clustered data.
+  EXPECT_GT(block_only.final_metric, no_shuffle.final_metric);
+  // Shuffle Once pays prep overhead and disk; CorgiPile does not.
+  EXPECT_GT(shuffle_once.prep_seconds, 0.0);
+  EXPECT_GT(shuffle_once.extra_disk_bytes, 0u);
+  EXPECT_EQ(corgi.prep_seconds, 0.0);
+  EXPECT_EQ(corgi.extra_disk_bytes, 0u);
+}
+
+TEST(DatabaseTest, CorgiPileDoubleBufferingNotSlower) {
+  const std::string dir = MakeTempDir("db_dbuf");
+  Database db(dir, DeviceProfile::Hdd());
+  auto spec = CatalogLookup("susy", 0.05).ValueOrDie();
+  Dataset ds = GenerateDataset(spec, DataOrder::kClustered);
+  ASSERT_TRUE(db.RegisterDataset("susy", ds).ok());
+  TrainStatement stmt;
+  stmt.table_name = "susy";
+  stmt.model_kind = "svm";
+  stmt.params = Params::Parse("max_epoch_num=3, block_size=64KB").ValueOrDie();
+  auto r = db.Train(stmt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->end_to_end_double_seconds, r->end_to_end_single_seconds + 1e-9);
+  EXPECT_GT(r->sim_io_seconds, 0.0);
+}
+
+TEST(DatabaseTest, ErrorsSurface) {
+  const std::string dir = MakeTempDir("db_err");
+  Database db(dir, DeviceProfile::Ssd());
+  EXPECT_TRUE(db.Execute("SELECT * FROM nope TRAIN BY lr")
+                  .status()
+                  .IsNotFound());
+  auto spec = CatalogLookup("susy", 0.01).ValueOrDie();
+  Dataset ds = GenerateDataset(spec, DataOrder::kClustered);
+  ASSERT_TRUE(db.RegisterDataset("susy", ds).ok());
+  EXPECT_TRUE(db.RegisterDataset("susy", ds).code() == StatusCode::kAlreadyExists);
+  EXPECT_TRUE(db.Execute("SELECT * FROM susy TRAIN BY quantum")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(db.Execute("SELECT * FROM susy TRAIN BY lr WITH strategy=zigzag")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(db.Execute("SELECT * FROM susy PREDICT BY ghost_9")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(DatabaseTest, LoadLibsvmAndTrain) {
+  const std::string dir = MakeTempDir("db_load");
+  // Produce a LIBSVM file from a generated dataset.
+  auto spec = CatalogLookup("susy", 0.05).ValueOrDie();
+  Dataset ds = GenerateDataset(spec, DataOrder::kShuffled);
+  const std::string path = dir + "/susy.libsvm";
+  ASSERT_TRUE(WriteLibsvmFile(*ds.train, path).ok());
+
+  Database db(dir, DeviceProfile::Ssd());
+  auto loaded =
+      db.Execute("LOAD TABLE susy FROM '" + path + "' WITH order=clustered");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_NE(loaded->find("loaded"), std::string::npos);
+  auto table = db.GetTable("susy");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_tuples(), ds.train->size());
+  EXPECT_EQ((*table)->schema().dim, spec.dim);
+  EXPECT_FALSE((*table)->schema().sparse);  // dense rows detected
+
+  // Training over a loaded table works end to end (no test set registered,
+  // so only train metrics are produced).
+  auto trained = db.Execute(
+      "SELECT * FROM susy TRAIN BY lr WITH learning_rate=0.005, "
+      "max_epoch_num=3, block_size=16KB");
+  ASSERT_TRUE(trained.ok()) << trained.status().ToString();
+
+  // Errors: duplicate table, missing file, bad order value.
+  EXPECT_FALSE(db.Execute("LOAD TABLE susy FROM '" + path + "'").ok());
+  EXPECT_TRUE(db.Execute("LOAD TABLE x FROM '/nope.libsvm'")
+                  .status()
+                  .IsIoError());
+  EXPECT_TRUE(db.Execute("LOAD TABLE y FROM '" + path +
+                         "' WITH order=diagonal")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(DatabaseTest, AttachReopensPersistedTable) {
+  const std::string dir = MakeTempDir("db_attach");
+  auto spec = CatalogLookup("susy", 0.05).ValueOrDie();
+  Dataset ds = GenerateDataset(spec, DataOrder::kClustered);
+  {
+    Database db(dir, DeviceProfile::Ssd());
+    ASSERT_TRUE(db.RegisterDataset("susy", ds).ok());
+  }
+  // A fresh session over the same directory.
+  Database db2(dir, DeviceProfile::Ssd());
+  EXPECT_TRUE(db2.GetTable("susy").status().IsNotFound());
+  ASSERT_TRUE(db2.Attach("susy").ok());
+  auto table = db2.GetTable("susy");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_tuples(), ds.train->size());
+  EXPECT_EQ((*table)->schema().dim, spec.dim);
+  // Training over the reattached table works.
+  auto r = db2.Execute(
+      "SELECT * FROM susy TRAIN BY svm WITH learning_rate=0.005, "
+      "max_epoch_num=3, block_size=16KB");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Errors: double attach, unknown table.
+  EXPECT_TRUE(db2.Attach("susy").code() == StatusCode::kAlreadyExists);
+  EXPECT_TRUE(db2.Attach("ghost").IsNotFound());
+}
+
+TEST(DatabaseTest, StreamStrategiesRunViaAdapter) {
+  const std::string dir = MakeTempDir("db_stream");
+  Database db(dir, DeviceProfile::Ssd());
+  auto spec = CatalogLookup("susy", 0.05).ValueOrDie();
+  Dataset ds = GenerateDataset(spec, DataOrder::kClustered);
+  ASSERT_TRUE(db.RegisterDataset("susy", ds).ok());
+  for (const char* strategy : {"sliding_window", "mrs"}) {
+    TrainStatement stmt;
+    stmt.table_name = "susy";
+    stmt.model_kind = "lr";
+    stmt.params = Params::Parse(std::string("learning_rate=0.005, "
+                                            "max_epoch_num=3, block_size=16KB, "
+                                            "strategy=") + strategy)
+                      .ValueOrDie();
+    auto r = db.Train(stmt);
+    ASSERT_TRUE(r.ok()) << strategy << ": " << r.status().ToString();
+    EXPECT_EQ(r->epochs.size(), 3u) << strategy;
+    EXPECT_GT(r->epochs[0].tuples_seen, 0u) << strategy;
+  }
+}
+
+TEST(DatabaseTest, MulticlassAndRegressionModels) {
+  const std::string dir = MakeTempDir("db_models");
+  Database db(dir, DeviceProfile::Ssd());
+  auto mspec = CatalogLookup("mnist8m", 0.02).ValueOrDie();
+  Dataset mds = GenerateDataset(mspec, DataOrder::kClustered);
+  ASSERT_TRUE(db.RegisterDataset("mnist8m", mds).ok());
+  auto r1 = db.Execute(
+      "SELECT * FROM mnist8m TRAIN BY softmax WITH learning_rate=0.01, "
+      "max_epoch_num=5, block_size=64KB");
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+
+  auto rspec = CatalogLookup("yearpred", 0.02).ValueOrDie();
+  Dataset rds = GenerateDataset(rspec, DataOrder::kClustered);
+  ASSERT_TRUE(db.RegisterDataset("yearpred", rds).ok());
+  auto r2 = db.Execute(
+      "SELECT * FROM yearpred TRAIN BY linreg WITH learning_rate=0.01, "
+      "max_epoch_num=5, block_size=64KB");
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+}
+
+TEST(UdaBaselineTest, BismarckNoShuffleVsShuffleOnce) {
+  TableFixture f("susy", DataOrder::kClustered, 0.2, "uda_b");
+  SimClock clock;
+  IoStats stats;
+  f.table->SetIoAccounting(DeviceProfile::Hdd(), &clock, &stats);
+
+  UdaEngineOptions opts;
+  opts.flavor = UdaFlavor::kBismarck;
+  opts.max_epochs = 8;
+  opts.lr.initial = 0.005;
+  opts.test_set = f.ds.test.get();
+  opts.clock = &clock;
+  opts.io_stats = &stats;
+  opts.device = DeviceProfile::Hdd();
+  opts.scratch_dir = testing::TempDir();
+
+  SvmModel m1(f.ds.spec.dim);
+  auto no_shuffle = RunUdaBaseline(f.table.get(), &m1, opts);
+  ASSERT_TRUE(no_shuffle.ok());
+  EXPECT_EQ(no_shuffle->prep_seconds, 0.0);
+
+  opts.shuffle_once = true;
+  SvmModel m2(f.ds.spec.dim);
+  auto shuffle_once = RunUdaBaseline(f.table.get(), &m2, opts);
+  ASSERT_TRUE(shuffle_once.ok());
+  EXPECT_GT(shuffle_once->final_metric, 0.72);
+  // Clustered scan order costs No Shuffle a clear accuracy margin.
+  EXPECT_LT(no_shuffle->final_metric, shuffle_once->final_metric - 0.08);
+  // Offline shuffle ≈ an external sort: several sequential passes' worth
+  // of simulated time plus the 2x disk copy.
+  const double one_scan =
+      DeviceProfile::Hdd().SequentialCost(f.table->size_bytes());
+  EXPECT_GT(shuffle_once->prep_seconds, 3.0 * one_scan);
+  EXPECT_GT(shuffle_once->extra_disk_bytes, 0u);
+}
+
+TEST(UdaBaselineTest, MadlibSlowerThanBismarck) {
+  TableFixture f("susy", DataOrder::kShuffled, 0.2, "uda_m");
+  SimClock clock;
+  f.table->SetIoAccounting(DeviceProfile::Ssd(), &clock, nullptr);
+  UdaEngineOptions opts;
+  opts.max_epochs = 3;
+  opts.clock = &clock;
+  opts.device = DeviceProfile::Ssd();
+
+  opts.flavor = UdaFlavor::kBismarck;
+  LogisticRegression m1(f.ds.spec.dim);
+  auto bis = RunUdaBaseline(f.table.get(), &m1, opts);
+  ASSERT_TRUE(bis.ok());
+
+  opts.flavor = UdaFlavor::kMadlib;
+  LogisticRegression m2(f.ds.spec.dim);
+  auto mad = RunUdaBaseline(f.table.get(), &m2, opts);
+  ASSERT_TRUE(mad.ok());
+  EXPECT_GT(mad->sim_compute_seconds, 1.4 * bis->sim_compute_seconds);
+}
+
+TEST(UdaBaselineTest, MadlibLimitations) {
+  // Wide dense LR times out (epsilon/yfcc behaviour).
+  TableFixture wide("yfcc", DataOrder::kClustered, 0.002, "uda_wide", 8192);
+  UdaEngineOptions opts;
+  opts.flavor = UdaFlavor::kMadlib;
+  opts.max_epochs = 1;
+  LogisticRegression lr_model(wide.ds.spec.dim);
+  auto r = RunUdaBaseline(wide.table.get(), &lr_model, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->timed_out);
+
+  // SVM is fine on the same table.
+  SvmModel svm_model(wide.ds.spec.dim);
+  auto r2 = RunUdaBaseline(wide.table.get(), &svm_model, opts);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(r2->timed_out);
+
+  // Sparse input unsupported.
+  TableFixture sparse("criteo", DataOrder::kClustered, 0.002, "uda_sparse", 8192);
+  LogisticRegression lr2(sparse.ds.spec.dim);
+  EXPECT_TRUE(RunUdaBaseline(sparse.table.get(), &lr2, opts)
+                  .status()
+                  .IsNotImplemented());
+}
+
+}  // namespace
+}  // namespace corgipile

@@ -1,0 +1,540 @@
+// Unit tests for storage/: tuple serialization, pages, heap files, buffer
+// manager, compression, tables, block sources.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "storage/block_source.h"
+#include "storage/buffer_manager.h"
+#include "storage/compression.h"
+#include "storage/heapfile.h"
+#include "storage/page.h"
+#include "storage/table.h"
+#include "storage/tuple.h"
+#include "util/rng.h"
+
+namespace corgipile {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+TEST(TupleTest, DenseRoundTrip) {
+  Tuple t = MakeDenseTuple(42, -1.0, {1.0f, 2.5f, -3.0f});
+  std::vector<uint8_t> buf;
+  t.SerializeTo(&buf);
+  EXPECT_EQ(buf.size(), t.SerializedSize());
+  size_t consumed = 0;
+  auto r = Tuple::Deserialize(buf.data(), buf.size(), &consumed);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(consumed, buf.size());
+  EXPECT_EQ(*r, t);
+  EXPECT_FALSE(r->sparse());
+}
+
+TEST(TupleTest, SparseRoundTrip) {
+  Tuple t = MakeSparseTuple(7, 1.0, {3, 17, 99}, {0.5f, -1.5f, 2.0f});
+  std::vector<uint8_t> buf;
+  t.SerializeTo(&buf);
+  size_t consumed = 0;
+  auto r = Tuple::Deserialize(buf.data(), buf.size(), &consumed);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, t);
+  EXPECT_TRUE(r->sparse());
+}
+
+TEST(TupleTest, DeserializeTruncatedFails) {
+  Tuple t = MakeDenseTuple(1, 1.0, {1.0f, 2.0f});
+  std::vector<uint8_t> buf;
+  t.SerializeTo(&buf);
+  size_t consumed = 0;
+  auto r = Tuple::Deserialize(buf.data(), buf.size() - 3, &consumed);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
+TEST(TupleTest, DotAndAxpy) {
+  Tuple dense = MakeDenseTuple(0, 1.0, {1.0f, 2.0f, 3.0f});
+  std::vector<double> w{1.0, 1.0, 1.0, 99.0};  // extra bias slot untouched
+  EXPECT_DOUBLE_EQ(dense.Dot(w), 6.0);
+  dense.AxpyInto(2.0, &w);
+  EXPECT_DOUBLE_EQ(w[0], 3.0);
+  EXPECT_DOUBLE_EQ(w[2], 7.0);
+  EXPECT_DOUBLE_EQ(w[3], 99.0);
+
+  Tuple sparse = MakeSparseTuple(0, 1.0, {0, 2}, {2.0f, 4.0f});
+  std::vector<double> w2{1.0, 5.0, 1.0};
+  EXPECT_DOUBLE_EQ(sparse.Dot(w2), 6.0);
+  sparse.AxpyInto(1.0, &w2);
+  EXPECT_DOUBLE_EQ(w2[0], 3.0);
+  EXPECT_DOUBLE_EQ(w2[1], 5.0);
+  EXPECT_DOUBLE_EQ(w2[2], 5.0);
+}
+
+TEST(TupleTest, SquaredNorm) {
+  Tuple t = MakeDenseTuple(0, 1.0, {3.0f, 4.0f});
+  EXPECT_DOUBLE_EQ(t.SquaredNorm(), 25.0);
+}
+
+TEST(PageTest, AddAndReadRecords) {
+  Page page(512);
+  const uint16_t before = page.num_records();
+  EXPECT_EQ(before, 0);
+  std::vector<uint8_t> rec1{1, 2, 3};
+  std::vector<uint8_t> rec2{9, 8, 7, 6};
+  ASSERT_TRUE(page.AddRecord(rec1.data(), rec1.size()));
+  ASSERT_TRUE(page.AddRecord(rec2.data(), rec2.size()));
+  EXPECT_EQ(page.num_records(), 2);
+  auto [p1, l1] = page.Record(0);
+  EXPECT_EQ(l1, 3u);
+  EXPECT_EQ(p1[0], 1);
+  auto [p2, l2] = page.Record(1);
+  EXPECT_EQ(l2, 4u);
+  EXPECT_EQ(p2[3], 6);
+}
+
+TEST(PageTest, RejectsWhenFull) {
+  Page page(64);
+  std::vector<uint8_t> rec(40, 0xAB);
+  EXPECT_TRUE(page.AddRecord(rec.data(), rec.size()));
+  EXPECT_FALSE(page.AddRecord(rec.data(), rec.size()));
+}
+
+TEST(PageTest, FreeSpaceShrinks) {
+  Page page(256);
+  const uint32_t before = page.free_space();
+  std::vector<uint8_t> rec(10, 1);
+  ASSERT_TRUE(page.AddRecord(rec.data(), rec.size()));
+  EXPECT_EQ(page.free_space(), before - 10 - Page::kSlotBytes);
+}
+
+TEST(PageTest, ClearResets) {
+  Page page(128);
+  std::vector<uint8_t> rec{1};
+  ASSERT_TRUE(page.AddRecord(rec.data(), rec.size()));
+  page.Clear();
+  EXPECT_EQ(page.num_records(), 0);
+}
+
+TEST(HeapFileTest, CreateAppendRead) {
+  const std::string path = TempPath("hf_basic.dat");
+  auto hf = HeapFile::Create(path, 512);
+  ASSERT_TRUE(hf.ok());
+  Page page(512);
+  std::vector<uint8_t> rec{5, 5, 5};
+  ASSERT_TRUE(page.AddRecord(rec.data(), rec.size()));
+  ASSERT_TRUE((*hf)->AppendPage(page).ok());
+  ASSERT_TRUE((*hf)->AppendPage(page).ok());
+  EXPECT_EQ((*hf)->num_pages(), 2u);
+
+  Page out(512);
+  ASSERT_TRUE((*hf)->ReadPage(1, &out).ok());
+  EXPECT_EQ(out.num_records(), 1);
+  auto [data, len] = out.Record(0);
+  EXPECT_EQ(len, 3u);
+  EXPECT_EQ(data[0], 5);
+  std::remove(path.c_str());
+}
+
+TEST(HeapFileTest, ReadPastEndFails) {
+  const std::string path = TempPath("hf_oob.dat");
+  auto hf = HeapFile::Create(path, 512);
+  ASSERT_TRUE(hf.ok());
+  Page out(512);
+  EXPECT_TRUE((*hf)->ReadPage(0, &out).IsOutOfRange());
+  std::remove(path.c_str());
+}
+
+TEST(HeapFileTest, OpenExisting) {
+  const std::string path = TempPath("hf_reopen.dat");
+  {
+    auto hf = HeapFile::Create(path, 256);
+    ASSERT_TRUE(hf.ok());
+    Page page(256);
+    std::vector<uint8_t> rec{1, 2};
+    page.AddRecord(rec.data(), rec.size());
+    ASSERT_TRUE((*hf)->AppendPage(page).ok());
+  }
+  auto hf = HeapFile::Open(path, 256);
+  ASSERT_TRUE(hf.ok());
+  EXPECT_EQ((*hf)->num_pages(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(HeapFileTest, SequentialVsRandomAccounting) {
+  const std::string path = TempPath("hf_acct.dat");
+  auto hf = HeapFile::Create(path, 512);
+  ASSERT_TRUE(hf.ok());
+  Page page(512);
+  std::vector<uint8_t> rec{1};
+  page.AddRecord(rec.data(), rec.size());
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE((*hf)->AppendPage(page).ok());
+
+  SimClock clock;
+  IoStats stats;
+  (*hf)->SetIoAccounting(DeviceProfile::Hdd(), &clock, &stats);
+
+  Page out(512);
+  // First read: random (fresh cursor). Then 0→1→2 sequential.
+  ASSERT_TRUE((*hf)->ReadPage(0, &out).ok());
+  ASSERT_TRUE((*hf)->ReadPage(1, &out).ok());
+  ASSERT_TRUE((*hf)->ReadPage(2, &out).ok());
+  EXPECT_EQ(stats.random_reads, 1u);
+  EXPECT_EQ(stats.sequential_reads, 2u);
+
+  // Jumping backwards is random again.
+  ASSERT_TRUE((*hf)->ReadPage(0, &out).ok());
+  EXPECT_EQ(stats.random_reads, 2u);
+
+  // ResetReadCursor forces a seek even for the "next" page.
+  (*hf)->ResetReadCursor();
+  ASSERT_TRUE((*hf)->ReadPage(1, &out).ok());
+  EXPECT_EQ(stats.random_reads, 3u);
+
+  EXPECT_GT(clock.Elapsed(TimeCategory::kIoRead), 3 * 8e-3);  // 3 seeks
+  std::remove(path.c_str());
+}
+
+TEST(HeapFileTest, ReadPagesContiguousBilledOnce) {
+  const std::string path = TempPath("hf_block.dat");
+  auto hf = HeapFile::Create(path, 512);
+  ASSERT_TRUE(hf.ok());
+  Page page(512);
+  std::vector<uint8_t> rec{1};
+  page.AddRecord(rec.data(), rec.size());
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE((*hf)->AppendPage(page).ok());
+
+  SimClock clock;
+  IoStats stats;
+  (*hf)->SetIoAccounting(DeviceProfile::Hdd(), &clock, &stats);
+  std::vector<Page> pages;
+  ASSERT_TRUE((*hf)->ReadPages(2, 4, &pages).ok());
+  EXPECT_EQ(pages.size(), 4u);
+  EXPECT_EQ(stats.random_reads + stats.sequential_reads, 1u);
+  EXPECT_EQ(stats.bytes_read, 4 * 512u);
+  std::remove(path.c_str());
+}
+
+TEST(BufferManagerTest, HitsAndMisses) {
+  const std::string path = TempPath("bm.dat");
+  auto hf = HeapFile::Create(path, 512);
+  ASSERT_TRUE(hf.ok());
+  Page page(512);
+  std::vector<uint8_t> rec{1};
+  page.AddRecord(rec.data(), rec.size());
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE((*hf)->AppendPage(page).ok());
+
+  BufferManager bm(10 * 512);
+  ASSERT_TRUE(bm.Fetch(hf->get(), 0).ok());
+  ASSERT_TRUE(bm.Fetch(hf->get(), 0).ok());
+  ASSERT_TRUE(bm.Fetch(hf->get(), 1).ok());
+  EXPECT_EQ(bm.stats().hits, 1u);
+  EXPECT_EQ(bm.stats().misses, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(BufferManagerTest, EvictsLru) {
+  const std::string path = TempPath("bm_evict.dat");
+  auto hf = HeapFile::Create(path, 512);
+  ASSERT_TRUE(hf.ok());
+  Page page(512);
+  std::vector<uint8_t> rec{1};
+  page.AddRecord(rec.data(), rec.size());
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE((*hf)->AppendPage(page).ok());
+
+  BufferManager bm(2 * 512);  // room for 2 pages
+  ASSERT_TRUE(bm.Fetch(hf->get(), 0).ok());
+  ASSERT_TRUE(bm.Fetch(hf->get(), 1).ok());
+  ASSERT_TRUE(bm.Fetch(hf->get(), 2).ok());  // evicts page 0
+  EXPECT_EQ(bm.stats().evictions, 1u);
+  ASSERT_TRUE(bm.Fetch(hf->get(), 0).ok());  // miss again
+  EXPECT_EQ(bm.stats().misses, 4u);
+  std::remove(path.c_str());
+}
+
+TEST(BufferManagerTest, InvalidateDropsPages) {
+  const std::string path = TempPath("bm_inval.dat");
+  auto hf = HeapFile::Create(path, 512);
+  ASSERT_TRUE(hf.ok());
+  Page page(512);
+  std::vector<uint8_t> rec{1};
+  page.AddRecord(rec.data(), rec.size());
+  ASSERT_TRUE((*hf)->AppendPage(page).ok());
+  BufferManager bm(512 * 8);
+  ASSERT_TRUE(bm.Fetch(hf->get(), 0).ok());
+  bm.Invalidate();
+  ASSERT_TRUE(bm.Fetch(hf->get(), 0).ok());
+  EXPECT_EQ(bm.stats().misses, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CompressionTest, RoundTripZeroHeavy) {
+  Rng rng(5);
+  std::vector<uint8_t> input;
+  for (int i = 0; i < 10000; ++i) {
+    input.push_back(rng.NextBool(0.7) ? 0 : static_cast<uint8_t>(rng.Uniform(256)));
+  }
+  std::vector<uint8_t> compressed, output;
+  CompressBytes(input, &compressed);
+  EXPECT_LT(compressed.size(), input.size());
+  ASSERT_TRUE(DecompressBytes(compressed.data(), compressed.size(), &output).ok());
+  EXPECT_EQ(output, input);
+}
+
+TEST(CompressionTest, RoundTripIncompressible) {
+  Rng rng(6);
+  std::vector<uint8_t> input;
+  for (int i = 0; i < 5000; ++i) {
+    input.push_back(static_cast<uint8_t>(1 + rng.Uniform(255)));
+  }
+  std::vector<uint8_t> compressed, output;
+  CompressBytes(input, &compressed);
+  // Expansion bounded by ~1/128 control overhead.
+  EXPECT_LT(compressed.size(), input.size() + input.size() / 64 + 16);
+  ASSERT_TRUE(DecompressBytes(compressed.data(), compressed.size(), &output).ok());
+  EXPECT_EQ(output, input);
+}
+
+TEST(CompressionTest, EmptyInput) {
+  std::vector<uint8_t> compressed, output;
+  CompressBytes({}, &compressed);
+  EXPECT_TRUE(compressed.empty());
+  ASSERT_TRUE(DecompressBytes(compressed.data(), 0, &output).ok());
+  EXPECT_TRUE(output.empty());
+}
+
+TEST(CompressionTest, TruncatedInputIsCorruption) {
+  std::vector<uint8_t> input(100, 42), compressed, output;
+  CompressBytes(input, &compressed);
+  EXPECT_TRUE(DecompressBytes(compressed.data(), compressed.size() - 1, &output)
+                  .IsCorruption());
+}
+
+std::vector<Tuple> MakeTuples(size_t n, uint32_t dim) {
+  Rng rng(99);
+  std::vector<Tuple> out;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<float> vals(dim);
+    for (auto& v : vals) v = static_cast<float>(rng.NextGaussian());
+    out.push_back(MakeDenseTuple(i, i % 2 ? 1.0 : -1.0, std::move(vals)));
+  }
+  return out;
+}
+
+TEST(TableTest, BuildScanRoundTrip) {
+  const std::string path = TempPath("tbl_roundtrip.dat");
+  Schema schema{"t", 8, false, LabelType::kBinary, 2};
+  auto tuples = MakeTuples(500, 8);
+  TableBuilder builder(schema, path, TableOptions{512, false});
+  for (const auto& t : tuples) ASSERT_TRUE(builder.Append(t).ok());
+  auto table = builder.Finish();
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_tuples(), 500u);
+
+  std::vector<Tuple> scanned;
+  ASSERT_TRUE((*table)
+                  ->Scan([&](const Tuple& t) {
+                    scanned.push_back(t);
+                    return Status::OK();
+                  })
+                  .ok());
+  ASSERT_EQ(scanned.size(), tuples.size());
+  for (size_t i = 0; i < tuples.size(); ++i) EXPECT_EQ(scanned[i], tuples[i]);
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, ReadTupleAtMatchesOrder) {
+  const std::string path = TempPath("tbl_at.dat");
+  Schema schema{"t", 4, false, LabelType::kBinary, 2};
+  auto tuples = MakeTuples(200, 4);
+  TableBuilder builder(schema, path, TableOptions{512, false});
+  for (const auto& t : tuples) ASSERT_TRUE(builder.Append(t).ok());
+  auto table = builder.Finish();
+  ASSERT_TRUE(table.ok());
+  for (uint64_t idx : {0ULL, 57ULL, 123ULL, 199ULL}) {
+    auto t = (*table)->ReadTupleAt(idx);
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(*t, tuples[idx]);
+  }
+  EXPECT_FALSE((*table)->ReadTupleAt(200).ok());
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, CompressedRoundTripAndDecompressBilling) {
+  const std::string path = TempPath("tbl_comp.dat");
+  Schema schema{"t", 64, false, LabelType::kBinary, 2};
+  // Zero-heavy features so compression bites.
+  Rng rng(3);
+  std::vector<Tuple> tuples;
+  for (size_t i = 0; i < 100; ++i) {
+    std::vector<float> vals(64, 0.0f);
+    for (int k = 0; k < 8; ++k) {
+      vals[rng.Uniform(64)] = static_cast<float>(rng.NextGaussian());
+    }
+    tuples.push_back(MakeDenseTuple(i, 1.0, std::move(vals)));
+  }
+  TableBuilder builder(schema, path, TableOptions{4096, true});
+  for (const auto& t : tuples) ASSERT_TRUE(builder.Append(t).ok());
+  auto table = builder.Finish();
+  ASSERT_TRUE(table.ok());
+
+  SimClock clock;
+  (*table)->SetIoAccounting(DeviceProfile::Memory(), &clock, nullptr);
+  std::vector<Tuple> read;
+  ASSERT_TRUE((*table)->ReadTuplesFromPages(0, (*table)->num_pages(), &read).ok());
+  ASSERT_EQ(read.size(), tuples.size());
+  for (size_t i = 0; i < tuples.size(); ++i) EXPECT_EQ(read[i], tuples[i]);
+  EXPECT_GT(clock.Elapsed(TimeCategory::kDecompress), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, TupleLargerThanPageRejected) {
+  const std::string path = TempPath("tbl_big.dat");
+  Schema schema{"t", 1000, false, LabelType::kBinary, 2};
+  TableBuilder builder(schema, path, TableOptions{512, false});
+  std::vector<float> vals(1000, 1.0f);
+  EXPECT_TRUE(builder.Append(MakeDenseTuple(0, 1.0, vals)).IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(BlockSourceTest, InMemoryBlocks) {
+  Schema schema{"t", 4, false, LabelType::kBinary, 2};
+  auto tuples = std::make_shared<std::vector<Tuple>>(MakeTuples(25, 4));
+  InMemoryBlockSource src(schema, tuples, 10);
+  EXPECT_EQ(src.num_blocks(), 3u);
+  EXPECT_EQ(src.num_tuples(), 25u);
+  EXPECT_EQ(src.TuplesInBlock(0), 10u);
+  EXPECT_EQ(src.TuplesInBlock(2), 5u);
+  std::vector<Tuple> block;
+  ASSERT_TRUE(src.ReadBlock(2, &block).ok());
+  EXPECT_EQ(block.size(), 5u);
+  EXPECT_EQ(block[0].id, 20u);
+  EXPECT_FALSE(src.ReadBlock(3, &block).ok());
+}
+
+TEST(BlockSourceTest, TableBlocksCoverAllTuples) {
+  const std::string path = TempPath("tbl_blocks.dat");
+  Schema schema{"t", 8, false, LabelType::kBinary, 2};
+  auto tuples = MakeTuples(300, 8);
+  TableBuilder builder(schema, path, TableOptions{512, false});
+  for (const auto& t : tuples) ASSERT_TRUE(builder.Append(t).ok());
+  auto table = builder.Finish();
+  ASSERT_TRUE(table.ok());
+
+  TableBlockSource src(table->get(), 2048);  // 4 pages per block
+  EXPECT_EQ(src.pages_per_block(), 4u);
+  std::vector<Tuple> all;
+  for (uint32_t b = 0; b < src.num_blocks(); ++b) {
+    const size_t before = all.size();
+    ASSERT_TRUE(src.ReadBlock(b, &all).ok());
+    EXPECT_EQ(all.size() - before, src.TuplesInBlock(b));
+  }
+  ASSERT_EQ(all.size(), tuples.size());
+  for (size_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i], tuples[i]);
+  std::remove(path.c_str());
+}
+
+TEST(TableBufferManagerTest, SecondEpochIsFree) {
+  const std::string path = TempPath("tbl_bm.dat");
+  Schema schema{"t", 8, false, LabelType::kBinary, 2};
+  auto tuples = MakeTuples(400, 8);
+  TableBuilder builder(schema, path, TableOptions{512, false});
+  for (const auto& t : tuples) ASSERT_TRUE(builder.Append(t).ok());
+  auto table = builder.Finish();
+  ASSERT_TRUE(table.ok());
+
+  SimClock clock;
+  IoStats stats;
+  (*table)->SetIoAccounting(DeviceProfile::Hdd(), &clock, &stats);
+  BufferManager bm(1 << 20);  // plenty for the whole table
+  (*table)->SetBufferManager(&bm);
+
+  std::vector<Tuple> out;
+  ASSERT_TRUE((*table)->ReadTuplesFromPages(0, (*table)->num_pages(), &out).ok());
+  ASSERT_EQ(out.size(), tuples.size());
+  const double after_first = clock.Elapsed(TimeCategory::kIoRead);
+  EXPECT_GT(after_first, 0.0);
+
+  // Second pass: everything cached, no new device time.
+  out.clear();
+  (*table)->ResetReadCursor();
+  ASSERT_TRUE((*table)->ReadTuplesFromPages(0, (*table)->num_pages(), &out).ok());
+  ASSERT_EQ(out.size(), tuples.size());
+  EXPECT_DOUBLE_EQ(clock.Elapsed(TimeCategory::kIoRead), after_first);
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], tuples[i]);
+  std::remove(path.c_str());
+}
+
+TEST(TableBufferManagerTest, SmallPoolStillPaysIo) {
+  const std::string path = TempPath("tbl_bm_small.dat");
+  Schema schema{"t", 8, false, LabelType::kBinary, 2};
+  auto tuples = MakeTuples(400, 8);
+  TableBuilder builder(schema, path, TableOptions{512, false});
+  for (const auto& t : tuples) ASSERT_TRUE(builder.Append(t).ok());
+  auto table = builder.Finish();
+  ASSERT_TRUE(table.ok());
+
+  SimClock clock;
+  (*table)->SetIoAccounting(DeviceProfile::Hdd(), &clock, nullptr);
+  BufferManager bm(4 * 512);  // only 4 pages: thrashes
+  (*table)->SetBufferManager(&bm);
+  std::vector<Tuple> out;
+  ASSERT_TRUE((*table)->ReadTuplesFromPages(0, (*table)->num_pages(), &out).ok());
+  const double after_first = clock.Elapsed(TimeCategory::kIoRead);
+  out.clear();
+  (*table)->ResetReadCursor();
+  ASSERT_TRUE((*table)->ReadTuplesFromPages(0, (*table)->num_pages(), &out).ok());
+  EXPECT_GT(clock.Elapsed(TimeCategory::kIoRead), 1.5 * after_first);
+  std::remove(path.c_str());
+}
+
+TEST(TableBufferManagerTest, MixedRunsDecodeInOrder) {
+  // Pre-cache every other page, then read a range: cached and uncached
+  // pages must interleave back in the right order.
+  const std::string path = TempPath("tbl_bm_mix.dat");
+  Schema schema{"t", 4, false, LabelType::kBinary, 2};
+  auto tuples = MakeTuples(300, 4);
+  TableBuilder builder(schema, path, TableOptions{512, false});
+  for (const auto& t : tuples) ASSERT_TRUE(builder.Append(t).ok());
+  auto table = builder.Finish();
+  ASSERT_TRUE(table.ok());
+  BufferManager bm(1 << 20);
+  (*table)->SetBufferManager(&bm);
+  for (uint64_t p = 0; p < (*table)->num_pages(); p += 2) {
+    ASSERT_TRUE(bm.Fetch((*table)->file(), p).ok());
+  }
+  std::vector<Tuple> out;
+  ASSERT_TRUE((*table)->ReadTuplesFromPages(0, (*table)->num_pages(), &out).ok());
+  ASSERT_EQ(out.size(), tuples.size());
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], tuples[i]);
+  std::remove(path.c_str());
+}
+
+TEST(BufferManagerTest, InsertAndContains) {
+  const std::string path = TempPath("bm_ins.dat");
+  auto hf = HeapFile::Create(path, 512);
+  ASSERT_TRUE(hf.ok());
+  Page page(512);
+  std::vector<uint8_t> rec{9};
+  page.AddRecord(rec.data(), rec.size());
+  ASSERT_TRUE((*hf)->AppendPage(page).ok());
+
+  BufferManager bm(8 * 512);
+  EXPECT_FALSE(bm.Contains(hf->get(), 0));
+  bm.Insert(hf->get(), 0, std::make_shared<const Page>(page));
+  EXPECT_TRUE(bm.Contains(hf->get(), 0));
+  // Fetch of an inserted page is a hit, no file read.
+  auto fetched = bm.Fetch(hf->get(), 0);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(bm.stats().hits, 1u);
+  EXPECT_EQ(bm.stats().misses, 0u);
+  // Duplicate insert is a no-op.
+  bm.Insert(hf->get(), 0, std::make_shared<const Page>(page));
+  EXPECT_TRUE(bm.Contains(hf->get(), 0));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace corgipile

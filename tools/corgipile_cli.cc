@@ -1,0 +1,188 @@
+// corgipile-cli — an interactive shell for the CorgiPile database engine.
+//
+//   $ corgipile_cli --data=/tmp/corgi --device=ssd
+//   corgipile> LOAD TABLE higgs FROM '/data/higgs.libsvm' WITH order=clustered
+//   corgipile> SELECT * FROM higgs TRAIN BY svm WITH learning_rate=0.005,
+//              max_epoch_num=10, block_size=32KB
+//   corgipile> SELECT * FROM higgs EVALUATE BY svm_0
+//
+// Built-in meta commands:
+//   \generate <catalog> <table> [scale] [order]  synthesize a catalog dataset
+//   \tables                                      list tables
+//   \models                                      list stored models
+//   \timing on|off                               toggle per-statement timing
+//   \help, \quit
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "db/database.h"
+#include "dataset/catalog.h"
+#include "util/timer.h"
+
+namespace corgipile {
+namespace {
+
+struct CliOptions {
+  std::string data_dir = "/tmp/corgipile_cli";
+  DeviceKind device = DeviceKind::kSsd;
+  double device_scale = 1e-3;
+  std::vector<std::string> statements;  ///< from -e flags; else interactive
+};
+
+CliOptions ParseArgs(int argc, char** argv) {
+  CliOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--data=", 0) == 0) {
+      opts.data_dir = arg.substr(7);
+    } else if (arg.rfind("--device=", 0) == 0) {
+      const std::string dev = arg.substr(9);
+      opts.device = dev == "hdd" ? DeviceKind::kHdd : DeviceKind::kSsd;
+    } else if (arg.rfind("--device-scale=", 0) == 0) {
+      opts.device_scale = std::atof(arg.c_str() + 15);
+    } else if (arg == "-e" && i + 1 < argc) {
+      opts.statements.emplace_back(argv[++i]);
+    } else if (arg == "--help") {
+      std::printf(
+          "usage: corgipile_cli [--data=DIR] [--device=hdd|ssd] "
+          "[--device-scale=F] [-e STMT]...\n");
+      std::exit(0);
+    }
+  }
+  return opts;
+}
+
+void PrintHelp() {
+  std::printf(
+      "statements:\n"
+      "  LOAD TABLE <t> FROM '<libsvm>' [WITH order=clustered, ...]\n"
+      "  SELECT * FROM <t> TRAIN BY <model> [WITH k=v, ...]\n"
+      "  SELECT * FROM <t> PREDICT BY <model_id>\n"
+      "  SELECT * FROM <t> EVALUATE BY <model_id>\n"
+      "meta:\n"
+      "  \\generate <catalog_name> <table> [scale] [order]\n"
+      "  \\tables   \\models   \\timing on|off   \\help   \\quit\n");
+}
+
+class Cli {
+ public:
+  explicit Cli(const CliOptions& opts)
+      : db_(opts.data_dir,
+            DeviceProfile::ForKind(opts.device).Scaled(opts.device_scale)) {}
+
+  // Returns false on \quit.
+  bool HandleLine(const std::string& line) {
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty()) return true;
+    if (trimmed[0] == '\\') return HandleMeta(trimmed);
+    WallTimer timer;
+    auto result = db_.Execute(trimmed);
+    if (result.ok()) {
+      std::printf("%s\n", result->c_str());
+    } else {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+    }
+    if (timing_) {
+      std::printf("(%.1f ms wall, %.4f s simulated total)\n",
+                  timer.ElapsedMillis(), db_.clock().TotalElapsed());
+    }
+    return true;
+  }
+
+ private:
+  static std::string Trim(const std::string& s) {
+    size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos) return "";
+    size_t e = s.find_last_not_of(" \t\r\n;");
+    return s.substr(b, e - b + 1);
+  }
+
+  bool HandleMeta(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd == "\\quit" || cmd == "\\q") return false;
+    if (cmd == "\\help") {
+      PrintHelp();
+    } else if (cmd == "\\timing") {
+      std::string mode;
+      in >> mode;
+      timing_ = (mode != "off");
+      std::printf("timing %s\n", timing_ ? "on" : "off");
+    } else if (cmd == "\\tables") {
+      // The engine has no table-listing API surface by design; go through
+      // known names the session created.
+      for (const auto& name : tables_) std::printf("%s\n", name.c_str());
+    } else if (cmd == "\\models") {
+      for (const auto& id : db_.models().Ids()) {
+        std::printf("%s\n", id.c_str());
+      }
+    } else if (cmd == "\\generate") {
+      std::string catalog, table, order_text = "clustered";
+      double scale = 0.1;
+      in >> catalog >> table;
+      if (!(in >> scale)) scale = 0.1;
+      in.clear();
+      in >> order_text;
+      if (catalog.empty() || table.empty()) {
+        std::printf("usage: \\generate <catalog> <table> [scale] [order]\n");
+        return true;
+      }
+      auto spec = CatalogLookup(catalog, scale);
+      if (!spec.ok()) {
+        std::printf("error: %s\n", spec.status().ToString().c_str());
+        return true;
+      }
+      const DataOrder order = order_text == "shuffled"
+                                  ? DataOrder::kShuffled
+                                  : DataOrder::kClustered;
+      Dataset ds = GenerateDataset(*spec, order);
+      Status st = db_.RegisterDataset(table, ds);
+      if (!st.ok()) {
+        std::printf("error: %s\n", st.ToString().c_str());
+      } else {
+        tables_.push_back(table);
+        std::printf("generated %zu train tuples into %s (%s, %s)\n",
+                    ds.train->size(), table.c_str(), catalog.c_str(),
+                    DataOrderToString(order));
+      }
+    } else {
+      std::printf("unknown meta command %s (try \\help)\n", cmd.c_str());
+    }
+    return true;
+  }
+
+  Database db_;
+  std::vector<std::string> tables_;
+  bool timing_ = true;
+};
+
+}  // namespace
+}  // namespace corgipile
+
+int main(int argc, char** argv) {
+  using namespace corgipile;
+  CliOptions opts = ParseArgs(argc, argv);
+  std::filesystem::create_directories(opts.data_dir);
+  Cli cli(opts);
+
+  if (!opts.statements.empty()) {
+    for (const auto& stmt : opts.statements) {
+      if (!cli.HandleLine(stmt)) break;
+    }
+    return 0;
+  }
+
+  std::printf("corgipile-cli (type \\help for usage, \\quit to exit)\n");
+  std::string line;
+  while (std::printf("corgipile> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    if (!cli.HandleLine(line)) break;
+  }
+  return 0;
+}
