@@ -9,9 +9,17 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/crc32c.h"
+
 namespace corgipile {
 
-RecordFileWriter::RecordFileWriter(int fd) : fd_(fd) {}
+namespace {
+// [u32 length][u32 crc32c] precede every payload.
+constexpr uint64_t kRecordHeaderBytes = 8;
+}  // namespace
+
+RecordFileWriter::RecordFileWriter(int fd, uint64_t tag)
+    : fd_(fd), tag_(tag) {}
 
 RecordFileWriter::~RecordFileWriter() {
   if (fd_ >= 0) ::close(fd_);
@@ -23,7 +31,12 @@ Result<std::unique_ptr<RecordFileWriter>> RecordFileWriter::Create(
   if (fd < 0) {
     return Status::IoError("create " + path + ": " + std::strerror(errno));
   }
-  return std::unique_ptr<RecordFileWriter>(new RecordFileWriter(fd));
+  return std::unique_ptr<RecordFileWriter>(
+      new RecordFileWriter(fd, FaultInjector::TagForPath(path)));
+}
+
+void RecordFileWriter::SetFaultInjection(FaultInjector* injector) {
+  fault_ = injector;
 }
 
 Status RecordFileWriter::Append(const Tuple& tuple) {
@@ -32,7 +45,21 @@ Status RecordFileWriter::Append(const Tuple& tuple) {
   const auto len = static_cast<uint32_t>(tuple.SerializedSize());
   const auto* lp = reinterpret_cast<const uint8_t*>(&len);
   scratch_.insert(scratch_.end(), lp, lp + sizeof(len));
+  scratch_.insert(scratch_.end(), 4, 0);  // crc placeholder
   tuple.SerializeTo(&scratch_);
+  const uint32_t crc =
+      Crc32cForStorage(scratch_.data() + kRecordHeaderBytes, len);
+  std::memcpy(scratch_.data() + sizeof(len), &crc, sizeof(crc));
+
+  if (fault_ != nullptr) {
+    const uint64_t persist =
+        fault_->TornWriteBytes(tag_, bytes_written_, scratch_.size());
+    if (persist < scratch_.size()) {
+      // Torn write: the tail never reaches the platter and reads back as
+      // zeros. Offsets stay consistent; the record CRC catches it on read.
+      std::memset(scratch_.data() + persist, 0, scratch_.size() - persist);
+    }
+  }
   const ssize_t n = ::write(fd_, scratch_.data(), scratch_.size());
   if (n != static_cast<ssize_t>(scratch_.size())) {
     return Status::IoError(std::string("write: ") + std::strerror(errno));
@@ -44,6 +71,13 @@ Status RecordFileWriter::Append(const Tuple& tuple) {
 
 Status RecordFileWriter::Finish() {
   if (fd_ < 0) return Status::OK();
+  if (::fsync(fd_) != 0) {
+    const Status st =
+        Status::IoError(std::string("fsync: ") + std::strerror(errno));
+    ::close(fd_);
+    fd_ = -1;
+    return st;
+  }
   if (::close(fd_) != 0) {
     fd_ = -1;
     return Status::IoError(std::string("close: ") + std::strerror(errno));
@@ -62,6 +96,49 @@ Status RecordBlockIndex::WriteFile(const std::string& path) const {
   return Status::OK();
 }
 
+Status RecordBlockIndex::Validate(uint64_t file_size) const {
+  uint64_t prev_end = 0;
+  uint64_t tuple_sum = 0;
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    const Entry& e = blocks[i];
+    if (e.bytes == 0 || e.num_tuples == 0) {
+      return Status::Corruption("index entry " + std::to_string(i) +
+                                " is empty");
+    }
+    if (e.bytes < e.num_tuples * kRecordHeaderBytes) {
+      return Status::Corruption(
+          "index entry " + std::to_string(i) + " claims " +
+          std::to_string(e.num_tuples) + " tuples in " +
+          std::to_string(e.bytes) + " bytes");
+    }
+    if (i > 0 && e.offset < prev_end) {
+      return Status::Corruption("index entry " + std::to_string(i) +
+                                " overlaps or precedes entry " +
+                                std::to_string(i - 1));
+    }
+    if (e.offset + e.bytes < e.offset) {
+      return Status::Corruption("index entry " + std::to_string(i) +
+                                " offset+bytes overflows");
+    }
+    if (file_size > 0 && e.offset + e.bytes > file_size) {
+      return Status::Corruption(
+          "index entry " + std::to_string(i) + " range [" +
+          std::to_string(e.offset) + ", " +
+          std::to_string(e.offset + e.bytes) + ") exceeds file size " +
+          std::to_string(file_size));
+    }
+    prev_end = e.offset + e.bytes;
+    tuple_sum += e.num_tuples;
+  }
+  if (tuple_sum != total_tuples) {
+    return Status::Corruption("index total_tuples " +
+                              std::to_string(total_tuples) +
+                              " != sum of entries " +
+                              std::to_string(tuple_sum));
+  }
+  return Status::OK();
+}
+
 Result<RecordBlockIndex> RecordBlockIndex::ReadFile(const std::string& path) {
   std::ifstream f(path);
   if (!f) return Status::IoError("cannot open " + path);
@@ -70,6 +147,10 @@ Result<RecordBlockIndex> RecordBlockIndex::ReadFile(const std::string& path) {
   while (f >> e.offset >> e.bytes >> e.num_tuples) {
     index.blocks.push_back(e);
     index.total_tuples += e.num_tuples;
+  }
+  Status st = index.Validate(/*file_size=*/0);
+  if (!st.ok()) {
+    return Status::Corruption("index file " + path + ": " + st.message());
   }
   return index;
 }
@@ -83,9 +164,10 @@ Result<RecordBlockIndex> BuildRecordBlockIndex(const std::string& path,
   uint64_t offset = 0;
   uint32_t len = 0;
   while (f.read(reinterpret_cast<char*>(&len), sizeof(len))) {
-    f.seekg(len, std::ios::cur);
+    // Skip the CRC field and the payload.
+    f.seekg(kRecordHeaderBytes - sizeof(len) + len, std::ios::cur);
     if (!f.good()) return Status::Corruption("truncated record in " + path);
-    const uint64_t record_bytes = sizeof(len) + len;
+    const uint64_t record_bytes = kRecordHeaderBytes + len;
     if (current.bytes > 0 && current.bytes + record_bytes > block_bytes) {
       index.blocks.push_back(current);
       current = RecordBlockIndex::Entry{offset, 0, 0};
@@ -101,8 +183,9 @@ Result<RecordBlockIndex> BuildRecordBlockIndex(const std::string& path,
 }
 
 RecordFileBlockSource::RecordFileBlockSource(int fd, RecordBlockIndex index,
-                                             Schema schema)
-    : fd_(fd), index_(std::move(index)), schema_(std::move(schema)) {}
+                                             Schema schema, uint64_t tag)
+    : fd_(fd), index_(std::move(index)), schema_(std::move(schema)),
+      tag_(tag) {}
 
 RecordFileBlockSource::~RecordFileBlockSource() {
   if (fd_ >= 0) ::close(fd_);
@@ -114,8 +197,19 @@ Result<std::unique_ptr<RecordFileBlockSource>> RecordFileBlockSource::Open(
   if (fd < 0) {
     return Status::IoError("open " + path + ": " + std::strerror(errno));
   }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError("fstat " + path + ": " + std::strerror(errno));
+  }
+  Status vs = index.Validate(static_cast<uint64_t>(st.st_size));
+  if (!vs.ok()) {
+    ::close(fd);
+    return Status::Corruption("index for " + path + ": " + vs.message());
+  }
   return std::unique_ptr<RecordFileBlockSource>(
-      new RecordFileBlockSource(fd, std::move(index), std::move(schema)));
+      new RecordFileBlockSource(fd, std::move(index), std::move(schema),
+                                FaultInjector::TagForPath(path)));
 }
 
 void RecordFileBlockSource::SetIoAccounting(DeviceProfile device,
@@ -126,6 +220,66 @@ void RecordFileBlockSource::SetIoAccounting(DeviceProfile device,
   stats_ = stats;
 }
 
+void RecordFileBlockSource::SetFaultInjection(FaultInjector* injector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_ = injector;
+}
+
+void RecordFileBlockSource::SetRetryPolicy(RetryPolicy policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  retry_ = policy;
+}
+
+Status RecordFileBlockSource::ReadRawWithRetry(uint64_t offset, uint8_t* buf,
+                                               size_t len) {
+  Status st = Status::OK();
+  for (uint32_t attempt = 0; attempt <= retry_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (clock_ != nullptr) {
+          clock_->Advance(TimeCategory::kRetryBackoff,
+                          retry_.BackoffSeconds(attempt - 1));
+        }
+      }
+      if (fault_ != nullptr) {
+        fault_->stats().retries.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    st = Status::OK();
+    if (fault_ != nullptr) st = fault_->OnReadAttempt(tag_, offset);
+    if (st.ok()) {
+      const ssize_t n = ::pread(fd_, buf, len, static_cast<off_t>(offset));
+      if (n != static_cast<ssize_t>(len)) {
+        st = Status::IoError(std::string("pread: ") + std::strerror(errno));
+      }
+    }
+    if (st.ok()) {
+      if (fault_ != nullptr) {
+        fault_->MaybeCorrupt(tag_, offset, buf, len);
+        const double spike = fault_->ReadLatencySpikeSeconds(tag_, offset);
+        if (spike > 0) {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (clock_ != nullptr) {
+            clock_->Advance(TimeCategory::kIoRead, spike);
+          }
+        }
+      }
+      if (attempt > 0 && fault_ != nullptr) {
+        fault_->stats().recovered.fetch_add(1, std::memory_order_relaxed);
+      }
+      return Status::OK();
+    }
+    if (st.code() != StatusCode::kIoError) return st;  // not retryable
+  }
+  if (fault_ != nullptr) {
+    fault_->stats().permanent_failures.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::IoError("read failed after " +
+                         std::to_string(retry_.max_retries) + " retries: " +
+                         st.message());
+}
+
 Status RecordFileBlockSource::ReadBlock(uint32_t block,
                                         std::vector<Tuple>* out) {
   if (block >= index_.blocks.size()) {
@@ -133,11 +287,7 @@ Status RecordFileBlockSource::ReadBlock(uint32_t block,
   }
   const auto& entry = index_.blocks[block];
   std::vector<uint8_t> buf(entry.bytes);
-  const ssize_t n = ::pread(fd_, buf.data(), buf.size(),
-                            static_cast<off_t>(entry.offset));
-  if (n != static_cast<ssize_t>(buf.size())) {
-    return Status::IoError(std::string("pread: ") + std::strerror(errno));
-  }
+  CORGI_RETURN_NOT_OK(ReadRawWithRetry(entry.offset, buf.data(), buf.size()));
   {
     std::lock_guard<std::mutex> lock(mu_);
     const bool sequential = last_end_offset_ == entry.offset;
@@ -159,13 +309,25 @@ Status RecordFileBlockSource::ReadBlock(uint32_t block,
 
   size_t pos = 0;
   for (uint64_t i = 0; i < entry.num_tuples; ++i) {
-    if (pos + sizeof(uint32_t) > buf.size()) {
-      return Status::Corruption("truncated record header");
+    if (pos + kRecordHeaderBytes > buf.size()) {
+      return Status::Corruption("truncated record header in block " +
+                                std::to_string(block));
     }
     uint32_t len = 0;
+    uint32_t stored_crc = 0;
     std::memcpy(&len, buf.data() + pos, sizeof(len));
-    pos += sizeof(len);
-    if (pos + len > buf.size()) return Status::Corruption("truncated record");
+    std::memcpy(&stored_crc, buf.data() + pos + sizeof(len),
+                sizeof(stored_crc));
+    pos += kRecordHeaderBytes;
+    if (pos + len > buf.size()) {
+      return Status::Corruption("truncated record in block " +
+                                std::to_string(block));
+    }
+    if (stored_crc != 0 &&
+        stored_crc != Crc32cForStorage(buf.data() + pos, len)) {
+      return Status::Corruption("crc mismatch on record " + std::to_string(i) +
+                                " of block " + std::to_string(block));
+    }
     size_t consumed = 0;
     CORGI_ASSIGN_OR_RETURN(Tuple t,
                            Tuple::Deserialize(buf.data() + pos, len, &consumed));

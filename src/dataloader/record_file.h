@@ -6,6 +6,14 @@
 // whole blocks. This module provides exactly that: a record file of
 // length-prefixed serialized tuples, an index builder, and a BlockSource
 // over the pair with the same device-cost accounting as heap tables.
+//
+// Record wire format: [u32 length][u32 crc32c][payload]. The CRC covers the
+// payload only (TFRecord keeps a masked CRC per record for the same
+// reason); 0 means "no checksum" and is never produced by the writer. A
+// mismatch surfaces as kCorruption from ReadBlock so corrupt records are
+// quarantined rather than fed to SGD. Reads retry transient I/O errors
+// with bounded exponential backoff; an optional FaultInjector makes both
+// failure modes reproducible.
 
 #pragma once
 
@@ -15,29 +23,37 @@
 #include <vector>
 
 #include "iosim/device.h"
+#include "iosim/fault_injector.h"
 #include "iosim/sim_clock.h"
 #include "storage/block_source.h"
 #include "util/status.h"
 
 namespace corgipile {
 
-/// Writes records as [u32 length][payload]*; payload = Tuple wire format.
+/// Writes records as [u32 length][u32 crc32c][payload]*; payload = Tuple
+/// wire format.
 class RecordFileWriter {
  public:
   ~RecordFileWriter();
   static Result<std::unique_ptr<RecordFileWriter>> Create(
       const std::string& path);
 
+  /// Attaches a fault injector; appends may then be torn (prefix persists,
+  /// tail zeroed — silent until a checksum read). Not owned.
+  void SetFaultInjection(FaultInjector* injector);
+
   Status Append(const Tuple& tuple);
-  /// Flushes and closes; the writer is unusable afterwards.
+  /// Fsyncs and closes; the writer is unusable afterwards.
   Status Finish();
 
   uint64_t bytes_written() const { return bytes_written_; }
   uint64_t records_written() const { return records_written_; }
 
  private:
-  explicit RecordFileWriter(int fd);
+  RecordFileWriter(int fd, uint64_t tag);
   int fd_;
+  uint64_t tag_;
+  FaultInjector* fault_ = nullptr;
   uint64_t bytes_written_ = 0;
   uint64_t records_written_ = 0;
   std::vector<uint8_t> scratch_;
@@ -55,7 +71,14 @@ struct RecordBlockIndex {
 
   /// Plain-text serialization ("offset bytes tuples" per line).
   Status WriteFile(const std::string& path) const;
+  /// Parses and structurally validates an index: offsets must be monotone
+  /// and non-overlapping, every entry non-empty, and each block large
+  /// enough to hold its claimed tuple count. Returns kCorruption otherwise.
   static Result<RecordBlockIndex> ReadFile(const std::string& path);
+
+  /// Re-checks the invariants of ReadFile plus, when `file_size` is
+  /// non-zero, that every block lies inside the data file.
+  Status Validate(uint64_t file_size) const;
 };
 
 /// Scans a record file once and cuts it into blocks of ~block_bytes
@@ -70,11 +93,18 @@ class RecordFileBlockSource : public BlockSource {
  public:
   ~RecordFileBlockSource() override;
 
+  /// Opens the data file and validates the index against its actual size.
   static Result<std::unique_ptr<RecordFileBlockSource>> Open(
       const std::string& path, RecordBlockIndex index, Schema schema);
 
   /// Device model + clocks (may be null). Not owned.
   void SetIoAccounting(DeviceProfile device, SimClock* clock, IoStats* stats);
+
+  /// Fault injector consulted on every block read; null to detach. Not owned.
+  void SetFaultInjection(FaultInjector* injector);
+
+  /// Retry policy for transient kIoError read failures.
+  void SetRetryPolicy(RetryPolicy policy);
 
   const Schema& schema() const override { return schema_; }
   uint32_t num_blocks() const override {
@@ -88,14 +118,20 @@ class RecordFileBlockSource : public BlockSource {
   void Reset() override { last_end_offset_ = UINT64_MAX; }
 
  private:
-  RecordFileBlockSource(int fd, RecordBlockIndex index, Schema schema);
+  RecordFileBlockSource(int fd, RecordBlockIndex index, Schema schema,
+                        uint64_t tag);
+
+  Status ReadRawWithRetry(uint64_t offset, uint8_t* buf, size_t len);
 
   int fd_;
   RecordBlockIndex index_;
   Schema schema_;
+  uint64_t tag_;
   DeviceProfile device_ = DeviceProfile::Memory();
   SimClock* clock_ = nullptr;
   IoStats* stats_ = nullptr;
+  FaultInjector* fault_ = nullptr;
+  RetryPolicy retry_;
   uint64_t last_end_offset_ = UINT64_MAX;
   std::mutex mu_;
 };

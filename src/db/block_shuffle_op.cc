@@ -32,6 +32,7 @@ Status BlockShuffleOp::ReScan() {
   next_block_ = 0;
   current_block_.clear();
   pos_ = 0;
+  epoch_quarantined_ = 0;
   table_->ResetReadCursor();
   return Status::OK();
 }
@@ -46,8 +47,32 @@ bool BlockShuffleOp::LoadNextBlock() {
     pos_ = 0;
     Status st = table_->ReadTuplesFromPages(first, count, &current_block_);
     if (!st.ok()) {
-      status_ = st;
-      return false;
+      const bool skippable = st.code() == StatusCode::kCorruption ||
+                             st.code() == StatusCode::kIoError;
+      if (!options_.tolerance.quarantine_corrupt_blocks || !skippable) {
+        status_ = st;
+        return false;
+      }
+      // Quarantine: drop whatever the partial read produced and move on.
+      current_block_.clear();
+      ++quarantined_blocks_;
+      ++epoch_quarantined_;
+      for (uint64_t p = first; p < first + count; ++p) {
+        skipped_tuples_ += table_->TuplesInPage(p);
+      }
+      const double bad_fraction =
+          static_cast<double>(epoch_quarantined_) /
+          static_cast<double>(std::max<uint32_t>(1, num_blocks_));
+      if (bad_fraction > options_.tolerance.max_bad_block_fraction) {
+        status_ = Status::Corruption(
+            "quarantined " + std::to_string(epoch_quarantined_) + "/" +
+            std::to_string(num_blocks_) +
+            " blocks this epoch, over the tolerated fraction " +
+            std::to_string(options_.tolerance.max_bad_block_fraction) +
+            " (last error: " + st.message() + ")");
+        return false;
+      }
+      continue;
     }
     if (!current_block_.empty()) return true;
   }

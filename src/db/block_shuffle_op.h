@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "db/operator.h"
+#include "storage/block_source.h"
 #include "storage/table.h"
 #include "util/rng.h"
 
@@ -21,6 +22,9 @@ class BlockShuffleOp : public PhysicalOperator {
     uint64_t block_size_bytes = 10 * 1024 * 1024;
     bool shuffle_blocks = true;
     uint64_t seed = 42;
+    /// Degradation policy: skip blocks whose pages fail checksum/structure
+    /// verification (or permanently fail to read) instead of aborting.
+    BlockReadTolerance tolerance;
   };
 
   BlockShuffleOp(Table* table, Options options);
@@ -34,6 +38,8 @@ class BlockShuffleOp : public PhysicalOperator {
 
   uint32_t num_blocks() const { return num_blocks_; }
   uint64_t pages_per_block() const { return pages_per_block_; }
+  uint64_t QuarantinedBlocks() const override { return quarantined_blocks_; }
+  uint64_t SkippedTuples() const override { return skipped_tuples_; }
 
  private:
   bool LoadNextBlock();
@@ -48,6 +54,9 @@ class BlockShuffleOp : public PhysicalOperator {
   std::vector<Tuple> current_block_;
   size_t pos_ = 0;
   uint64_t epoch_ = 0;
+  uint64_t quarantined_blocks_ = 0;  // cumulative across epochs
+  uint64_t skipped_tuples_ = 0;      // cumulative across epochs
+  uint64_t epoch_quarantined_ = 0;   // this epoch, for the abort threshold
   Status status_;
   bool initialized_ = false;
 };

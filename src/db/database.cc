@@ -55,6 +55,7 @@ Status Database::CreateTable(const std::string& name, const Schema& schema,
     }
   }
   entry.table->SetIoAccounting(device_, &clock_, &io_stats_);
+  if (fault_ != nullptr) entry.table->SetFaultInjection(fault_);
   // Scan-resistant OS-cache model: only files that fit in the pool are
   // cached; larger files cannot retain a working set under repeated scans,
   // so neither access pattern benefits (§7.3.4's small-vs-large split).
@@ -99,6 +100,7 @@ Status Database::Attach(const std::string& name) {
       entry.table,
       Table::Open(data_dir_ + "/" + name + ".tbl", schema, options));
   entry.table->SetIoAccounting(device_, &clock_, &io_stats_);
+  if (fault_ != nullptr) entry.table->SetFaultInjection(fault_);
   if (buffer_pool_ != nullptr &&
       entry.table->size_bytes() <= buffer_pool_->capacity_bytes()) {
     entry.table->SetBufferManager(buffer_pool_.get());
@@ -107,6 +109,16 @@ Status Database::Attach(const std::string& name) {
   entry.num_classes = schema.num_classes;
   tables_[name] = std::move(entry);
   return Status::OK();
+}
+
+void Database::SetFaultInjection(FaultInjector* injector) {
+  fault_ = injector;
+  for (auto& [name, entry] : tables_) {
+    entry.table->SetFaultInjection(injector);
+  }
+  for (auto& [name, table] : shuffled_copies_) {
+    table->SetFaultInjection(injector);
+  }
 }
 
 Result<Table*> Database::GetTable(const std::string& name) {
@@ -166,6 +178,18 @@ Result<InDbTrainResult> Database::Train(const TrainStatement& stmt) {
   CORGI_ASSIGN_OR_RETURN(bool double_buffer, p.GetBool("double_buffer", true));
   CORGI_ASSIGN_OR_RETURN(int64_t seed, p.GetInt("seed", 42));
   CORGI_ASSIGN_OR_RETURN(std::string opt_name, p.GetString("optimizer", "sgd"));
+  CORGI_ASSIGN_OR_RETURN(bool tolerate_corruption,
+                         p.GetBool("tolerate_corruption", false));
+  CORGI_ASSIGN_OR_RETURN(double max_bad_fraction,
+                         p.GetDouble("max_bad_fraction", 0.05));
+  if (max_bad_fraction < 0.0 || max_bad_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "max_bad_fraction must be in [0, 1], got " +
+        std::to_string(max_bad_fraction));
+  }
+  BlockReadTolerance tolerance;
+  tolerance.quarantine_corrupt_blocks = tolerate_corruption;
+  tolerance.max_bad_block_fraction = max_bad_fraction;
 
   CORGI_ASSIGN_OR_RETURN(std::unique_ptr<Model> model,
                          MakeModel(stmt.model_kind, table->schema(), p));
@@ -224,6 +248,7 @@ Result<InDbTrainResult> Database::Train(const TrainStatement& stmt) {
   bopts.seed = static_cast<uint64_t>(seed);
   bopts.shuffle_blocks =
       (strategy == "corgipile" || strategy == "block_only");
+  bopts.tolerance = tolerance;
   std::unique_ptr<BlockShuffleOp> block_op;
   std::unique_ptr<TupleShuffleOp> tuple_op;
   std::unique_ptr<StreamAdapterOp> adapter_op;
@@ -235,6 +260,7 @@ Result<InDbTrainResult> Database::Train(const TrainStatement& stmt) {
     ShuffleOptions sopts;
     sopts.buffer_fraction = buffer_fraction;
     sopts.seed = static_cast<uint64_t>(seed);
+    sopts.tolerance = tolerance;
     CORGI_ASSIGN_OR_RETURN(ShuffleStrategy parsed,
                            ShuffleStrategyFromString(strategy));
     CORGI_ASSIGN_OR_RETURN(std::unique_ptr<TupleStream> stream,
@@ -273,6 +299,8 @@ Result<InDbTrainResult> Database::Train(const TrainStatement& stmt) {
   SgdOp sgd(model.get(), top, sopts);
   CORGI_RETURN_NOT_OK(sgd.Init());
   CORGI_ASSIGN_OR_RETURN(result.epochs, sgd.RunToCompletion());
+  result.total_quarantined_blocks = top->QuarantinedBlocks();
+  result.total_skipped_tuples = top->SkippedTuples();
   sgd.Close();
 
   const double sim_after = clock_.TotalElapsed();
@@ -399,6 +427,10 @@ Result<std::string> Database::Execute(const std::string& sql) {
        << r.final_loss << "; simulated end-to-end "
        << r.end_to_end_double_seconds << "s (" << r.prep_seconds
        << "s prep)";
+    if (r.total_quarantined_blocks > 0) {
+      os << "; quarantined " << r.total_quarantined_blocks << " blocks ("
+         << r.total_skipped_tuples << " tuples skipped)";
+    }
   } else if (std::holds_alternative<PredictStatement>(stmt)) {
     CORGI_ASSIGN_OR_RETURN(InDbPredictResult r,
                            Predict(std::get<PredictStatement>(stmt)));

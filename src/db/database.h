@@ -79,6 +79,11 @@ class Database {
 
   // --- introspection ---
 
+  /// Attaches a fault injector to every table (current and future) for
+  /// robustness testing; null detaches. Not owned; must outlive the
+  /// database.
+  void SetFaultInjection(FaultInjector* injector);
+
   SimClock& clock() { return clock_; }
   IoStats& io_stats() { return io_stats_; }
   ModelStore& models() { return models_; }
@@ -102,6 +107,7 @@ class Database {
 
   std::string data_dir_;
   DeviceProfile device_;
+  FaultInjector* fault_ = nullptr;
   std::unique_ptr<BufferManager> buffer_pool_;
   SimClock clock_;
   IoStats io_stats_;

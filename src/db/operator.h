@@ -34,6 +34,12 @@ class PhysicalOperator {
   virtual void Close() = 0;
 
   virtual Status status() const { return Status::OK(); }
+
+  /// Unreadable/corrupt blocks skipped so far under a BlockReadTolerance
+  /// policy, and the tuples lost with them. Operators with children should
+  /// aggregate their subtree.
+  virtual uint64_t QuarantinedBlocks() const { return 0; }
+  virtual uint64_t SkippedTuples() const { return 0; }
 };
 
 }  // namespace corgipile

@@ -33,6 +33,11 @@ struct InDbTrainResult {
   double final_metric = 0.0;
   double final_loss = 0.0;
 
+  /// Graceful-degradation totals: corrupt/unreadable blocks quarantined
+  /// across all epochs, and the tuples lost with them.
+  uint64_t total_quarantined_blocks = 0;
+  uint64_t total_skipped_tuples = 0;
+
   /// Set when the engine refuses/cannot finish (e.g. MADlib LR on wide
   /// dense data, which the paper reports as not finishing in 4 hours).
   bool timed_out = false;

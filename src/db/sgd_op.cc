@@ -35,6 +35,8 @@ Result<bool> SgdOp::NextEpoch(EpochLog* log) {
   if (epoch_ >= options_.max_epochs) return false;
 
   const double lr = options_.lr.LrAtEpoch(epoch_);
+  const uint64_t quarantined_before = child_->QuarantinedBlocks();
+  const uint64_t skipped_before = child_->SkippedTuples();
   WallTimer timer;
   double loss_sum = 0.0;
   uint64_t seen = 0;
@@ -68,6 +70,8 @@ Result<bool> SgdOp::NextEpoch(EpochLog* log) {
   log->tuples_seen = seen;
   log->epoch_wall_seconds = timer.ElapsedSeconds();
   log->train_loss = seen > 0 ? loss_sum / static_cast<double>(seen) : 0.0;
+  log->quarantined_blocks = child_->QuarantinedBlocks() - quarantined_before;
+  log->skipped_tuples = child_->SkippedTuples() - skipped_before;
   if (options_.clock != nullptr) {
     options_.clock->Advance(TimeCategory::kCompute, log->epoch_wall_seconds);
   }

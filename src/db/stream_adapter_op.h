@@ -25,6 +25,10 @@ class StreamAdapterOp : public PhysicalOperator {
   Status ReScan() override;
   void Close() override;
   Status status() const override { return stream_->status(); }
+  uint64_t QuarantinedBlocks() const override {
+    return stream_->QuarantinedBlocks();
+  }
+  uint64_t SkippedTuples() const override { return stream_->SkippedTuples(); }
 
   TupleStream* stream() { return stream_.get(); }
 

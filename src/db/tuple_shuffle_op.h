@@ -59,6 +59,14 @@ class TupleShuffleOp : public PhysicalOperator {
 
   uint64_t peak_buffer_tuples() const { return peak_buffer_; }
 
+  /// Forwarded from the child. With double buffering these are only stable
+  /// once the producer has drained (end of epoch / after Next() returned
+  /// nullptr), which is when SgdOp reads them.
+  uint64_t QuarantinedBlocks() const override {
+    return child_->QuarantinedBlocks();
+  }
+  uint64_t SkippedTuples() const override { return child_->SkippedTuples(); }
+
  private:
   struct Batch {
     std::vector<Tuple> tuples;

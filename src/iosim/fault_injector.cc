@@ -1,0 +1,125 @@
+#include "iosim/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/rng.h"
+
+namespace corgipile {
+
+namespace {
+
+// Distinct decision channels per I/O site.
+constexpr uint64_t kSaltTransient = 0x71;
+constexpr uint64_t kSaltTransientCount = 0x72;
+constexpr uint64_t kSaltPermanent = 0x73;
+constexpr uint64_t kSaltBitFlip = 0x74;
+constexpr uint64_t kSaltBitPos = 0x75;
+constexpr uint64_t kSaltTorn = 0x76;
+constexpr uint64_t kSaltTornLen = 0x77;
+constexpr uint64_t kSaltLatency = 0x78;
+
+}  // namespace
+
+std::string FaultStats::ToString() const {
+  std::ostringstream os;
+  os << "injected{transient=" << injected_transient_errors.load()
+     << " permanent=" << injected_permanent_errors.load()
+     << " bit_flips=" << injected_bit_flips.load()
+     << " torn_writes=" << injected_torn_writes.load()
+     << " latency_spikes=" << injected_latency_spikes.load()
+     << "} recovery{retries=" << retries.load()
+     << " recovered=" << recovered.load()
+     << " permanent_failures=" << permanent_failures.load() << "}";
+  return os.str();
+}
+
+double RetryPolicy::BackoffSeconds(uint32_t failure_index) const {
+  return initial_backoff_s *
+         std::pow(backoff_multiplier, static_cast<double>(failure_index));
+}
+
+FaultInjector::FaultInjector(FaultConfig config) : config_(config) {}
+
+uint64_t FaultInjector::TagForPath(const std::string& path) {
+  uint64_t state = 0xC0861D09A17E5ULL;
+  for (char c : path) {
+    state ^= static_cast<uint64_t>(static_cast<uint8_t>(c));
+    SplitMix64(state);
+  }
+  return SplitMix64(state);
+}
+
+uint64_t FaultInjector::HashDraw(uint64_t tag, uint64_t offset,
+                                 uint64_t salt) const {
+  uint64_t state = config_.seed ^ (tag * 0x9E3779B97F4A7C15ULL) ^
+                   (offset * 0xBF58476D1CE4E5B9ULL) ^
+                   (salt * 0x94D049BB133111EBULL);
+  SplitMix64(state);
+  return SplitMix64(state);
+}
+
+double FaultInjector::UnitDraw(uint64_t tag, uint64_t offset,
+                               uint64_t salt) const {
+  return static_cast<double>(HashDraw(tag, offset, salt) >> 11) * 0x1.0p-53;
+}
+
+Status FaultInjector::OnReadAttempt(uint64_t tag, uint64_t offset) {
+  if (config_.permanent_read_error_rate > 0 &&
+      UnitDraw(tag, offset, kSaltPermanent) <
+          config_.permanent_read_error_rate) {
+    stats_.injected_permanent_errors.fetch_add(1, std::memory_order_relaxed);
+    return Status::IoError("injected permanent read error at offset " +
+                           std::to_string(offset));
+  }
+  if (config_.transient_read_error_rate > 0 &&
+      UnitDraw(tag, offset, kSaltTransient) <
+          config_.transient_read_error_rate) {
+    const uint64_t site = HashDraw(tag, offset, kSaltTransientCount);
+    const uint32_t budget =
+        1 + static_cast<uint32_t>(
+                site % std::max<uint32_t>(1, config_.max_transient_failures));
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = transient_remaining_.emplace(site, budget).first;
+    if (it->second > 0) {
+      --it->second;
+      stats_.injected_transient_errors.fetch_add(1, std::memory_order_relaxed);
+      return Status::IoError("injected transient read error at offset " +
+                             std::to_string(offset));
+    }
+  }
+  return Status::OK();
+}
+
+bool FaultInjector::MaybeCorrupt(uint64_t tag, uint64_t offset, uint8_t* data,
+                                 size_t len) {
+  if (len == 0 || config_.bit_flip_rate <= 0) return false;
+  if (UnitDraw(tag, offset, kSaltBitFlip) >= config_.bit_flip_rate) {
+    return false;
+  }
+  const uint64_t bit = HashDraw(tag, offset, kSaltBitPos) % (len * 8);
+  data[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+  stats_.injected_bit_flips.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+double FaultInjector::ReadLatencySpikeSeconds(uint64_t tag, uint64_t offset) {
+  if (config_.latency_spike_rate <= 0 ||
+      UnitDraw(tag, offset, kSaltLatency) >= config_.latency_spike_rate) {
+    return 0.0;
+  }
+  stats_.injected_latency_spikes.fetch_add(1, std::memory_order_relaxed);
+  return config_.latency_spike_seconds;
+}
+
+uint64_t FaultInjector::TornWriteBytes(uint64_t tag, uint64_t offset,
+                                       uint64_t len) {
+  if (len == 0 || config_.torn_write_rate <= 0) return len;
+  if (UnitDraw(tag, offset, kSaltTorn) >= config_.torn_write_rate) return len;
+  stats_.injected_torn_writes.fetch_add(1, std::memory_order_relaxed);
+  // Persist a strict prefix: at least 0, at most len-1 bytes survive.
+  return HashDraw(tag, offset, kSaltTornLen) % len;
+}
+
+}  // namespace corgipile

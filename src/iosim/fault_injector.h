@@ -1,0 +1,140 @@
+// Deterministic, seeded storage-fault injection (torn writes, bit rot,
+// transient read errors, latency spikes).
+//
+// The paper positions CorgiPile inside real storage engines (PostgreSQL heap
+// pages, TFRecord-style cluster files, §5–§6) where imperfect I/O is a fact
+// of life. The injector gives the read/write paths a fault model they can be
+// tested against: every decision is a pure function of (seed, file tag, byte
+// offset), so a given configuration produces the exact same faults on every
+// run — experiments stay reproducible bit-for-bit even under injected
+// failures.
+//
+// Fault taxonomy:
+//  * transient read errors — an I/O site fails its first k attempts and then
+//    succeeds (a flaky cable / SAN hiccup); recovered by bounded
+//    exponential-backoff retry in the read paths.
+//  * permanent read errors — a site that always fails (dead sector); the
+//    retry budget exhausts and the error surfaces as a non-OK Status.
+//  * bit-flip corruption — sticky per site ("bad media"): every read of the
+//    site returns the payload with one deterministic bit flipped. Detected
+//    by page / record checksums, never retried (re-reading bad media does
+//    not help), and quarantined by the block pipeline.
+//  * torn writes — a write persists only a prefix of the payload (crash /
+//    power loss between sectors); silent at write time, detected by the
+//    checksum on the next read.
+//  * latency spikes — extra simulated seconds charged on reads.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "util/status.h"
+
+namespace corgipile {
+
+/// Knobs of the fault model. All rates are per I/O site (a (file, offset)
+/// pair); 0 disables the corresponding fault class.
+struct FaultConfig {
+  uint64_t seed = 0;
+
+  /// Probability that a read site fails transiently. A firing site fails
+  /// between 1 and `max_transient_failures` consecutive attempts, then
+  /// succeeds forever.
+  double transient_read_error_rate = 0.0;
+  uint32_t max_transient_failures = 2;
+
+  /// Probability that a read site always fails (dead sector).
+  double permanent_read_error_rate = 0.0;
+
+  /// Probability that a read site is bad media: every read of it comes back
+  /// with one bit flipped at a deterministic position.
+  double bit_flip_rate = 0.0;
+
+  /// Probability that a write is torn: only a prefix of the payload is
+  /// persisted, the rest of the range is left stale/garbage.
+  double torn_write_rate = 0.0;
+
+  /// Probability of a latency spike on a read, and its simulated duration.
+  double latency_spike_rate = 0.0;
+  double latency_spike_seconds = 0.010;
+
+  bool AnyFaults() const {
+    return transient_read_error_rate > 0 || permanent_read_error_rate > 0 ||
+           bit_flip_rate > 0 || torn_write_rate > 0 || latency_spike_rate > 0;
+  }
+};
+
+/// Counters describing injector and recovery activity. Incremented by the
+/// injector itself (injected_*) and by the retrying read paths
+/// (retries/recovered/permanent_failures).
+struct FaultStats {
+  std::atomic<uint64_t> injected_transient_errors{0};
+  std::atomic<uint64_t> injected_permanent_errors{0};
+  std::atomic<uint64_t> injected_bit_flips{0};  ///< one per corrupted read
+  std::atomic<uint64_t> injected_torn_writes{0};
+  std::atomic<uint64_t> injected_latency_spikes{0};
+
+  std::atomic<uint64_t> retries{0};    ///< read attempts repeated after failure
+  std::atomic<uint64_t> recovered{0};  ///< reads that succeeded after >=1 retry
+  std::atomic<uint64_t> permanent_failures{0};  ///< reads surfaced as errors
+
+  std::string ToString() const;
+};
+
+/// Bounded exponential backoff applied to transient I/O errors. Backoff
+/// time is charged on the SimClock (TimeCategory::kRetryBackoff), not slept
+/// for real, so fault experiments stay fast.
+struct RetryPolicy {
+  uint32_t max_retries = 3;  ///< total attempts = 1 + max_retries
+  double initial_backoff_s = 1e-3;
+  double backoff_multiplier = 2.0;
+
+  double BackoffSeconds(uint32_t failure_index) const;  ///< 0-based
+};
+
+/// Deterministic fault source consulted by HeapFile and the record-file
+/// reader/writer. Thread-safe.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig config);
+
+  /// Stable tag for a file path; read/write hooks key their decisions on it
+  /// so the same path faults identically across open/close cycles.
+  static uint64_t TagForPath(const std::string& path);
+
+  /// Called once per low-level read attempt of the range starting at
+  /// `offset`. Returns a transient/permanent IoError when a fault fires.
+  Status OnReadAttempt(uint64_t tag, uint64_t offset);
+
+  /// Applies sticky bit-flip corruption to a freshly read buffer. Returns
+  /// true when the buffer was corrupted.
+  bool MaybeCorrupt(uint64_t tag, uint64_t offset, uint8_t* data, size_t len);
+
+  /// Extra simulated seconds to charge for this read (usually 0).
+  double ReadLatencySpikeSeconds(uint64_t tag, uint64_t offset);
+
+  /// Number of leading bytes of a `len`-byte write that actually persist.
+  /// Returns `len` when no torn write fires.
+  uint64_t TornWriteBytes(uint64_t tag, uint64_t offset, uint64_t len);
+
+  FaultStats& stats() { return stats_; }
+  const FaultConfig& config() const { return config_; }
+
+ private:
+  /// Uniform draw in [0,1), a pure function of (seed, tag, offset, salt).
+  double UnitDraw(uint64_t tag, uint64_t offset, uint64_t salt) const;
+  uint64_t HashDraw(uint64_t tag, uint64_t offset, uint64_t salt) const;
+
+  FaultConfig config_;
+  FaultStats stats_;
+
+  std::mutex mu_;
+  /// Remaining consecutive failures per transient site (keyed by site hash).
+  std::unordered_map<uint64_t, uint32_t> transient_remaining_;
+};
+
+}  // namespace corgipile

@@ -13,6 +13,7 @@ const char* TimeCategoryToString(TimeCategory c) {
     case TimeCategory::kDecompress: return "decompress";
     case TimeCategory::kCompute: return "compute";
     case TimeCategory::kShuffleCpu: return "shuffle_cpu";
+    case TimeCategory::kRetryBackoff: return "retry_backoff";
     case TimeCategory::kOther: return "other";
     case TimeCategory::kNumCategories: break;
   }

@@ -21,6 +21,7 @@ enum class TimeCategory : int {
   kDecompress,
   kCompute,
   kShuffleCpu,
+  kRetryBackoff,  ///< simulated backoff waits of the I/O retry paths
   kOther,
   kNumCategories,
 };

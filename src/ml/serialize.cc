@@ -1,8 +1,13 @@
 #include "ml/serialize.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 
 namespace corgipile {
 
@@ -10,14 +15,63 @@ namespace {
 constexpr char kMagic[] = "corgimodel_v1";
 }
 
-Status SaveModelParams(const Model& model, const std::string& path) {
-  std::ofstream f(path, std::ios::trunc | std::ios::binary);
-  if (!f) return Status::IoError("cannot open " + path);
-  f << kMagic << ' ' << model.name() << ' ' << model.num_params() << '\n';
-  f.write(reinterpret_cast<const char*>(model.params().data()),
-          static_cast<std::streamsize>(model.num_params() * sizeof(double)));
-  if (!f.good()) return Status::IoError("write failed for " + path);
+Status AtomicWriteFile(const std::string& path, const void* data, size_t len) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("create " + tmp + ": " + std::strerror(errno));
+  }
+  const auto* p = static_cast<const uint8_t*>(data);
+  size_t written = 0;
+  while (written < len) {
+    const ssize_t n = ::write(fd, p + written, len - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status st =
+          Status::IoError("write " + tmp + ": " + std::strerror(errno));
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return st;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const Status st =
+        Status::IoError("fsync " + tmp + ": " + std::strerror(errno));
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IoError("close " + tmp + ": " + std::strerror(errno));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status st = Status::IoError("rename " + tmp + " -> " + path + ": " +
+                                      std::strerror(errno));
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  // Persist the rename itself.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);  // best effort; some filesystems reject directory fsync
+    ::close(dfd);
+  }
   return Status::OK();
+}
+
+Status SaveModelParams(const Model& model, const std::string& path) {
+  std::ostringstream buf;
+  buf << kMagic << ' ' << model.name() << ' ' << model.num_params() << '\n';
+  buf.write(reinterpret_cast<const char*>(model.params().data()),
+            static_cast<std::streamsize>(model.num_params() * sizeof(double)));
+  const std::string bytes = buf.str();
+  return AtomicWriteFile(path, bytes.data(), bytes.size());
 }
 
 Status LoadModelParams(Model* model, const std::string& path) {

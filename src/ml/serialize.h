@@ -7,14 +7,23 @@
 
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "ml/model.h"
 #include "util/status.h"
 
 namespace corgipile {
 
-/// Writes `model`'s parameters to `path`.
+/// Durably replaces the file at `path` with `len` bytes from `data`:
+/// writes `path`.tmp, fsyncs it, atomically renames it over `path`, and
+/// fsyncs the parent directory. A crash at any point leaves either the old
+/// complete file or the new complete file, never a torn mix.
+Status AtomicWriteFile(const std::string& path, const void* data, size_t len);
+
+/// Writes `model`'s parameters to `path` (atomic + durable, see
+/// AtomicWriteFile).
 Status SaveModelParams(const Model& model, const std::string& path);
 
 /// Loads parameters into `model`. Fails with Corruption on a malformed

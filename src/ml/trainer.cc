@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ml/checkpoint.h"
 #include "util/timer.h"
 
 namespace corgipile {
@@ -14,6 +15,10 @@ Result<TrainResult> Train(Model* model, TupleStream* stream,
   }
   if (options.batch_size == 0) {
     return Status::InvalidArgument("batch_size must be >= 1");
+  }
+  if (!options.checkpoint_path.empty() &&
+      options.checkpoint_every_epochs == 0) {
+    return Status::InvalidArgument("checkpoint_every_epochs must be >= 1");
   }
   model->InitParams(options.init_seed);
 
@@ -28,7 +33,6 @@ Result<TrainResult> Train(Model* model, TupleStream* stream,
   }
 
   TrainResult result;
-  result.epochs.reserve(options.epochs);
 
   // Theorem-1 averaging state.
   std::vector<double> avg_params;
@@ -39,9 +43,68 @@ Result<TrainResult> Train(Model* model, TupleStream* stream,
     eval_model = model->Clone();
   }
 
-  for (uint32_t epoch = 0; epoch < options.epochs; ++epoch) {
+  // Resume from the last durable checkpoint, if there is one. The shuffle
+  // order of epoch e is a pure function of (seed, e), so continuing at
+  // start_epoch replays exactly what an uninterrupted run would have done.
+  uint32_t start_epoch = 0;
+  if (options.resume && !options.checkpoint_path.empty()) {
+    auto loaded = LoadCheckpoint(options.checkpoint_path);
+    if (loaded.ok()) {
+      TrainCheckpoint ckpt = std::move(loaded).ValueOrDie();
+      if (ckpt.model_name != model->name()) {
+        return Status::InvalidArgument(
+            "checkpoint model '" + ckpt.model_name + "' does not match '" +
+            model->name() + "'");
+      }
+      if (ckpt.params.size() != model->num_params()) {
+        return Status::InvalidArgument(
+            "checkpoint has " + std::to_string(ckpt.params.size()) +
+            " params, model expects " + std::to_string(model->num_params()));
+      }
+      if (options.theorem_averaging &&
+          ckpt.avg_params.size() != avg_params.size()) {
+        return Status::InvalidArgument(
+            "checkpoint averaging state does not match the model");
+      }
+      model->params() = std::move(ckpt.params);
+      if (options.theorem_averaging) {
+        avg_params = std::move(ckpt.avg_params);
+        weight_sum = ckpt.weight_sum;
+      }
+      start_epoch = ckpt.next_epoch;
+      result.total_tuples = ckpt.total_tuples;
+      result.best_test_metric = ckpt.best_test_metric;
+      result.total_quarantined_blocks = ckpt.total_quarantined_blocks;
+      result.total_skipped_tuples = ckpt.total_skipped_tuples;
+    } else if (!loaded.status().IsNotFound()) {
+      return loaded.status();  // corrupt/unreadable checkpoint: surface it
+    }
+  }
+  result.resumed_from_epoch = start_epoch;
+  if (start_epoch > options.epochs) start_epoch = options.epochs;
+  result.epochs.reserve(options.epochs - start_epoch);
+
+  auto save_checkpoint = [&](uint32_t next_epoch) -> Status {
+    TrainCheckpoint ckpt;
+    ckpt.model_name = model->name();
+    ckpt.next_epoch = next_epoch;
+    ckpt.params = model->params();
+    if (options.theorem_averaging) {
+      ckpt.avg_params = avg_params;
+      ckpt.weight_sum = weight_sum;
+    }
+    ckpt.total_tuples = result.total_tuples;
+    ckpt.best_test_metric = result.best_test_metric;
+    ckpt.total_quarantined_blocks = result.total_quarantined_blocks;
+    ckpt.total_skipped_tuples = result.total_skipped_tuples;
+    return SaveCheckpoint(ckpt, options.checkpoint_path);
+  };
+
+  for (uint32_t epoch = start_epoch; epoch < options.epochs; ++epoch) {
     const double lr = options.lr.LrAtEpoch(epoch);
     CORGI_RETURN_NOT_OK(stream->StartEpoch(epoch));
+    const uint64_t quarantined_before = stream->QuarantinedBlocks();
+    const uint64_t skipped_before = stream->SkippedTuples();
 
     WallTimer timer;
     double loss_sum = 0.0;
@@ -89,6 +152,8 @@ Result<TrainResult> Train(Model* model, TupleStream* stream,
     log.tuples_seen = seen;
     log.epoch_wall_seconds = timer.ElapsedSeconds();
     log.train_loss = seen > 0 ? loss_sum / static_cast<double>(seen) : 0.0;
+    log.quarantined_blocks = stream->QuarantinedBlocks() - quarantined_before;
+    log.skipped_tuples = stream->SkippedTuples() - skipped_before;
     if (options.clock != nullptr) {
       options.clock->Advance(TimeCategory::kCompute, log.epoch_wall_seconds);
     }
@@ -101,13 +166,20 @@ Result<TrainResult> Train(Model* model, TupleStream* stream,
     log.cumulative_sim_seconds =
         options.clock != nullptr ? options.clock->TotalElapsed() : 0.0;
     result.total_tuples += seen;
+    result.total_quarantined_blocks += log.quarantined_blocks;
+    result.total_skipped_tuples += log.skipped_tuples;
     result.best_test_metric = std::max(result.best_test_metric, log.test_metric);
     result.epochs.push_back(log);
 
-    if (options.target_metric > 0.0 &&
-        log.test_metric >= options.target_metric) {
-      break;
+    const bool target_hit = options.target_metric > 0.0 &&
+                            log.test_metric >= options.target_metric;
+    const bool last_epoch = target_hit || epoch + 1 == options.epochs;
+    if (!options.checkpoint_path.empty() &&
+        (last_epoch ||
+         (epoch + 1 - start_epoch) % options.checkpoint_every_epochs == 0)) {
+      CORGI_RETURN_NOT_OK(save_checkpoint(epoch + 1));
     }
+    if (target_hit) break;
   }
   if (options.theorem_averaging && !avg_params.empty()) {
     model->params() = avg_params;  // expose x̄_S as the trained model

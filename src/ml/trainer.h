@@ -43,6 +43,19 @@ struct TrainerOptions {
   /// data induces in the raw iterates.
   bool theorem_averaging = false;
   uint32_t averaging_offset = 4;  ///< the theorem's a
+
+  /// Crash-safe checkpointing. When `checkpoint_path` is non-empty, the
+  /// trainer durably saves model parameters + training progress every
+  /// `checkpoint_every_epochs` epochs (and after the final epoch) via an
+  /// atomic write-temp/fsync/rename. With `resume` set, an existing
+  /// checkpoint at that path is loaded and training continues from the
+  /// epoch after the one it recorded; because every stream's per-epoch
+  /// order is a pure function of (seed, epoch), the resumed run replays
+  /// exactly what the original run would have done. Exact resume holds for
+  /// plain SGD (stateless); Adam's moment estimates restart from zero.
+  std::string checkpoint_path;
+  uint32_t checkpoint_every_epochs = 1;
+  bool resume = false;
 };
 
 struct EpochLog {
@@ -54,6 +67,10 @@ struct EpochLog {
   uint64_t tuples_seen = 0;
   double epoch_wall_seconds = 0.0;      ///< real compute time of the epoch
   double cumulative_sim_seconds = 0.0;  ///< SimClock total after the epoch
+  /// Corrupt/unreadable blocks quarantined during this epoch, and the
+  /// tuples lost with them (graceful-degradation accounting).
+  uint64_t quarantined_blocks = 0;
+  uint64_t skipped_tuples = 0;
 };
 
 struct TrainResult {
@@ -62,6 +79,11 @@ struct TrainResult {
   double final_test_loss = 0.0;
   double best_test_metric = 0.0;
   uint64_t total_tuples = 0;
+  /// Graceful-degradation totals across all epochs of this call.
+  uint64_t total_quarantined_blocks = 0;
+  uint64_t total_skipped_tuples = 0;
+  /// First epoch actually run by this call (> 0 when resumed).
+  uint32_t resumed_from_epoch = 0;
 
   const EpochLog& back() const { return epochs.back(); }
 };

@@ -9,7 +9,7 @@ HierarchicalBlockStream::HierarchicalBlockStream(const char* name,
                                                  BlockSource* source,
                                                  Options options)
     : name_(name), source_(source), options_(options),
-      epoch_rng_(options.seed) {
+      epoch_rng_(options.seed), tuple_rng_(options.seed) {
   if (options_.buffer_tuples == 0) options_.buffer_tuples = 1;
 }
 
@@ -19,16 +19,22 @@ Status HierarchicalBlockStream::StartEpoch(uint64_t epoch) {
   const uint32_t n = source_->num_blocks();
   block_order_.resize(n);
   std::iota(block_order_.begin(), block_order_.end(), 0u);
+  // Distinct deterministic streams per epoch: stream `epoch` drives the
+  // block permutation and the high-bit sibling drives the buffer shuffles.
+  // Nothing carries over between epochs, so a resumed run replays the same
+  // order.
   if (options_.shuffle_blocks) {
     Rng rng = epoch_rng_.Fork(epoch);
     rng.Shuffle(block_order_);
   }
+  tuple_rng_ = epoch_rng_.Fork(epoch ^ 0x8000000000000000ull);
   if (options_.blocks_per_epoch > 0 && options_.blocks_per_epoch < n) {
     block_order_.resize(options_.blocks_per_epoch);
   }
   next_block_ = 0;
   buffer_.clear();
   buffer_pos_ = 0;
+  epoch_quarantined_ = 0;
   return Status::OK();
 }
 
@@ -36,19 +42,50 @@ bool HierarchicalBlockStream::RefillBuffer() {
   buffer_.clear();
   buffer_pos_ = 0;
   while (next_block_ < block_order_.size()) {
-    Status st = source_->ReadBlock(block_order_[next_block_], &buffer_);
+    const uint32_t b = block_order_[next_block_];
+    // Read into a scratch vector so a block that fails mid-parse leaves no
+    // partial tuples behind when it is quarantined.
+    block_scratch_.clear();
+    Status st = source_->ReadBlock(b, &block_scratch_);
     if (!st.ok()) {
-      status_ = st;
-      return false;
+      const bool skippable = st.code() == StatusCode::kCorruption ||
+                             st.code() == StatusCode::kIoError;
+      if (!options_.tolerance.quarantine_corrupt_blocks || !skippable) {
+        status_ = st;
+        return false;
+      }
+      ++next_block_;
+      ++quarantined_blocks_;
+      ++epoch_quarantined_;
+      skipped_tuples_ += source_->TuplesInBlock(b);
+      const double bad_fraction =
+          static_cast<double>(epoch_quarantined_) /
+          static_cast<double>(std::max<size_t>(1, block_order_.size()));
+      if (bad_fraction > options_.tolerance.max_bad_block_fraction) {
+        status_ = Status::Corruption(
+            "quarantined " + std::to_string(epoch_quarantined_) + "/" +
+            std::to_string(block_order_.size()) +
+            " blocks this epoch, over the tolerated fraction " +
+            std::to_string(options_.tolerance.max_bad_block_fraction) +
+            " (last error: " + st.message() + ")");
+        return false;
+      }
+      continue;
     }
     ++next_block_;
-    if (!options_.shuffle_tuples) break;  // one block at a time
+    buffer_.insert(buffer_.end(),
+                   std::make_move_iterator(block_scratch_.begin()),
+                   std::make_move_iterator(block_scratch_.end()));
+    if (!options_.shuffle_tuples) {
+      if (!buffer_.empty()) break;  // one block at a time
+      continue;  // quietly skip empty blocks
+    }
     if (buffer_.size() >= options_.buffer_tuples) break;
   }
   if (buffer_.empty()) return false;
   peak_buffer_ = std::max<uint64_t>(peak_buffer_, buffer_.size());
   if (options_.shuffle_tuples) {
-    epoch_rng_.Shuffle(buffer_);
+    tuple_rng_.Shuffle(buffer_);
   }
   return true;
 }
@@ -72,34 +109,40 @@ uint64_t HierarchicalBlockStream::TuplesPerEpoch() const {
   return n;
 }
 
-std::unique_ptr<TupleStream> MakeNoShuffleStream(BlockSource* source) {
+std::unique_ptr<TupleStream> MakeNoShuffleStream(BlockSource* source,
+                                                 BlockReadTolerance tolerance) {
   HierarchicalBlockStream::Options opts;
   opts.shuffle_blocks = false;
   opts.shuffle_tuples = false;
   opts.buffer_tuples = 1;
+  opts.tolerance = tolerance;
   return std::make_unique<HierarchicalBlockStream>("no_shuffle", source, opts);
 }
 
 std::unique_ptr<TupleStream> MakeBlockOnlyStream(BlockSource* source,
-                                                 uint64_t seed) {
+                                                 uint64_t seed,
+                                                 BlockReadTolerance tolerance) {
   HierarchicalBlockStream::Options opts;
   opts.shuffle_blocks = true;
   opts.shuffle_tuples = false;
   opts.buffer_tuples = 1;
   opts.seed = seed;
+  opts.tolerance = tolerance;
   return std::make_unique<HierarchicalBlockStream>("block_only", source, opts);
 }
 
 std::unique_ptr<TupleStream> MakeCorgiPileStream(BlockSource* source,
                                                  uint64_t buffer_tuples,
                                                  uint64_t seed,
-                                                 uint32_t blocks_per_epoch) {
+                                                 uint32_t blocks_per_epoch,
+                                                 BlockReadTolerance tolerance) {
   HierarchicalBlockStream::Options opts;
   opts.shuffle_blocks = true;
   opts.shuffle_tuples = true;
   opts.buffer_tuples = buffer_tuples;
   opts.seed = seed;
   opts.blocks_per_epoch = blocks_per_epoch;
+  opts.tolerance = tolerance;
   return std::make_unique<HierarchicalBlockStream>("corgipile", source, opts);
 }
 

@@ -5,6 +5,16 @@
 // permutation (Block-Only, CorgiPile); load blocks into an in-memory buffer
 // of configurable capacity; optionally shuffle the buffered tuples before
 // emitting them (CorgiPile's tuple-level shuffle, §4.1).
+//
+// All per-epoch randomness (block permutation and buffer shuffles) is a
+// pure function of (seed, epoch), so a training run resumed from a
+// checkpoint at epoch e replays exactly the tuple order the original run
+// would have produced from e onward.
+//
+// With Options::tolerance.quarantine_corrupt_blocks set, a block whose read
+// fails with kCorruption or kIoError is skipped and counted instead of
+// killing the epoch; the epoch aborts only once the quarantined fraction
+// exceeds tolerance.max_bad_block_fraction.
 
 #pragma once
 
@@ -30,6 +40,8 @@ class HierarchicalBlockStream : public TupleStream {
     /// sampled-epoch variant where an epoch is n of N blocks). 0 = visit
     /// every block each epoch (the PyTorch/PostgreSQL system behaviour).
     uint32_t blocks_per_epoch = 0;
+    /// Degradation policy for blocks that fail to read.
+    BlockReadTolerance tolerance;
   };
 
   HierarchicalBlockStream(const char* name, BlockSource* source,
@@ -41,6 +53,8 @@ class HierarchicalBlockStream : public TupleStream {
   Status status() const override { return status_; }
   uint64_t TuplesPerEpoch() const override;
   uint64_t PeakBufferTuples() const override { return peak_buffer_; }
+  uint64_t QuarantinedBlocks() const override { return quarantined_blocks_; }
+  uint64_t SkippedTuples() const override { return skipped_tuples_; }
 
  private:
   bool RefillBuffer();
@@ -49,21 +63,26 @@ class HierarchicalBlockStream : public TupleStream {
   BlockSource* source_;
   Options options_;
   Rng epoch_rng_;
+  Rng tuple_rng_;  // per-epoch fork used for buffer shuffles
   std::vector<uint32_t> block_order_;
   size_t next_block_ = 0;
   std::vector<Tuple> buffer_;
+  std::vector<Tuple> block_scratch_;
   size_t buffer_pos_ = 0;
   uint64_t peak_buffer_ = 0;
+  uint64_t quarantined_blocks_ = 0;   // cumulative across epochs
+  uint64_t skipped_tuples_ = 0;       // cumulative across epochs
+  uint64_t epoch_quarantined_ = 0;    // this epoch, for the abort threshold
   Status status_;
 };
 
 /// Factories for the three named strategies.
-std::unique_ptr<TupleStream> MakeNoShuffleStream(BlockSource* source);
-std::unique_ptr<TupleStream> MakeBlockOnlyStream(BlockSource* source,
-                                                 uint64_t seed);
-std::unique_ptr<TupleStream> MakeCorgiPileStream(BlockSource* source,
-                                                 uint64_t buffer_tuples,
-                                                 uint64_t seed,
-                                                 uint32_t blocks_per_epoch = 0);
+std::unique_ptr<TupleStream> MakeNoShuffleStream(
+    BlockSource* source, BlockReadTolerance tolerance = {});
+std::unique_ptr<TupleStream> MakeBlockOnlyStream(
+    BlockSource* source, uint64_t seed, BlockReadTolerance tolerance = {});
+std::unique_ptr<TupleStream> MakeCorgiPileStream(
+    BlockSource* source, uint64_t buffer_tuples, uint64_t seed,
+    uint32_t blocks_per_epoch = 0, BlockReadTolerance tolerance = {});
 
 }  // namespace corgipile

@@ -49,7 +49,7 @@ Result<std::unique_ptr<TupleStream>> MakeTupleStream(
   const uint64_t buffer = ResolveBufferTuples(options, *source);
   switch (strategy) {
     case ShuffleStrategy::kNoShuffle:
-      return MakeNoShuffleStream(source);
+      return MakeNoShuffleStream(source, options.tolerance);
     case ShuffleStrategy::kShuffleOnce:
       return std::unique_ptr<TupleStream>(
           std::make_unique<ShuffleOnceStream>(source, options));
@@ -63,9 +63,10 @@ Result<std::unique_ptr<TupleStream>> MakeTupleStream(
       return std::unique_ptr<TupleStream>(std::make_unique<MrsStream>(
           source, buffer, options.mrs_loop_ratio, options.seed));
     case ShuffleStrategy::kBlockOnly:
-      return MakeBlockOnlyStream(source, options.seed);
+      return MakeBlockOnlyStream(source, options.seed, options.tolerance);
     case ShuffleStrategy::kCorgiPile:
-      return MakeCorgiPileStream(source, buffer, options.seed);
+      return MakeCorgiPileStream(source, buffer, options.seed,
+                                 /*blocks_per_epoch=*/0, options.tolerance);
   }
   return Status::InvalidArgument("unknown strategy");
 }

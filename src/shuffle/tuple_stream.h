@@ -46,6 +46,14 @@ class TupleStream {
 
   /// Peak in-memory buffer occupancy, in tuples.
   virtual uint64_t PeakBufferTuples() const { return 0; }
+
+  /// Cumulative unreadable/corrupt blocks skipped under a
+  /// BlockReadTolerance policy (0 for streams without one).
+  virtual uint64_t QuarantinedBlocks() const { return 0; }
+
+  /// Cumulative tuples lost to quarantined blocks (per the block index's
+  /// tuple counts).
+  virtual uint64_t SkippedTuples() const { return 0; }
 };
 
 /// The data shuffling strategies evaluated in the paper.
@@ -73,6 +81,9 @@ struct ShuffleOptions {
   /// MRS: buffered tuples emitted per dropped (scanned) tuple once the
   /// reservoir is warm. Models the paper's second looping thread.
   double mrs_loop_ratio = 1.0;
+  /// Degradation policy for corrupt/unreadable blocks (block-oriented
+  /// strategies only: no_shuffle, block_only, corgipile).
+  BlockReadTolerance tolerance;
   /// Shuffle Once / Epoch Shuffle over table-backed sources: directory for
   /// the shuffled copy, plus accounting to attach to it.
   std::string scratch_dir = "/tmp";

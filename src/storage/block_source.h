@@ -18,6 +18,18 @@
 
 namespace corgipile {
 
+/// Policy for consumers that read blocks in bulk (streams, db operators):
+/// whether a block that fails with kCorruption / kIoError is skipped
+/// ("quarantined") instead of aborting the scan, and how much loss is
+/// acceptable before aborting anyway.
+struct BlockReadTolerance {
+  /// Skip unreadable/corrupt blocks and keep going.
+  bool quarantine_corrupt_blocks = false;
+  /// Abort the epoch once more than this fraction of its blocks has been
+  /// quarantined. Guards against training on a sliver of the data.
+  double max_bad_block_fraction = 0.05;
+};
+
 class BlockSource {
  public:
   virtual ~BlockSource() = default;

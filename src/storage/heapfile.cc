@@ -4,6 +4,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -12,7 +13,7 @@ namespace corgipile {
 HeapFile::HeapFile(std::string path, int fd, uint32_t page_size,
                    uint64_t num_pages)
     : path_(std::move(path)), fd_(fd), page_size_(page_size),
-      num_pages_(num_pages) {}
+      num_pages_(num_pages), tag_(FaultInjector::TagForPath(path_)) {}
 
 HeapFile::~HeapFile() {
   if (fd_ >= 0) ::close(fd_);
@@ -60,6 +61,16 @@ void HeapFile::SetIoAccounting(DeviceProfile device, SimClock* clock,
   stats_ = stats;
 }
 
+void HeapFile::SetFaultInjection(FaultInjector* injector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_ = injector;
+}
+
+void HeapFile::SetRetryPolicy(RetryPolicy policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  retry_ = policy;
+}
+
 void HeapFile::ChargeRead(uint64_t first_page, uint64_t num, bool contiguous) {
   std::lock_guard<std::mutex> lock(mu_);
   const uint64_t bytes = num * page_size_;
@@ -93,17 +104,109 @@ void HeapFile::ChargeWrite(uint64_t num) {
   }
 }
 
+void HeapFile::ChargeBackoff(double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (clock_ != nullptr) {
+    clock_->Advance(TimeCategory::kRetryBackoff, seconds);
+  }
+}
+
 Status HeapFile::AppendPage(const Page& page) {
   if (page.size() != page_size_) {
     return Status::InvalidArgument("page size mismatch");
   }
-  const off_t off = static_cast<off_t>(num_pages_) * page_size_;
-  ssize_t n = ::pwrite(fd_, page.data(), page_size_, off);
+  // Stamp the checksum into a scratch image so the caller's page object is
+  // untouched and may keep accumulating records.
+  std::vector<uint8_t> image(page.bytes());
+  Page stamped = Page::FromBytes(std::move(image));
+  stamped.StampChecksum();
+
+  const uint64_t byte_off = num_pages_ * page_size_;
+  uint64_t persist = page_size_;
+  if (fault_ != nullptr) {
+    persist = fault_->TornWriteBytes(tag_, byte_off, page_size_);
+  }
+  std::vector<uint8_t> buf(stamped.bytes());
+  if (persist < page_size_) {
+    // Torn write: only a prefix reaches the platter; the tail reads back as
+    // zeros. Silent now — the checksum catches it on the next read.
+    std::memset(buf.data() + persist, 0, page_size_ - persist);
+  }
+  ssize_t n = ::pwrite(fd_, buf.data(), page_size_,
+                       static_cast<off_t>(byte_off));
   if (n != static_cast<ssize_t>(page_size_)) {
     return Status::IoError("pwrite " + path_ + ": " + std::strerror(errno));
   }
   ++num_pages_;
   ChargeWrite(1);
+  return Status::OK();
+}
+
+Status HeapFile::ReadAttempt(uint64_t offset, uint8_t* buf, size_t len) {
+  if (fault_ != nullptr) {
+    Status st = fault_->OnReadAttempt(tag_, offset);
+    if (!st.ok()) return st;
+  }
+  ssize_t n = ::pread(fd_, buf, len, static_cast<off_t>(offset));
+  if (n != static_cast<ssize_t>(len)) {
+    return Status::IoError("pread " + path_ + ": " + std::strerror(errno));
+  }
+  if (fault_ != nullptr) {
+    // Bit flips and latency spikes are per page so each page in a block
+    // read fails independently.
+    for (size_t p = 0; p < len; p += page_size_) {
+      const size_t chunk = std::min<size_t>(page_size_, len - p);
+      fault_->MaybeCorrupt(tag_, offset + p, buf + p, chunk);
+      const double spike = fault_->ReadLatencySpikeSeconds(tag_, offset + p);
+      if (spike > 0) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (clock_ != nullptr) {
+          clock_->Advance(TimeCategory::kIoRead, spike);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status HeapFile::ReadWithRetry(uint64_t offset, uint8_t* buf, size_t len) {
+  Status st = Status::OK();
+  for (uint32_t attempt = 0; attempt <= retry_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      ChargeBackoff(retry_.BackoffSeconds(attempt - 1));
+      if (fault_ != nullptr) {
+        fault_->stats().retries.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    st = ReadAttempt(offset, buf, len);
+    if (st.ok()) {
+      if (attempt > 0 && fault_ != nullptr) {
+        fault_->stats().recovered.fetch_add(1, std::memory_order_relaxed);
+      }
+      return st;
+    }
+    if (st.code() != StatusCode::kIoError) return st;  // not retryable
+  }
+  if (fault_ != nullptr) {
+    fault_->stats().permanent_failures.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::IoError("read failed after " +
+                         std::to_string(retry_.max_retries) + " retries: " +
+                         st.message());
+}
+
+Status HeapFile::VerifyPage(const Page& page, uint64_t page_idx) const {
+  if (!page.VerifyChecksum()) {
+    return Status::Corruption(
+        "checksum mismatch on page " + std::to_string(page_idx) + " of " +
+        path_ + " (stored " + std::to_string(page.stored_checksum()) +
+        ", computed " + std::to_string(page.ComputeChecksum()) + ")");
+  }
+  Status st = page.Validate();
+  if (!st.ok()) {
+    return Status::Corruption("page " + std::to_string(page_idx) + " of " +
+                              path_ + ": " + st.message());
+  }
   return Status::OK();
 }
 
@@ -113,13 +216,12 @@ Status HeapFile::ReadPage(uint64_t page_idx, Page* out) {
                               " >= " + std::to_string(num_pages_));
   }
   std::vector<uint8_t> buf(page_size_);
-  const off_t off = static_cast<off_t>(page_idx) * page_size_;
-  ssize_t n = ::pread(fd_, buf.data(), page_size_, off);
-  if (n != static_cast<ssize_t>(page_size_)) {
-    return Status::IoError("pread " + path_ + ": " + std::strerror(errno));
-  }
+  const uint64_t off = page_idx * page_size_;
+  CORGI_RETURN_NOT_OK(ReadWithRetry(off, buf.data(), page_size_));
   ChargeRead(page_idx, 1, /*contiguous=*/true);
-  *out = Page::FromBytes(std::move(buf));
+  Page page = Page::FromBytes(std::move(buf));
+  CORGI_RETURN_NOT_OK(VerifyPage(page, page_idx));
+  *out = std::move(page);
   return Status::OK();
 }
 
@@ -131,24 +233,30 @@ Status HeapFile::ReadPages(uint64_t first, uint64_t count,
   out->clear();
   out->reserve(count);
   std::vector<uint8_t> buf(static_cast<size_t>(count) * page_size_);
-  const off_t off = static_cast<off_t>(first) * page_size_;
-  ssize_t n = ::pread(fd_, buf.data(), buf.size(), off);
-  if (n != static_cast<ssize_t>(buf.size())) {
-    return Status::IoError("pread " + path_ + ": " + std::strerror(errno));
-  }
+  CORGI_RETURN_NOT_OK(
+      ReadWithRetry(first * page_size_, buf.data(), buf.size()));
+  ChargeRead(first, count, /*contiguous=*/true);
   for (uint64_t i = 0; i < count; ++i) {
     std::vector<uint8_t> page_bytes(
         buf.begin() + static_cast<size_t>(i) * page_size_,
         buf.begin() + static_cast<size_t>(i + 1) * page_size_);
-    out->push_back(Page::FromBytes(std::move(page_bytes)));
+    Page page = Page::FromBytes(std::move(page_bytes));
+    CORGI_RETURN_NOT_OK(VerifyPage(page, first + i));
+    out->push_back(std::move(page));
   }
-  ChargeRead(first, count, /*contiguous=*/true);
   return Status::OK();
 }
 
 void HeapFile::ResetReadCursor() {
   std::lock_guard<std::mutex> lock(mu_);
   last_read_page_ = -2;
+}
+
+Status HeapFile::Sync() {
+  if (::fsync(fd_) != 0) {
+    return Status::IoError("fsync " + path_ + ": " + std::strerror(errno));
+  }
+  return Status::OK();
 }
 
 }  // namespace corgipile

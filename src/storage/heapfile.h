@@ -5,14 +5,24 @@
 // continues the previous one is billed at sequential cost, a discontiguous
 // read at random cost (seek + transfer). This is how "HDD" and "SSD"
 // experiment rows stay meaningful on any build machine.
+//
+// Robustness: every page carries a CRC32C stamped at AppendPage time and
+// verified on every read; a mismatch (or a structurally invalid page)
+// surfaces as kCorruption rather than feeding garbage upstream. Reads that
+// fail with kIoError are retried with bounded exponential backoff (waits
+// are charged to SimClock under kRetryBackoff, never real sleeps). An
+// optional FaultInjector deterministically injects transient/permanent
+// read errors, bit flips, torn writes, and latency spikes for testing.
 
 #pragma once
 
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "iosim/device.h"
+#include "iosim/fault_injector.h"
 #include "iosim/sim_clock.h"
 #include "storage/page.h"
 #include "util/status.h"
@@ -39,6 +49,13 @@ class HeapFile {
   /// pointers may be null (no accounting). Not owned.
   void SetIoAccounting(DeviceProfile device, SimClock* clock, IoStats* stats);
 
+  /// Attaches a fault injector consulted on every read attempt and write.
+  /// Pass null to detach. Not owned; must outlive this file.
+  void SetFaultInjection(FaultInjector* injector);
+
+  /// Retry policy for transient kIoError read failures.
+  void SetRetryPolicy(RetryPolicy policy);
+
   const DeviceProfile& device() const { return device_; }
 
   uint32_t page_size() const { return page_size_; }
@@ -46,37 +63,60 @@ class HeapFile {
   uint64_t size_bytes() const { return num_pages_ * page_size_; }
   const std::string& path() const { return path_; }
 
-  /// Appends one page at the end of the file (sequential write cost).
+  /// Appends one page at the end of the file (sequential write cost). The
+  /// on-disk image is stamped with the page's CRC32C; the in-memory `page`
+  /// is not modified.
   Status AppendPage(const Page& page);
 
-  /// Reads page `page_idx` into *out. Billed sequential if it directly
-  /// follows the previous read on this file, else random.
+  /// Reads page `page_idx` into *out, verifying its checksum and structure.
+  /// Billed sequential if it directly follows the previous read on this
+  /// file, else random. Transient I/O errors are retried per the policy;
+  /// checksum/structure mismatches return kCorruption without retry.
   Status ReadPage(uint64_t page_idx, Page* out);
 
   /// Reads `count` contiguous pages starting at `first`. Billed as one
   /// access: a seek (if discontiguous) plus one contiguous transfer. This is
-  /// the "read one block" primitive of CorgiPile.
+  /// the "read one block" primitive of CorgiPile. Each page is checksum- and
+  /// structure-verified.
   Status ReadPages(uint64_t first, uint64_t count, std::vector<Page>* out);
 
   /// Forgets read position so the next read is billed as random. Used to
   /// model a cleared OS cache / reopened scan.
   void ResetReadCursor();
 
+  /// Flushes file contents to stable storage (fsync).
+  Status Sync();
+
  private:
   HeapFile(std::string path, int fd, uint32_t page_size, uint64_t num_pages);
 
   void ChargeRead(uint64_t first_page, uint64_t num, bool contiguous);
   void ChargeWrite(uint64_t num);
+  void ChargeBackoff(double seconds);
+
+  /// One physical read attempt of [offset, offset+len) into buf, with
+  /// injected faults applied. Returns kIoError on (real or injected)
+  /// failure; bit flips and latency spikes are applied silently.
+  Status ReadAttempt(uint64_t offset, uint8_t* buf, size_t len);
+
+  /// ReadAttempt wrapped in the bounded exponential-backoff retry loop.
+  Status ReadWithRetry(uint64_t offset, uint8_t* buf, size_t len);
+
+  /// Checksum + structural verification of a page read from `page_idx`.
+  Status VerifyPage(const Page& page, uint64_t page_idx) const;
 
   std::string path_;
   int fd_;
   uint32_t page_size_;
   uint64_t num_pages_;
+  uint64_t tag_;  // FaultInjector site tag derived from path_
 
   std::mutex mu_;
   DeviceProfile device_ = DeviceProfile::Memory();
   SimClock* clock_ = nullptr;
   IoStats* stats_ = nullptr;
+  FaultInjector* fault_ = nullptr;
+  RetryPolicy retry_;
   int64_t last_read_page_ = -2;  // -2: nothing read yet
 };
 

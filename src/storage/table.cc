@@ -194,6 +194,7 @@ Status TableBuilder::Append(const Tuple& tuple) {
 Result<std::unique_ptr<Table>> TableBuilder::Finish() {
   CORGI_RETURN_NOT_OK(init_status_);
   CORGI_RETURN_NOT_OK(FlushPage());
+  CORGI_RETURN_NOT_OK(file_->Sync());
   return std::unique_ptr<Table>(new Table(
       std::move(schema_), options_, std::move(file_),
       std::move(tuples_per_page_)));
