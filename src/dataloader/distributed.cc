@@ -2,11 +2,36 @@
 
 #include <algorithm>
 #include <atomic>
+#include <string>
 
 #include "dataloader/data_loader.h"
 #include "util/timer.h"
 
 namespace corgipile {
+
+const char* WorkerFailurePolicyToString(WorkerFailurePolicy policy) {
+  switch (policy) {
+    case WorkerFailurePolicy::kFailFast: return "fail_fast";
+    case WorkerFailurePolicy::kDropAndRescale: return "drop_and_rescale";
+    case WorkerFailurePolicy::kWait: return "wait";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Supervisor-side view of one worker. Written by the supervisor thread
+/// and (heartbeat only) by the worker's own pool task; the ParallelFor
+/// barrier orders those writes before the supervisor reads them.
+struct WorkerState {
+  bool active = true;
+  Status status;  ///< sticky: the error that dropped/failed the worker
+  uint64_t heartbeat_steps = 0;
+  double epoch_sim_seconds = 0.0;  ///< attributed this epoch (deterministic)
+  double total_sim_seconds = 0.0;
+};
+
+}  // namespace
 
 Result<TrainResult> TrainDistributed(Model* model, BlockSource* source,
                                      const DistributedTrainerOptions& options) {
@@ -18,6 +43,13 @@ Result<TrainResult> TrainDistributed(Model* model, BlockSource* source,
     return Status::InvalidArgument("global batch smaller than worker count");
   }
   const uint32_t microbatch = options.global_batch_size / P;
+  const bool deadline_enabled = options.clock != nullptr &&
+                                options.straggler_deadline_sim_seconds > 0.0;
+  // Supervision accounting (kStragglerWait) is only charged when a
+  // supervision knob is on, so default runs keep the legacy time model.
+  const bool supervised =
+      options.failure_policy != WorkerFailurePolicy::kFailFast ||
+      deadline_enabled;
 
   // Per-worker datasets and loaders.
   const uint64_t buffer_total = std::max<uint64_t>(
@@ -50,12 +82,53 @@ Result<TrainResult> TrainDistributed(Model* model, BlockSource* source,
       P, std::vector<double>(model->num_params(), 0.0));
   std::vector<std::vector<Tuple>> microbatches(P);
   std::vector<double> worker_loss(P, 0.0);
-  std::vector<Status> worker_status(P);
+  std::vector<WorkerState> workers(P);
+
+  CancellationToken cancel;
+  const Deadline run_deadline =
+      options.clock != nullptr && options.run_deadline_sim_seconds > 0.0
+          ? Deadline(options.clock, options.run_deadline_sim_seconds)
+          : Deadline::Infinite();
 
   TrainResult result;
+
+  const auto active_workers = [&] {
+    uint32_t n = 0;
+    for (const WorkerState& ws : workers) n += ws.active ? 1 : 0;
+    return n;
+  };
+
+  // Applies the failure policy to worker `w`. Returns OK when the worker
+  // was evicted and training continues, otherwise the (annotated) error to
+  // unwind with. kWait only tolerates stragglers — a hard I/O/corruption
+  // error cannot be waited out, so it fails fast under kWait too.
+  const auto worker_failed = [&](uint32_t w, uint32_t epoch,
+                                 const Status& st) -> Status {
+    workers[w].status = st;
+    if (options.failure_policy == WorkerFailurePolicy::kDropAndRescale) {
+      workers[w].active = false;
+      microbatches[w].clear();
+      result.dropped_workers.push_back(
+          DroppedWorker{w, epoch, st.code(), st.message()});
+      return Status::OK();
+    }
+    cancel.Cancel(st);
+    return Status(st.code(),
+                  "worker " + std::to_string(w) + ": " + st.message());
+  };
+
   for (uint32_t epoch = 0; epoch < options.epochs; ++epoch) {
+    if (active_workers() == 0) {
+      return Status::ResourceExhausted(
+          "all " + std::to_string(P) +
+          " workers dropped — cannot continue training");
+    }
     const double lr = options.lr.LrAtEpoch(epoch);
     for (uint32_t w = 0; w < P; ++w) {
+      workers[w].epoch_sim_seconds = 0.0;  // dropped workers too: the
+                                           // barrier only waits for the
+                                           // living
+      if (!workers[w].active) continue;
       CORGI_RETURN_NOT_OK(loaders[w]->StartEpoch(epoch));
     }
     WallTimer timer;
@@ -64,36 +137,100 @@ Result<TrainResult> TrainDistributed(Model* model, BlockSource* source,
     std::vector<double> reduced(model->num_params(), 0.0);
 
     for (;;) {
-      // Each worker pulls its microbatch (main thread: loader state is not
-      // thread-safe; pulling is cheap relative to gradient compute).
+      if (run_deadline.Expired()) {
+        Status st = run_deadline.Check("distributed training run");
+        cancel.Cancel(st);
+        return st;
+      }
+
+      // Each worker pulls its microbatch (supervisor thread: loader state
+      // is not thread-safe; pulling is cheap relative to gradient
+      // compute). Pulling serially is also what makes the per-worker
+      // SimClock attribution below exact: the clock delta around worker
+      // w's pull — including injected latency spikes and retry backoff on
+      // w's blocks — belongs to w alone.
       uint64_t batch_total = 0;
       for (uint32_t w = 0; w < P; ++w) {
-        CORGI_ASSIGN_OR_RETURN(bool more,
-                               loaders[w]->NextBatch(&microbatches[w]));
-        (void)more;
+        if (!workers[w].active) continue;
+        const double sim_before =
+            options.clock != nullptr ? options.clock->TotalElapsed() : 0.0;
+        auto more = loaders[w]->NextBatch(&microbatches[w]);
+        if (options.clock != nullptr) {
+          const double d = options.clock->TotalElapsed() - sim_before;
+          workers[w].epoch_sim_seconds += d;
+          workers[w].total_sim_seconds += d;
+        }
+        if (!more.ok()) {
+          microbatches[w].clear();
+          CORGI_RETURN_NOT_OK(worker_failed(w, epoch, more.status()));
+          continue;
+        }
         batch_total += microbatches[w].size();
       }
-      if (batch_total == 0) break;  // all shards exhausted → epoch end
+
+      // Straggler deadline: a worker whose attributed simulated time this
+      // epoch exceeds the budget is evicted (kDropAndRescale) or fails the
+      // run (kFailFast); kWait lets the barrier keep waiting.
+      if (deadline_enabled &&
+          options.failure_policy != WorkerFailurePolicy::kWait) {
+        for (uint32_t w = 0; w < P; ++w) {
+          if (!workers[w].active ||
+              workers[w].epoch_sim_seconds <=
+                  options.straggler_deadline_sim_seconds) {
+            continue;
+          }
+          Status st = Status::DeadlineExceeded(
+              "straggler: " + std::to_string(workers[w].epoch_sim_seconds) +
+              " simulated s this epoch > deadline " +
+              std::to_string(options.straggler_deadline_sim_seconds));
+          batch_total -= microbatches[w].size();
+          CORGI_RETURN_NOT_OK(worker_failed(w, epoch, st));
+        }
+      }
+      if (active_workers() == 0) {
+        return Status::ResourceExhausted(
+            "all " + std::to_string(P) +
+            " workers dropped — cannot continue training");
+      }
+      if (batch_total == 0) break;  // all surviving shards exhausted
 
       // Parallel gradient computation against the shared parameters. Each
-      // worker uses its own model replica synced to the current params.
+      // worker uses its own model replica synced to the current params and
+      // writes only its own slots; the ParallelFor barrier publishes them
+      // back to the supervisor. Workers poll the cancellation token so a
+      // fail-fast unwind does not leave stale tasks running.
       if (replicas.empty()) {
         for (uint32_t w = 0; w < P; ++w) replicas.push_back(model->Clone());
       }
-      pool.ParallelFor(P, [&](size_t w) {
-        worker_loss[w] = 0.0;
-        auto& grad = worker_grads[w];
-        std::fill(grad.begin(), grad.end(), 0.0);
-        if (microbatches[w].empty()) return;
-        replicas[w]->params() = model->params();
-        for (const Tuple& t : microbatches[w]) {
-          worker_loss[w] += replicas[w]->AccumulateGrad(t, &grad);
-        }
-      });
+      Status compute = pool.ParallelFor(
+          P,
+          [&](size_t w) -> Status {
+            worker_loss[w] = 0.0;
+            auto& grad = worker_grads[w];
+            std::fill(grad.begin(), grad.end(), 0.0);
+            if (!workers[w].active || microbatches[w].empty()) {
+              return Status::OK();
+            }
+            replicas[w]->params() = model->params();
+            size_t polled = 0;
+            for (const Tuple& t : microbatches[w]) {
+              if ((++polled & 63u) == 0 && cancel.cancelled()) {
+                return cancel.status();
+              }
+              worker_loss[w] += replicas[w]->AccumulateGrad(t, &grad);
+            }
+            workers[w].heartbeat_steps++;  // liveness report to supervisor
+            return Status::OK();
+          },
+          &cancel);
+      CORGI_RETURN_NOT_OK(compute);
 
-      // AllReduce: average over all tuples of the global batch.
+      // AllReduce: average over all tuples the surviving workers
+      // contributed this step. Dividing by batch_total (not the original
+      // global batch) is the drop_and_rescale denominator rescaling.
       std::fill(reduced.begin(), reduced.end(), 0.0);
       for (uint32_t w = 0; w < P; ++w) {
+        if (!workers[w].active) continue;
         loss_sum += worker_loss[w];
         for (size_t i = 0; i < reduced.size(); ++i) {
           reduced[i] += worker_grads[w][i];
@@ -111,7 +248,24 @@ Result<TrainResult> TrainDistributed(Model* model, BlockSource* source,
     log.tuples_seen = seen;
     log.epoch_wall_seconds = timer.ElapsedSeconds();
     log.train_loss = seen > 0 ? loss_sum / static_cast<double>(seen) : 0.0;
+    log.active_workers = active_workers();
+    // Barrier accounting: the epoch's simulated critical path is the
+    // slowest worker; everyone else idled at the AllReduce barrier for the
+    // difference. Charged only for supervised runs to keep the legacy time
+    // model of plain runs unchanged.
+    double slowest = 0.0;
+    for (const WorkerState& ws : workers) {
+      slowest = std::max(slowest, ws.epoch_sim_seconds);
+    }
+    log.barrier_sim_seconds = slowest;
     if (options.clock != nullptr) {
+      if (supervised) {
+        double idle = 0.0;
+        for (const WorkerState& ws : workers) {
+          if (ws.active) idle += slowest - ws.epoch_sim_seconds;
+        }
+        options.clock->Advance(TimeCategory::kStragglerWait, idle);
+      }
       options.clock->Advance(TimeCategory::kCompute, log.epoch_wall_seconds);
     }
     if (options.test_set != nullptr && !options.test_set->empty()) {
@@ -131,6 +285,11 @@ Result<TrainResult> TrainDistributed(Model* model, BlockSource* source,
   if (!result.epochs.empty()) {
     result.final_test_metric = result.epochs.back().test_metric;
     result.final_test_loss = result.epochs.back().test_loss;
+  }
+  for (uint32_t w = 0; w < P; ++w) {
+    result.workers.push_back(WorkerSummary{w, workers[w].heartbeat_steps,
+                                           workers[w].total_sim_seconds,
+                                           !workers[w].active});
   }
   return result;
 }

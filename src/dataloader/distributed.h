@@ -3,6 +3,20 @@
 // synchronous AllReduce gradient averaging per global batch — the
 // DistributedDataParallel pattern, with worker threads standing in for the
 // paper's one-process-per-GPU setup.
+//
+// Supervised concurrency: each worker carries a Status and a heartbeat;
+// the supervisor (main loop) attributes deterministic simulated seconds to
+// each worker's data path, enforces an optional straggler deadline, and
+// applies a WorkerFailurePolicy when a worker errors or exceeds its
+// deadline — so a dead shard or a latency-spiked device degrades the run
+// according to policy instead of hanging the AllReduce barrier.
+//
+// Thread-safety / ownership: TrainDistributed owns its pool, replicas, and
+// per-worker state. Worker tasks only touch their own slot (grads, loss,
+// heartbeat) plus read-only shared parameters; the supervisor reads those
+// slots strictly after the ParallelFor barrier. Data pulls happen on the
+// supervisor thread (loader state is not thread-safe), which is also what
+// makes per-worker SimClock attribution exact.
 
 #pragma once
 
@@ -13,9 +27,28 @@
 #include "dataloader/dataset_api.h"
 #include "iosim/sim_clock.h"
 #include "ml/trainer.h"
+#include "util/cancellation.h"
 #include "util/threadpool.h"
 
 namespace corgipile {
+
+/// What the supervisor does with a worker whose data path fails (I/O
+/// error, corruption) or that exceeds the straggler deadline.
+enum class WorkerFailurePolicy {
+  /// Cancel every worker and return the failing worker's Status.
+  kFailFast = 0,
+  /// Evict the worker, rescale the AllReduce denominator to the surviving
+  /// workers' tuples, record the eviction in TrainResult::dropped_workers,
+  /// and keep training. Deterministic given seed + fault configuration.
+  kDropAndRescale,
+  /// Never evict on deadline: the barrier waits for stragglers (their wait
+  /// cost shows up in EpochLog::barrier_sim_seconds and the SimClock's
+  /// kStragglerWait category). Hard errors still fail fast — an I/O error
+  /// cannot be waited out.
+  kWait,
+};
+
+const char* WorkerFailurePolicyToString(WorkerFailurePolicy policy);
 
 struct DistributedTrainerOptions {
   uint32_t num_workers = 4;
@@ -40,12 +73,26 @@ struct DistributedTrainerOptions {
   /// Invoked after each epoch's evaluation with the current model (e.g. to
   /// compute extra metrics such as Top-5).
   std::function<void(uint32_t epoch, const Model&)> epoch_callback;
+
+  /// Worker supervision. The defaults (fail fast, no deadline) reproduce
+  /// the unsupervised behaviour exactly.
+  WorkerFailurePolicy failure_policy = WorkerFailurePolicy::kFailFast;
+  /// Per-worker, per-epoch budget of *simulated* seconds (requires
+  /// `clock`); a worker whose attributed data-path time exceeds it is a
+  /// straggler. Only simulated time counts — FaultInjector latency spikes
+  /// and retry backoff are observable, real compute jitter is not — so
+  /// deadline decisions are deterministic. 0 disables.
+  double straggler_deadline_sim_seconds = 0.0;
+  /// Whole-run simulated deadline (requires `clock`); the run returns
+  /// kDeadlineExceeded at the next step boundary after expiry. 0 disables.
+  double run_deadline_sim_seconds = 0.0;
 };
 
 /// Trains `model` over `source` with multi-process CorgiPile. Gradients are
 /// computed by real worker threads against the (read-only) current
 /// parameters and AllReduce-averaged before each update, so the result is
-/// deterministic given the seed.
+/// deterministic given the seed — including which workers get dropped
+/// under kDropAndRescale.
 Result<TrainResult> TrainDistributed(Model* model, BlockSource* source,
                                      const DistributedTrainerOptions& options);
 

@@ -1,4 +1,10 @@
 // Result record shared by the CorgiPile engine and the UDA baselines.
+//
+// Concurrency: InDbTrainResult is a plain value type with no internal
+// synchronization. Engines populate one instance on the driver thread after
+// their worker/producer threads have been joined (TupleShuffleOp and
+// TrainDistributed both barrier before reporting), so results may be read
+// freely once the producing call returns.
 
 #pragma once
 

@@ -44,55 +44,45 @@ std::optional<TupleShuffleOp::Batch> TupleShuffleOp::FillBatch() {
     batch.tuples.push_back(*t);
   }
   if (batch.tuples.empty()) return std::nullopt;
-  if (options_.shuffle_tuples) {
-    std::lock_guard<std::mutex> lock(mu_);  // rng_ is also reseeded in ReScan
-    rng_.Shuffle(batch.tuples);
-  }
+  if (options_.shuffle_tuples) rng_.Shuffle(batch.tuples);
   batch.fill_seconds = (IoElapsed() - io_before) + timer.ElapsedSeconds();
-  peak_buffer_ = std::max<uint64_t>(peak_buffer_, batch.tuples.size());
+  uint64_t prev = peak_buffer_.load();
+  while (prev < batch.tuples.size() &&
+         !peak_buffer_.compare_exchange_weak(prev, batch.tuples.size())) {
+  }
   return batch;
 }
 
 void TupleShuffleOp::StartProducer() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (producer_running_) return;
-  stop_producer_ = false;
-  producer_done_ = false;
-  producer_running_ = true;
+  if (producer_.joinable()) return;  // already running
+  channel_ = std::make_unique<Channel<Batch>>(1);
   producer_ = std::thread([this] { ProducerLoop(); });
 }
 
 void TupleShuffleOp::StopProducer() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!producer_running_) return;
-    stop_producer_ = true;
-  }
-  cv_.notify_all();
+  if (!producer_.joinable()) return;
+  // Wakes a producer blocked on a full channel (and poisons any further
+  // pushes); joining hands child_/rng_ ownership back to this thread.
+  channel_->Cancel(Status::Cancelled("TupleShuffleOp consumer closed"));
   producer_.join();
-  std::lock_guard<std::mutex> lock(mu_);
-  producer_running_ = false;
-  ready_.clear();
+  producer_ = std::thread();
+  channel_.reset();
 }
 
 void TupleShuffleOp::ProducerLoop() {
   for (;;) {
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_producer_ || ready_.empty(); });
-      if (stop_producer_) return;
-    }
+    // Wait for a free slot *before* filling, so at most one finished batch
+    // sits in the channel while the consumer drains another — the §6.3
+    // two-buffer memory budget.
+    if (!channel_->WaitWritable().ok()) return;  // consumer cancelled
     std::optional<Batch> batch = FillBatch();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (!batch.has_value()) {
-        producer_done_ = true;
-      } else {
-        ready_.push_back(std::move(*batch));
-      }
+    if (!batch.has_value()) {
+      // End of scan, clean or not: deliver the child's error (if any) to
+      // the consumer once the buffered batches drain.
+      channel_->Close(status());
+      return;
     }
-    cv_.notify_all();
-    if (!batch.has_value()) return;
+    if (!channel_->Push(std::move(*batch)).ok()) return;
   }
 }
 
@@ -104,13 +94,17 @@ bool TupleShuffleOp::AdvanceBatch() {
     have_batch_ = false;
   }
   if (options_.double_buffer) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return !ready_.empty() || producer_done_; });
-    if (ready_.empty()) return false;
-    current_ = std::move(ready_.front());
-    ready_.pop_front();
-    lock.unlock();
-    cv_.notify_all();  // wake producer to fill the next buffer
+    Batch next;
+    auto popped = channel_->Pop(&next);
+    if (!popped.ok()) {
+      // Producer failed (or the channel was cancelled): surface through
+      // status() like the single-buffered path does.
+      std::lock_guard<std::mutex> lock(status_mu_);
+      if (status_.ok()) status_ = popped.status();
+      return false;
+    }
+    if (!*popped) return false;  // clean end of stream
+    current_ = std::move(next);
   } else {
     std::optional<Batch> batch = FillBatch();
     if (!batch.has_value()) return false;
@@ -138,7 +132,7 @@ const Tuple* TupleShuffleOp::Next() {
 }
 
 Status TupleShuffleOp::ReScan() {
-  if (options_.double_buffer) StopProducer();
+  StopProducer();
   // Flush the in-flight batch's timing record.
   if (have_batch_) {
     timeline_.AddBatch(current_.fill_seconds, consume_acc_);
@@ -158,7 +152,7 @@ Status TupleShuffleOp::ReScan() {
 }
 
 void TupleShuffleOp::Close() {
-  if (options_.double_buffer) StopProducer();
+  StopProducer();
   current_ = Batch{};
   have_batch_ = false;
   if (child_ != nullptr) child_->Close();

@@ -8,7 +8,20 @@
 //  * single buffering: fills happen inline, serializing I/O and SGD;
 //  * double buffering (§6.3): a producer thread fills and shuffles the next
 //    buffer while the consumer drains the current one — data loading and
-//    SGD computation overlap.
+//    SGD computation overlap. The two threads are joined by a bounded
+//    Status-carrying Channel<Batch>: a producer-side error (e.g. a corrupt
+//    block past max_bad_fraction) is delivered to the consumer after the
+//    already-produced batches drain — exactly the order the single-buffered
+//    execution would surface it — and an early consumer Close() cancels the
+//    channel, which unblocks and stops the producer without deadlock.
+//
+// Thread-safety / ownership: the operator is single-consumer; Next/ReScan/
+// Close must be called from one thread. The producer thread is the only
+// FillBatch caller while it runs (it owns child_ and rng_); ReScan/Close/
+// the destructor cancel + join it before touching any of that state, which
+// is also the synchronization point handing child_/rng_ back to the
+// consumer thread. status_ is the only state shared while both threads are
+// live (guarded by status_mu_); peak_buffer_ is atomic.
 //
 // The operator also records a PipelineTimeline: per buffer, the fill cost
 // (simulated I/O + decompression read through the child, plus real
@@ -18,8 +31,8 @@
 
 #pragma once
 
-#include <condition_variable>
-#include <deque>
+#include <atomic>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -27,6 +40,7 @@
 
 #include "db/operator.h"
 #include "iosim/sim_clock.h"
+#include "util/channel.h"
 #include "util/rng.h"
 
 namespace corgipile {
@@ -50,6 +64,9 @@ class TupleShuffleOp : public PhysicalOperator {
   Status Init() override;
   const Tuple* Next() override;
   Status ReScan() override;
+  /// Stops and joins the producer thread (if any) before releasing the
+  /// child, so abandoning the operator mid-epoch neither leaks the thread
+  /// nor deadlocks. Idempotent; also run by the destructor.
   void Close() override;
   Status status() const override;
 
@@ -57,7 +74,7 @@ class TupleShuffleOp : public PhysicalOperator {
   const PipelineTimeline& timeline() const { return timeline_; }
   void ResetTimeline() { timeline_ = PipelineTimeline(); }
 
-  uint64_t peak_buffer_tuples() const { return peak_buffer_; }
+  uint64_t peak_buffer_tuples() const { return peak_buffer_.load(); }
 
   /// Forwarded from the child. With double buffering these are only stable
   /// once the producer has drained (end of epoch / after Next() returned
@@ -75,11 +92,13 @@ class TupleShuffleOp : public PhysicalOperator {
 
   double IoElapsed() const;
   /// Pulls from the child until `buffer_tuples` tuples or end; returns an
-  /// empty optional at end-of-scan. Thread-safe w.r.t. the child only when
-  /// called from a single thread at a time.
+  /// empty optional at end-of-scan. Must only be called by the thread that
+  /// currently owns child_/rng_ (see the ownership note above).
   std::optional<Batch> FillBatch();
 
   void StartProducer();
+  /// Cancels the channel and joins the producer. Safe to call when no
+  /// producer is running.
   void StopProducer();
   void ProducerLoop();
 
@@ -90,24 +109,19 @@ class TupleShuffleOp : public PhysicalOperator {
   Options options_;
   Rng rng_;
 
-  // Current batch being served.
+  // Current batch being served (consumer thread only).
   Batch current_;
   size_t pos_ = 0;
   bool have_batch_ = false;
   double consume_acc_ = 0.0;
   std::optional<std::chrono::steady_clock::time_point> last_emit_;
 
-  // Double-buffer machinery.
+  // Double-buffer machinery: one buffer ahead via a capacity-1 channel.
   std::thread producer_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Batch> ready_;      // capacity 1: one buffer ahead
-  bool producer_done_ = false;
-  bool stop_producer_ = false;
-  bool producer_running_ = false;
+  std::unique_ptr<Channel<Batch>> channel_;
 
   PipelineTimeline timeline_;
-  uint64_t peak_buffer_ = 0;
+  std::atomic<uint64_t> peak_buffer_{0};
   Status status_;
   mutable std::mutex status_mu_;
 };

@@ -14,6 +14,7 @@ const char* TimeCategoryToString(TimeCategory c) {
     case TimeCategory::kCompute: return "compute";
     case TimeCategory::kShuffleCpu: return "shuffle_cpu";
     case TimeCategory::kRetryBackoff: return "retry_backoff";
+    case TimeCategory::kStragglerWait: return "straggler_wait";
     case TimeCategory::kOther: return "other";
     case TimeCategory::kNumCategories: break;
   }

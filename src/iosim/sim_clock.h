@@ -22,6 +22,7 @@ enum class TimeCategory : int {
   kCompute,
   kShuffleCpu,
   kRetryBackoff,  ///< simulated backoff waits of the I/O retry paths
+  kStragglerWait,  ///< time workers idle at a barrier waiting for stragglers
   kOther,
   kNumCategories,
 };

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "iosim/sim_clock.h"
@@ -71,6 +72,34 @@ struct EpochLog {
   /// tuples lost with them (graceful-degradation accounting).
   uint64_t quarantined_blocks = 0;
   uint64_t skipped_tuples = 0;
+  /// Worker supervision (set by TrainDistributed only; 0 elsewhere):
+  /// workers still active at the end of the epoch, and the epoch's
+  /// simulated critical path — the largest per-worker simulated seconds
+  /// (I/O, latency spikes, retry backoff) attributed this epoch, i.e. how
+  /// long the AllReduce barrier waited for the slowest worker.
+  uint32_t active_workers = 0;
+  double barrier_sim_seconds = 0.0;
+};
+
+/// A worker evicted by the distributed trainer's supervision layer
+/// (WorkerFailurePolicy::kDropAndRescale).
+struct DroppedWorker {
+  uint32_t worker_id = 0;
+  uint32_t epoch = 0;  ///< epoch during which it was dropped
+  StatusCode code = StatusCode::kOk;  ///< kIoError, kDeadlineExceeded, ...
+  std::string reason;
+};
+
+/// Per-worker liveness/accounting summary reported by TrainDistributed.
+struct WorkerSummary {
+  uint32_t worker_id = 0;
+  /// Heartbeats: supervised steps this worker completed (gradient compute
+  /// reported back to the supervisor).
+  uint64_t heartbeat_steps = 0;
+  /// Simulated seconds attributed to this worker's data path across the
+  /// whole run (deterministic given the seed and fault configuration).
+  double sim_seconds = 0.0;
+  bool dropped = false;
 };
 
 struct TrainResult {
@@ -84,6 +113,11 @@ struct TrainResult {
   uint64_t total_skipped_tuples = 0;
   /// First epoch actually run by this call (> 0 when resumed).
   uint32_t resumed_from_epoch = 0;
+  /// Workers evicted under WorkerFailurePolicy::kDropAndRescale, in
+  /// eviction order, and the per-worker summaries (TrainDistributed only;
+  /// empty for single-process training).
+  std::vector<DroppedWorker> dropped_workers;
+  std::vector<WorkerSummary> workers;
 
   const EpochLog& back() const { return epochs.back(); }
 };

@@ -1,0 +1,153 @@
+// Bounded MPMC channel that carries a Status alongside data.
+//
+// The contract (see DESIGN.md §7):
+//  * Producers Push() items and finally Close(st) exactly once — st == OK
+//    for a clean end of stream, an error Status when production failed
+//    (e.g. a corrupt block past the tolerance threshold). Closing wakes
+//    every blocked producer and consumer.
+//  * Consumers Pop() items. After a clean Close() they drain whatever is
+//    buffered and then see end-of-stream; after an error Close(st) they
+//    likewise drain buffered items and then receive st — so a mid-stream
+//    producer failure surfaces identically to the serial (single-buffered)
+//    execution of the same pipeline.
+//  * Either side may Cancel(st): buffered items are dropped and every
+//    blocked or future Push/Pop fails immediately with st. This is how an
+//    early-closing consumer unblocks (and thereby stops) its producer
+//    without deadlock.
+//
+// Thread-safety: all methods are safe to call from any thread; internally
+// one mutex plus two condition variables (space / items). Items are moved
+// in and out, never copied.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "util/status.h"
+
+namespace corgipile {
+
+template <typename T>
+class Channel {
+ public:
+  /// `capacity` is clamped to >= 1.
+  explicit Channel(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Blocks while the channel is full. Returns OK once the item is
+  /// enqueued; the cancel reason if the channel was cancelled; kInternal
+  /// if pushed after Close() (a producer protocol bug).
+  Status Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    space_cv_.wait(lock, [this] {
+      return cancelled_ || closed_ || queue_.size() < capacity_;
+    });
+    if (cancelled_) return final_;
+    if (closed_) return Status::Internal("Push on closed channel");
+    queue_.push_back(std::move(item));
+    lock.unlock();
+    items_cv_.notify_one();
+    return Status::OK();
+  }
+
+  /// Blocks until a Push would not block (space available, or the channel
+  /// is closed/cancelled — in which case the pending failure is returned).
+  /// Lets a producer defer building an expensive item until there is room
+  /// for it, keeping at most `capacity` + the in-flight item alive.
+  Status WaitWritable() {
+    std::unique_lock<std::mutex> lock(mu_);
+    space_cv_.wait(lock, [this] {
+      return cancelled_ || closed_ || queue_.size() < capacity_;
+    });
+    if (cancelled_) return final_;
+    if (closed_) return Status::Internal("WaitWritable on closed channel");
+    return Status::OK();
+  }
+
+  /// Producer side: no more items. `final` == OK means clean end of
+  /// stream; an error Status is delivered to consumers once the buffered
+  /// items are drained. Idempotent; the first close wins.
+  void Close(Status final = Status::OK()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || cancelled_) return;
+      closed_ = true;
+      final_ = std::move(final);
+    }
+    items_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+
+  /// Either side aborts the stream: buffered items are dropped and every
+  /// blocked or future Push/Pop fails with `reason` immediately. Overrides
+  /// a prior clean Close (the stream was abandoned, not finished).
+  void Cancel(Status reason) {
+    if (reason.ok()) reason = Status::Cancelled("channel cancelled");
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (cancelled_) return;
+      cancelled_ = true;
+      final_ = std::move(reason);
+      queue_.clear();
+    }
+    items_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+
+  /// Blocks while the channel is open and empty. Returns true with *out
+  /// filled when an item arrived; false at clean end of stream (closed and
+  /// drained); the failure Status when the channel was cancelled or closed
+  /// with an error (after draining buffered items).
+  Result<bool> Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    items_cv_.wait(lock, [this] {
+      return cancelled_ || closed_ || !queue_.empty();
+    });
+    if (cancelled_) return final_;
+    if (queue_.empty()) {
+      // closed_ and drained: clean end or the producer's error.
+      if (!final_.ok()) return final_;
+      return false;
+    }
+    *out = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    space_cv_.notify_one();
+    return true;
+  }
+
+  /// Terminal status: OK while open or cleanly closed, otherwise the
+  /// Close(error) / Cancel reason.
+  Status status() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return final_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+  size_t capacity() const { return capacity_; }
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_ || cancelled_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable items_cv_;  ///< waiters in Pop
+  std::condition_variable space_cv_;  ///< waiters in Push/WaitWritable
+  std::deque<T> queue_;
+  bool closed_ = false;
+  bool cancelled_ = false;
+  Status final_;  ///< reason once closed_/cancelled_; OK for clean close
+};
+
+}  // namespace corgipile

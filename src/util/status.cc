@@ -17,6 +17,8 @@ const char* StatusCodeToString(StatusCode code) {
     case StatusCode::kNotImplemented: return "NotImplemented";
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kCancelled: return "Cancelled";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
   }
   return "Unknown";
 }

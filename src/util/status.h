@@ -25,6 +25,8 @@ enum class StatusCode : int8_t {
   kNotImplemented,
   kInternal,
   kResourceExhausted,
+  kCancelled,          ///< work abandoned via a CancellationToken
+  kDeadlineExceeded,   ///< a (simulated) deadline expired before completion
 };
 
 /// Returns a human-readable name for a StatusCode ("OK", "IOError", ...).
@@ -64,6 +66,12 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -78,6 +86,14 @@ class Status {
   bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
   bool IsCorruption() const { return code() == StatusCode::kCorruption; }
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
  private:
   struct State {

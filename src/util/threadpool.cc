@@ -1,5 +1,9 @@
 #include "util/threadpool.h"
 
+#include <algorithm>
+#include <atomic>
+#include <limits>
+
 namespace corgipile {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -33,13 +37,63 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+Status ThreadPool::ParallelForImpl(size_t n,
+                                   const std::function<Status(size_t)>& fn,
+                                   const CancellationToken* token) {
+  if (n == 0) return token != nullptr ? token->status() : Status::OK();
+
+  // Runner tasks pull indices from a shared counter; an observed error (or
+  // external cancellation) stops further claims, which is how
+  // not-yet-started work gets cancelled. The futures below are all drained
+  // before this frame returns, so `ctl` and `fn` outlive every task.
+  struct Control {
+    std::atomic<size_t> next{0};
+    std::atomic<bool> stop{false};
+    std::mutex mu;  ///< guards the first-error pair below
+    size_t first_error_index = std::numeric_limits<size_t>::max();
+    Status first_error;
+  };
+  Control ctl;
+
+  auto runner = [this, n, &fn, token, &ctl] {
+    (void)this;
+    for (;;) {
+      if (ctl.stop.load(std::memory_order_acquire)) return;
+      if (token != nullptr && token->cancelled()) return;
+      const size_t i = ctl.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      Status st;
+      try {
+        st = fn(i);
+      } catch (const std::exception& e) {
+        st = Status::Internal(
+            std::string("uncaught exception in ParallelFor task: ") +
+            e.what());
+      } catch (...) {
+        st = Status::Internal("uncaught non-std exception in ParallelFor task");
+      }
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(ctl.mu);
+        if (i < ctl.first_error_index) {
+          ctl.first_error_index = i;
+          ctl.first_error = st;
+        }
+        ctl.stop.store(true, std::memory_order_release);
+      }
+    }
+  };
+
+  const size_t width = std::min(n, workers_.size());
   std::vector<std::future<void>> futs;
-  futs.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    futs.push_back(Submit([i, &fn] { fn(i); }));
+  futs.reserve(width);
+  for (size_t k = 0; k < width; ++k) futs.push_back(Submit(runner));
+  for (auto& f : futs) f.get();  // drain in-flight work unconditionally
+
+  if (ctl.first_error_index != std::numeric_limits<size_t>::max()) {
+    return ctl.first_error;
   }
-  for (auto& f : futs) f.get();
+  if (token != nullptr && token->cancelled()) return token->status();
+  return Status::OK();
 }
 
 }  // namespace corgipile

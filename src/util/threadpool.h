@@ -1,16 +1,32 @@
 // Fixed-size thread pool used by the distributed dataloader simulation and
 // parallel benches.
+//
+// Supervised execution: tasks may return Status, ParallelFor collects the
+// first (lowest-index) error, stops handing out not-yet-started indices
+// once an error or external cancellation is observed, and always drains
+// in-flight tasks before returning — so no task can outlive the caller's
+// frame and dangle references into it.
+//
+// Thread-safety: Submit/ParallelFor may be called from any thread except a
+// pool worker (a worker waiting on its own pool would deadlock). The
+// destructor drains the queue and joins all workers.
 
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
+#include <type_traits>
 #include <vector>
+
+#include "util/cancellation.h"
+#include "util/status.h"
 
 namespace corgipile {
 
@@ -24,11 +40,13 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
-  /// Enqueues a task; the returned future resolves when it finishes.
+  /// Enqueues a task; the returned future resolves to the task's return
+  /// value (Status tasks resolve to their Status) when it finishes.
   template <typename F>
-  std::future<void> Submit(F&& f) {
-    auto task = std::make_shared<std::packaged_task<void()>>(std::forward<F>(f));
-    std::future<void> fut = task->get_future();
+  std::future<std::invoke_result_t<std::decay_t<F>>> Submit(F&& f) {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mu_);
       queue_.emplace([task] { (*task)(); });
@@ -37,10 +55,39 @@ class ThreadPool {
     return fut;
   }
 
-  /// Runs fn(i) for i in [0, n) across the pool and blocks until all done.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  /// Runs fn(i) for i in [0, n) across the pool and blocks until done.
+  /// fn may return void or Status.
+  ///
+  /// Error handling: returns the error of the lowest-index failed task.
+  /// Once any task fails (or `token` is cancelled), indices that have not
+  /// started yet are skipped; in-flight tasks are drained before
+  /// returning, so references captured by fn stay valid for exactly the
+  /// duration of this call. An exception escaping fn is captured as
+  /// Status::Internal instead of unwinding past live tasks.
+  ///
+  /// With no failures, returns token->status() if cancelled, else OK.
+  template <typename F>
+  Status ParallelFor(size_t n, F&& fn,
+                     const CancellationToken* token = nullptr) {
+    using R = std::invoke_result_t<std::decay_t<F>, size_t>;
+    if constexpr (std::is_void_v<R>) {
+      return ParallelForImpl(
+          n,
+          [&fn](size_t i) {
+            fn(i);
+            return Status::OK();
+          },
+          token);
+    } else {
+      static_assert(std::is_same_v<R, Status>,
+                    "ParallelFor body must return void or Status");
+      return ParallelForImpl(n, [&fn](size_t i) { return fn(i); }, token);
+    }
+  }
 
  private:
+  Status ParallelForImpl(size_t n, const std::function<Status(size_t)>& fn,
+                         const CancellationToken* token);
   void WorkerLoop();
 
   std::vector<std::thread> workers_;

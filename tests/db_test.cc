@@ -236,6 +236,59 @@ TEST(TupleShuffleOpStressTest, ManyEpochsDoubleBuffered) {
   op.Close();
 }
 
+TEST(TupleShuffleOpEarlyCloseTest, CloseMidStreamStopsProducer) {
+  // Consumer abandons a double-buffered scan after a few tuples: Close()
+  // must cancel the channel, unblock and join the producer, and leave the
+  // operator reusable — no deadlock, no leaked thread.
+  TableFixture f("susy", DataOrder::kClustered, 0.02, "tso_early");
+  BlockShuffleOp::Options bopts;
+  bopts.block_size_bytes = 2 * 2048;
+  BlockShuffleOp block_op(f.table.get(), bopts);
+  TupleShuffleOp::Options topts;
+  topts.buffer_tuples = 16;  // small buffers → producer is usually ahead
+  topts.double_buffer = true;
+  TupleShuffleOp op(&block_op, topts);
+  ASSERT_TRUE(op.Init().ok());
+  for (int i = 0; i < 5; ++i) ASSERT_NE(op.Next(), nullptr);
+  op.Close();  // would hang here if the producer were not cancelled
+  op.Close();  // idempotent
+}
+
+TEST(TupleShuffleOpEarlyCloseTest, DestructorMidStreamStopsProducer) {
+  TableFixture f("susy", DataOrder::kClustered, 0.02, "tso_early_dtor");
+  BlockShuffleOp::Options bopts;
+  bopts.block_size_bytes = 2 * 2048;
+  BlockShuffleOp block_op(f.table.get(), bopts);
+  {
+    TupleShuffleOp::Options topts;
+    topts.buffer_tuples = 16;
+    topts.double_buffer = true;
+    TupleShuffleOp op(&block_op, topts);
+    ASSERT_TRUE(op.Init().ok());
+    ASSERT_NE(op.Next(), nullptr);
+    // Destroyed mid-stream without an explicit Close().
+  }
+}
+
+TEST(TupleShuffleOpEarlyCloseTest, ReScanMidStreamRestartsCleanly) {
+  TableFixture f("susy", DataOrder::kClustered, 0.02, "tso_early_rescan");
+  BlockShuffleOp::Options bopts;
+  bopts.block_size_bytes = 2 * 2048;
+  BlockShuffleOp block_op(f.table.get(), bopts);
+  TupleShuffleOp::Options topts;
+  topts.buffer_tuples = 16;
+  topts.double_buffer = true;
+  TupleShuffleOp op(&block_op, topts);
+  ASSERT_TRUE(op.Init().ok());
+  for (int i = 0; i < 7; ++i) ASSERT_NE(op.Next(), nullptr);
+  ASSERT_TRUE(op.ReScan().ok());  // abandons the in-flight producer
+  uint64_t n = 0;
+  while (op.Next() != nullptr) ++n;
+  ASSERT_TRUE(op.status().ok());
+  EXPECT_EQ(n, f.ds.train->size());  // full fresh epoch after the restart
+  op.Close();
+}
+
 TEST(ModelStoreTest, PutGetRemove) {
   ModelStore store;
   auto id1 = store.Put(std::make_unique<LogisticRegression>(4));

@@ -11,8 +11,10 @@
 
 #include "dataset/catalog.h"
 #include "dataset/loader.h"
+#include "db/block_shuffle_op.h"
 #include "db/database.h"
 #include "db/query.h"
+#include "db/tuple_shuffle_op.h"
 #include "dataloader/record_file.h"
 #include "iosim/fault_injector.h"
 #include "iosim/sim_clock.h"
@@ -528,6 +530,47 @@ TEST(QuarantineTrainingTest, DatabasePipelineQuarantinesAndReports) {
   EXPECT_FALSE(strict.ok());
   EXPECT_TRUE(strict.status().IsCorruption()) << strict.status().ToString();
   db.SetFaultInjection(nullptr);
+}
+
+// A corrupt block mid-stream with corruption tolerance off must surface
+// kCorruption through TupleShuffleOp::status() in BOTH buffer modes: the
+// double-buffered path delivers the producer's error through the channel
+// after the already-filled buffers drain, i.e. at the same point in the
+// tuple stream where the single-buffered path hits it.
+TEST(QuarantineTrainingTest, CorruptionSurfacesInBothBufferModes) {
+  for (const bool double_buffer : {false, true}) {
+    SCOPED_TRACE(double_buffer ? "double buffered" : "single buffered");
+    FaultTrainFixture f(double_buffer ? "pipe_corrupt_d" : "pipe_corrupt_s");
+
+    BlockShuffleOp::Options bopts;
+    bopts.block_size_bytes = 4 * 2048;
+    bopts.seed = 5;  // shuffled block order → the corrupt block lands
+                     // mid-stream, after healthy blocks were consumed
+    BlockShuffleOp block_op(f.table.get(), bopts);
+    TupleShuffleOp::Options topts;
+    topts.buffer_tuples = 64;
+    topts.double_buffer = double_buffer;
+    TupleShuffleOp op(&block_op, topts);
+
+    // Sparse sticky corruption; tolerance is off (no BlockReadTolerance).
+    FaultConfig cfg;
+    cfg.seed = 1234;
+    cfg.bit_flip_rate = 0.01;
+    FaultInjector inj(cfg);
+    f.table->SetFaultInjection(&inj);
+
+    ASSERT_TRUE(op.Init().ok());
+    uint64_t delivered = 0;
+    while (op.Next() != nullptr) ++delivered;
+    Status st = op.status();
+    EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+    // Healthy buffers filled before the bad block still reached the
+    // consumer.
+    EXPECT_GT(delivered, 0u);
+    EXPECT_LT(delivered, f.ds.train->size());
+    op.Close();
+    f.table->SetFaultInjection(nullptr);
+  }
 }
 
 // --- Checkpoints ----------------------------------------------------------
