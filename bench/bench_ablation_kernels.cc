@@ -5,6 +5,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
 #include "dataset/catalog.h"
 #include "ml/linear_models.h"
 #include "ml/mlp.h"
@@ -152,4 +157,28 @@ BENCHMARK(BM_SampleWithoutReplacement)->Arg(1000)->Arg(100000)->ArgName("n");
 }  // namespace
 }  // namespace corgipile
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults to the machine-readable JSON output
+// every bench binary emits (EXPERIMENTS.md §0). An explicit
+// --benchmark_out flag overrides.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=bench_results/ablation_kernels.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    std::filesystem::create_directories("bench_results");
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -18,6 +18,7 @@
 
 #include "iosim/device.h"
 #include "util/csv.h"
+#include "util/json.h"
 
 namespace corgipile {
 namespace bench {
@@ -89,7 +90,9 @@ struct BenchEnv {
     return base * scale * q;
   }
 
-  /// Prints the table and writes <out_dir>/<name>.csv.
+  /// Prints the table and writes <out_dir>/<name>.csv plus
+  /// <out_dir>/<name>.json (machine-readable; schema in EXPERIMENTS.md §0:
+  /// {name, params{scale, byte_scale, quick}, metrics{columns, rows}}).
   void Emit(const std::string& name, const CsvTable& table) const {
     std::printf("\n== %s ==\n%s", name.c_str(),
                 table.ToAlignedText().c_str());
@@ -101,6 +104,43 @@ struct BenchEnv {
     } else {
       std::printf("[csv: %s]\n", path.c_str());
     }
+    const std::string json_path = out_dir + "/" + name + ".json";
+    st = ToJson(name, table).WriteFile(json_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "failed to write %s: %s\n", json_path.c_str(),
+                   st.ToString().c_str());
+    } else {
+      std::printf("[json: %s]\n", json_path.c_str());
+    }
+  }
+
+  /// The stable machine-readable form of one result table. Cell values are
+  /// kept as the already-formatted CSV strings (quoted JSON strings), so
+  /// the CSV and JSON views of a run never disagree.
+  JsonValue ToJson(const std::string& name, const CsvTable& table) const {
+    JsonValue params = JsonValue::Object();
+    params.Set("scale", JsonValue::Number(scale))
+        .Set("byte_scale", JsonValue::Number(byte_scale))
+        .Set("quick", JsonValue::Bool(quick));
+    JsonValue columns = JsonValue::Array();
+    for (const std::string& h : table.header()) {
+      columns.Add(JsonValue::Str(h));
+    }
+    JsonValue rows = JsonValue::Array();
+    for (size_t i = 0; i < table.num_rows(); ++i) {
+      JsonValue row = JsonValue::Array();
+      for (const std::string& cell : table.row(i)) {
+        row.Add(JsonValue::Str(cell));
+      }
+      rows.Add(std::move(row));
+    }
+    JsonValue metrics = JsonValue::Object();
+    metrics.Set("columns", std::move(columns)).Set("rows", std::move(rows));
+    JsonValue doc = JsonValue::Object();
+    doc.Set("name", JsonValue::Str(name))
+        .Set("params", std::move(params))
+        .Set("metrics", std::move(metrics));
+    return doc;
   }
 };
 

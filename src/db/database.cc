@@ -178,6 +178,7 @@ Result<InDbTrainResult> Database::Train(const TrainStatement& stmt) {
   CORGI_ASSIGN_OR_RETURN(bool double_buffer, p.GetBool("double_buffer", true));
   CORGI_ASSIGN_OR_RETURN(int64_t seed, p.GetInt("seed", 42));
   CORGI_ASSIGN_OR_RETURN(std::string opt_name, p.GetString("optimizer", "sgd"));
+  CORGI_ASSIGN_OR_RETURN(std::string publish_id, p.GetString("publish", ""));
   CORGI_ASSIGN_OR_RETURN(bool tolerate_corruption,
                          p.GetBool("tolerate_corruption", false));
   CORGI_ASSIGN_OR_RETURN(double max_bad_fraction,
@@ -328,7 +329,15 @@ Result<InDbTrainResult> Database::Train(const TrainStatement& stmt) {
     result.final_metric = result.epochs.back().test_metric;
     result.final_loss = result.epochs.back().test_loss;
   }
-  result.model_id = models_.Put(std::move(model));
+  if (publish_id.empty()) {
+    result.model_id = models_.Put(std::move(model));
+  } else {
+    // Stable alias: the first train creates it, retrains hot-swap it while
+    // in-flight predicts keep their snapshot (see ModelStore::Publish).
+    CORGI_ASSIGN_OR_RETURN(result.model_version,
+                           models_.Publish(publish_id, std::move(model)));
+    result.model_id = publish_id;
+  }
   return result;
 }
 
@@ -337,21 +346,65 @@ Result<InDbPredictResult> Database::Predict(const PredictStatement& stmt) {
   if (it == tables_.end()) {
     return Status::NotFound("no table '" + stmt.table_name + "'");
   }
-  CORGI_ASSIGN_OR_RETURN(Model * model, models_.Get(stmt.model_id));
+  Table* table = it->second.table.get();
+  // Validate before a single tuple is submitted: missing models and
+  // feature-dimensionality mismatches fail the statement, not N futures.
+  CORGI_ASSIGN_OR_RETURN(ModelSnapshot snap,
+                         models_.GetSnapshot(stmt.model_id));
+  const uint32_t model_dim = snap.model->input_dim();
+  if (model_dim != 0 && table->schema().dim != model_dim) {
+    return Status::InvalidArgument(
+        "table '" + stmt.table_name + "' has dim " +
+        std::to_string(table->schema().dim) + " but model '" +
+        stmt.model_id + "' expects " + std::to_string(model_dim));
+  }
+
+  // Route the scan through the serving engine: the table is replayed as a
+  // generated all-at-once arrival schedule, so the resulting ServeStats
+  // are deterministic and batching/queueing are exercised on every
+  // PREDICT BY — not just in bench_serve_sweep.
+  ServeOptions opts = serve_options_;
+  opts.flush_on_idle = false;  // scheduler timing from arrival stamps only
+  opts.clock = &clock_;
+  InferenceEngine engine(&models_, opts);
+  CORGI_RETURN_NOT_OK(engine.Start());
+
+  // The heap-file read cursor is not shareable, so the scan itself is
+  // serialized across sessions; the engine work below runs unlocked.
+  std::vector<Tuple> tuples;
+  {
+    std::lock_guard<std::mutex> lock(scan_mu_);
+    table->ResetReadCursor();
+    CORGI_RETURN_NOT_OK(table->Scan([&](const Tuple& t) {
+      tuples.push_back(t);
+      return Status::OK();
+    }));
+  }
+
+  std::vector<std::future<ServeReply>> futures;
+  futures.reserve(tuples.size());
+  for (const Tuple& t : tuples) {
+    ServeRequest req;
+    req.tuple = t;
+    req.model_id = stmt.model_id;
+    req.arrival_s = 0.0;
+    futures.push_back(engine.Submit(std::move(req)));
+  }
+  CORGI_RETURN_NOT_OK(engine.Drain());
+
+  EvalAccumulator acc;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ServeReply reply = futures[i].get();
+    CORGI_RETURN_NOT_OK(reply.status);
+    acc.Add(tuples[i].label, reply.value, reply.loss, reply.correct);
+  }
+  const EvalResult eval = acc.Finalize(it->second.label_type);
 
   InDbPredictResult out;
-  const LabelType label_type = it->second.label_type;
-  std::vector<Tuple> all;
-  Table* table = it->second.table.get();
-  table->ResetReadCursor();
-  CORGI_RETURN_NOT_OK(table->Scan([&](const Tuple& t) {
-    all.push_back(t);
-    return Status::OK();
-  }));
-  const EvalResult eval = Evaluate(*model, all, label_type);
   out.count = eval.count;
   out.metric = eval.metric;
   out.mean_loss = eval.mean_loss;
+  out.serve = engine.stats();
   return out;
 }
 
@@ -364,14 +417,18 @@ Result<BinaryReport> Database::EvaluateModel(const EvaluateStatement& stmt) {
     return Status::InvalidArgument(
         "EVALUATE BY requires a binary-labelled table");
   }
-  CORGI_ASSIGN_OR_RETURN(Model * model, models_.Get(stmt.model_id));
+  CORGI_ASSIGN_OR_RETURN(std::shared_ptr<const Model> model,
+                         models_.Get(stmt.model_id));
   std::vector<Tuple> all;
   Table* table = it->second.table.get();
-  table->ResetReadCursor();
-  CORGI_RETURN_NOT_OK(table->Scan([&](const Tuple& t) {
-    all.push_back(t);
-    return Status::OK();
-  }));
+  {
+    std::lock_guard<std::mutex> lock(scan_mu_);
+    table->ResetReadCursor();
+    CORGI_RETURN_NOT_OK(table->Scan([&](const Tuple& t) {
+      all.push_back(t);
+      return Status::OK();
+    }));
+  }
   return EvaluateBinaryDetailed(*model, all);
 }
 
@@ -422,7 +479,9 @@ Result<std::string> Database::Execute(const std::string& sql) {
   if (std::holds_alternative<TrainStatement>(stmt)) {
     CORGI_ASSIGN_OR_RETURN(InDbTrainResult r,
                            Train(std::get<TrainStatement>(stmt)));
-    os << "trained model " << r.model_id << " in " << r.epochs.size()
+    os << "trained model " << r.model_id;
+    if (r.model_version > 1) os << " (v" << r.model_version << ")";
+    os << " in " << r.epochs.size()
        << " epochs; final metric " << r.final_metric << ", loss "
        << r.final_loss << "; simulated end-to-end "
        << r.end_to_end_double_seconds << "s (" << r.prep_seconds
@@ -435,7 +494,11 @@ Result<std::string> Database::Execute(const std::string& sql) {
     CORGI_ASSIGN_OR_RETURN(InDbPredictResult r,
                            Predict(std::get<PredictStatement>(stmt)));
     os << "predicted " << r.count << " tuples; metric " << r.metric
-       << ", mean loss " << r.mean_loss;
+       << ", mean loss " << r.mean_loss << "; served in "
+       << r.serve.num_batches << " micro-batches (mean occupancy "
+       << r.serve.mean_batch_occupancy << "), p50 "
+       << r.serve.latency.p50 * 1e3 << "ms, p99 "
+       << r.serve.latency.p99 * 1e3 << "ms";
   } else {
     CORGI_ASSIGN_OR_RETURN(BinaryReport r,
                            EvaluateModel(std::get<EvaluateStatement>(stmt)));

@@ -9,6 +9,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "db/model_store.h"
@@ -18,6 +19,8 @@
 #include "dataset/catalog.h"
 #include "iosim/device.h"
 #include "iosim/sim_clock.h"
+#include "serve/inference_engine.h"
+#include "serve/serve_stats.h"
 #include "storage/table.h"
 #include "util/status.h"
 
@@ -28,6 +31,9 @@ struct InDbPredictResult {
   uint64_t count = 0;
   double metric = 0.0;  ///< accuracy or R²
   double mean_loss = 0.0;
+  /// Serving-side accounting: PREDICT BY routes every tuple through the
+  /// micro-batched InferenceEngine, so batching/latency stats come along.
+  ServeStats serve;
 };
 
 class Database {
@@ -84,6 +90,12 @@ class Database {
   /// database.
   void SetFaultInjection(FaultInjector* injector);
 
+  /// Serving policy for PREDICT BY (batch size, deadline, workers, queue
+  /// depth, service-time model). The defaults never shed: a table scan is
+  /// an offline batch workload, not an open-loop arrival process.
+  void set_serve_options(const ServeOptions& opts) { serve_options_ = opts; }
+  const ServeOptions& serve_options() const { return serve_options_; }
+
   SimClock& clock() { return clock_; }
   IoStats& io_stats() { return io_stats_; }
   ModelStore& models() { return models_; }
@@ -107,6 +119,9 @@ class Database {
 
   std::string data_dir_;
   DeviceProfile device_;
+  /// Serializes heap-file scans (shared read cursor) across the concurrent
+  /// PREDICT sessions the serving path allows.
+  mutable std::mutex scan_mu_;
   FaultInjector* fault_ = nullptr;
   std::unique_ptr<BufferManager> buffer_pool_;
   SimClock clock_;
@@ -115,6 +130,11 @@ class Database {
   /// Shuffled copies created by strategy=shuffle_once, kept alive per table.
   std::map<std::string, std::unique_ptr<Table>> shuffled_copies_;
   ModelStore models_;
+  ServeOptions serve_options_ = [] {
+    ServeOptions o;
+    o.max_queue_depth = 0;  // offline scan: admit everything
+    return o;
+  }();
 };
 
 }  // namespace corgipile

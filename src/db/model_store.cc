@@ -3,26 +3,62 @@
 namespace corgipile {
 
 std::string ModelStore::Put(std::unique_ptr<Model> model) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string id =
       std::string(model->name()) + "_" + std::to_string(next_id_++);
-  models_[id] = std::move(model);
+  models_[id] = Entry{std::shared_ptr<const Model>(std::move(model)), 1};
   return id;
 }
 
-Result<Model*> ModelStore::Get(const std::string& id) const {
+Result<std::shared_ptr<const Model>> ModelStore::Get(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = models_.find(id);
   if (it == models_.end()) return Status::NotFound("no model '" + id + "'");
-  return it->second.get();
+  return it->second.model;
+}
+
+Result<ModelSnapshot> ModelStore::GetSnapshot(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(id);
+  if (it == models_.end()) return Status::NotFound("no model '" + id + "'");
+  return ModelSnapshot{it->second.model, it->second.version};
+}
+
+Result<uint64_t> ModelStore::Publish(const std::string& id,
+                                     std::unique_ptr<Model> model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(id);
+  if (it == models_.end()) {
+    models_[id] = Entry{std::shared_ptr<const Model>(std::move(model)), 1};
+    return uint64_t{1};
+  }
+  it->second.model = std::shared_ptr<const Model>(std::move(model));
+  return ++it->second.version;
+}
+
+Result<uint64_t> ModelStore::GetVersion(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(id);
+  if (it == models_.end()) return Status::NotFound("no model '" + id + "'");
+  return it->second.version;
 }
 
 Status ModelStore::Remove(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (models_.erase(id) == 0) {
     return Status::NotFound("no model '" + id + "'");
   }
   return Status::OK();
 }
 
+size_t ModelStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return models_.size();
+}
+
 std::vector<std::string> ModelStore::Ids() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> ids;
   ids.reserve(models_.size());
   for (const auto& [id, _] : models_) ids.push_back(id);

@@ -1,32 +1,71 @@
 // In-memory model store (paper §6.1): learned models live as in-kernel
 // objects with an ID; inference queries reference them by that ID.
+//
+// The store is a versioned, thread-safe registry designed for the serving
+// path (src/serve/): Get() hands out copy-on-write
+// `shared_ptr<const Model>` snapshots instead of borrowed raw pointers, so
+// a concurrent Remove() or Publish() (hot-swap) can never invalidate a
+// model an in-flight predict is using — the old version stays alive until
+// its last holder drops it, while new lookups immediately see the new
+// version. All mutating and reading members take the registry mutex; the
+// Model objects themselves are immutable once stored (const access only).
 
 #pragma once
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "ml/model.h"
 #include "util/status.h"
 
 namespace corgipile {
 
+/// One Get() result: an immutable model snapshot plus the version it
+/// carries. Versions start at 1 and bump on every Publish().
+struct ModelSnapshot {
+  std::shared_ptr<const Model> model;
+  uint64_t version = 0;
+};
+
 class ModelStore {
  public:
-  /// Stores a model, returning its generated id ("<name>_<n>").
+  /// Stores a model under a generated id ("<name>_<n>") at version 1.
   std::string Put(std::unique_ptr<Model> model);
 
-  /// Borrowed pointer; NotFound if absent.
-  Result<Model*> Get(const std::string& id) const;
+  /// Snapshot of the current version; NotFound if absent. The returned
+  /// shared_ptr keeps that version alive across concurrent Remove/Publish.
+  Result<std::shared_ptr<const Model>> Get(const std::string& id) const;
+
+  /// Snapshot plus its version number (for serving-side attribution).
+  Result<ModelSnapshot> GetSnapshot(const std::string& id) const;
+
+  /// Hot-swap: atomically replaces the model stored under `id` and
+  /// returns the new version number (upsert: a fresh id starts at
+  /// version 1, so `TRAIN ... publish=<id>` works for first train and
+  /// retrain alike). In-flight holders of the previous snapshot keep
+  /// serving it; new Get()s see the replacement.
+  Result<uint64_t> Publish(const std::string& id,
+                           std::unique_ptr<Model> model);
+
+  /// Current version of `id`; NotFound if absent.
+  Result<uint64_t> GetVersion(const std::string& id) const;
 
   Status Remove(const std::string& id);
 
-  size_t size() const { return models_.size(); }
+  size_t size() const;
   std::vector<std::string> Ids() const;
 
  private:
-  std::map<std::string, std::unique_ptr<Model>> models_;
+  struct Entry {
+    std::shared_ptr<const Model> model;
+    uint64_t version = 1;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> models_;
   uint64_t next_id_ = 0;
 };
 

@@ -19,6 +19,9 @@ namespace corgipile {
 /// Outcome of one in-database training run.
 struct InDbTrainResult {
   std::string model_id;  ///< id in the model store (when stored)
+  /// Registry version under model_id; > 1 when `publish=<id>` hot-swapped
+  /// an earlier generation.
+  uint64_t model_version = 1;
   std::vector<EpochLog> epochs;
 
   /// Pre-training preparation (Shuffle Once's offline shuffle), simulated

@@ -15,6 +15,7 @@ const char* TimeCategoryToString(TimeCategory c) {
     case TimeCategory::kShuffleCpu: return "shuffle_cpu";
     case TimeCategory::kRetryBackoff: return "retry_backoff";
     case TimeCategory::kStragglerWait: return "straggler_wait";
+    case TimeCategory::kServe: return "serve";
     case TimeCategory::kOther: return "other";
     case TimeCategory::kNumCategories: break;
   }

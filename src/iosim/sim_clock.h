@@ -23,6 +23,7 @@ enum class TimeCategory : int {
   kShuffleCpu,
   kRetryBackoff,  ///< simulated backoff waits of the I/O retry paths
   kStragglerWait,  ///< time workers idle at a barrier waiting for stragglers
+  kServe,          ///< inference-engine batch service time (src/serve/)
   kOther,
   kNumCategories,
 };

@@ -188,8 +188,12 @@ double SoftmaxRegression::ForwardProbs(const Tuple& t,
   return -std::log(py);
 }
 
+// Loss/Predict/Correct/TopKCorrect use local scratch: the serving engine
+// calls them concurrently on one shared snapshot. The member scratch is
+// reserved for the training paths, which own their model instance.
 double SoftmaxRegression::Loss(const Tuple& t) const {
-  return ForwardProbs(t, &scratch_probs_);
+  std::vector<double> probs;
+  return ForwardProbs(t, &probs);
 }
 
 double SoftmaxRegression::SgdStep(const Tuple& t, double lr) {
@@ -238,10 +242,10 @@ double SoftmaxRegression::AccumulateGrad(const Tuple& t,
 }
 
 double SoftmaxRegression::Predict(const Tuple& t) const {
-  ForwardProbs(t, &scratch_probs_);
-  return static_cast<double>(std::distance(
-      scratch_probs_.begin(),
-      std::max_element(scratch_probs_.begin(), scratch_probs_.end())));
+  std::vector<double> probs;
+  ForwardProbs(t, &probs);
+  return static_cast<double>(
+      std::distance(probs.begin(), std::max_element(probs.begin(), probs.end())));
 }
 
 bool SoftmaxRegression::Correct(const Tuple& t) const {
@@ -249,10 +253,11 @@ bool SoftmaxRegression::Correct(const Tuple& t) const {
 }
 
 bool SoftmaxRegression::TopKCorrect(const Tuple& t, uint32_t k) const {
-  ForwardProbs(t, &scratch_probs_);
-  const double p_label = scratch_probs_[static_cast<uint32_t>(t.label)];
+  std::vector<double> probs;
+  ForwardProbs(t, &probs);
+  const double p_label = probs[static_cast<uint32_t>(t.label)];
   uint32_t better = 0;
-  for (double p : scratch_probs_) {
+  for (double p : probs) {
     if (p > p_label) ++better;
   }
   return better < k;

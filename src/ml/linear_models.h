@@ -21,6 +21,7 @@ class BinaryLinearModel : public Model {
   explicit BinaryLinearModel(uint32_t dim, double l2_reg = 0.0);
 
   size_t num_params() const override { return params_.size(); }
+  uint32_t input_dim() const override { return dim_; }
   std::vector<double>& params() override { return params_; }
   const std::vector<double>& params() const override { return params_; }
   void InitParams(uint64_t seed) override;
@@ -89,6 +90,7 @@ class SoftmaxRegression : public Model {
 
   const char* name() const override { return "softmax"; }
   size_t num_params() const override { return params_.size(); }
+  uint32_t input_dim() const override { return dim_; }
   std::vector<double>& params() override { return params_; }
   const std::vector<double>& params() const override { return params_; }
   void InitParams(uint64_t seed) override;

@@ -36,6 +36,32 @@ EvalResult Evaluate(const Model& model, const std::vector<Tuple>& tuples,
   return r;
 }
 
+void EvalAccumulator::Add(double label, double prediction, double loss,
+                          bool correct) {
+  ++count_;
+  if (correct) ++correct_;
+  loss_sum_ += loss;
+  y_sum_ += label;
+  y_sq_sum_ += label * label;
+  ss_res_ += (label - prediction) * (label - prediction);
+}
+
+EvalResult EvalAccumulator::Finalize(LabelType label_type) const {
+  EvalResult r;
+  r.count = count_;
+  if (count_ == 0) return r;
+  const double n = static_cast<double>(count_);
+  r.mean_loss = loss_sum_ / n;
+  if (label_type == LabelType::kContinuous) {
+    const double y_mean = y_sum_ / n;
+    const double ss_tot = y_sq_sum_ - n * y_mean * y_mean;
+    r.metric = ss_tot > 0.0 ? 1.0 - ss_res_ / ss_tot : 0.0;
+  } else {
+    r.metric = static_cast<double>(correct_) / n;
+  }
+  return r;
+}
+
 BinaryReport EvaluateBinaryDetailed(const Model& model,
                                     const std::vector<Tuple>& tuples) {
   BinaryReport report;

@@ -22,6 +22,25 @@ struct EvalResult {
 EvalResult Evaluate(const Model& model, const std::vector<Tuple>& tuples,
                     LabelType label_type);
 
+/// Streaming counterpart of Evaluate() for paths that receive predictions
+/// one at a time and out of order (the serving engine's micro-batched
+/// replies): accumulate (label, prediction, loss, correct) observations,
+/// then Finalize. R² is computed from running sums, so it can differ from
+/// the two-pass Evaluate() by floating-point rounding only.
+class EvalAccumulator {
+ public:
+  void Add(double label, double prediction, double loss, bool correct);
+  EvalResult Finalize(LabelType label_type) const;
+
+ private:
+  uint64_t count_ = 0;
+  uint64_t correct_ = 0;
+  double loss_sum_ = 0.0;
+  double y_sum_ = 0.0;
+  double y_sq_sum_ = 0.0;
+  double ss_res_ = 0.0;
+};
+
 /// Detailed binary-classification report (labels in {-1, +1}; the model's
 /// Predict() is the decision score).
 struct BinaryReport {

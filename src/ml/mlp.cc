@@ -72,8 +72,12 @@ double MlpModel::Forward(const Tuple& t, std::vector<double>* hidden_act,
   return -std::log(std::max((*probs)[label], 1e-300));
 }
 
+// Loss/Predict/Correct/TopKCorrect use local scratch: the serving engine
+// calls them concurrently on one shared snapshot. The member scratch is
+// reserved for the training paths, which own their model instance.
 double MlpModel::Loss(const Tuple& t) const {
-  return Forward(t, &scratch_hidden_, &scratch_probs_);
+  std::vector<double> hidden, probs;
+  return Forward(t, &hidden, &probs);
 }
 
 namespace {
@@ -151,19 +155,20 @@ double MlpModel::AccumulateGrad(const Tuple& t,
 }
 
 double MlpModel::Predict(const Tuple& t) const {
-  Forward(t, &scratch_hidden_, &scratch_probs_);
-  return static_cast<double>(std::distance(
-      scratch_probs_.begin(),
-      std::max_element(scratch_probs_.begin(), scratch_probs_.end())));
+  std::vector<double> hidden, probs;
+  Forward(t, &hidden, &probs);
+  return static_cast<double>(
+      std::distance(probs.begin(), std::max_element(probs.begin(), probs.end())));
 }
 
 bool MlpModel::Correct(const Tuple& t) const { return Predict(t) == t.label; }
 
 bool MlpModel::TopKCorrect(const Tuple& t, uint32_t k) const {
-  Forward(t, &scratch_hidden_, &scratch_probs_);
-  const double p_label = scratch_probs_[static_cast<uint32_t>(t.label)];
+  std::vector<double> hidden, probs;
+  Forward(t, &hidden, &probs);
+  const double p_label = probs[static_cast<uint32_t>(t.label)];
   uint32_t better = 0;
-  for (double p : scratch_probs_) {
+  for (double p : probs) {
     if (p > p_label) ++better;
   }
   return better < k;

@@ -18,6 +18,7 @@ class MlpModel : public Model {
 
   const char* name() const override { return "mlp"; }
   size_t num_params() const override { return params_.size(); }
+  uint32_t input_dim() const override { return dim_; }
   std::vector<double>& params() override { return params_; }
   const std::vector<double>& params() const override { return params_; }
   void InitParams(uint64_t seed) override;

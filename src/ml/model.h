@@ -20,6 +20,13 @@ class Model {
 
   virtual const char* name() const = 0;
   virtual size_t num_params() const = 0;
+
+  /// Input feature dimensionality the model was constructed for; 0 when
+  /// unknown. The serving path uses this to reject tables whose feature
+  /// space does not fit the stored model instead of reading out of range.
+  virtual uint32_t input_dim() const { return 0; }
+
+
   virtual std::vector<double>& params() = 0;
   virtual const std::vector<double>& params() const = 0;
 

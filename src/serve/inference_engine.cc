@@ -1,0 +1,289 @@
+#include "serve/inference_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace corgipile {
+
+namespace {
+
+/// Does `t`'s feature space fit a model built for `model.input_dim()`
+/// inputs? (0 = unknown dimensionality, accept.) Guards the Dot() contract
+/// instead of reading past the weight vector.
+bool TupleFits(const Tuple& t, const Model& model) {
+  const uint32_t dim = model.input_dim();
+  if (dim == 0) return true;
+  if (t.sparse()) return t.feature_keys.empty() || t.feature_keys.back() < dim;
+  return t.nnz() <= dim;
+}
+
+/// Blocking push that leaves `p` intact when the channel refuses it, so
+/// the caller can still fulfill the promise with the failure.
+template <typename T>
+Status PushBlocking(Channel<T>& ch, T& p) {
+  for (;;) {
+    auto pushed = ch.TryPush(p);
+    if (!pushed.ok()) return pushed.status();
+    if (*pushed) return Status::OK();
+    CORGI_RETURN_NOT_OK(ch.WaitWritable());
+  }
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(ModelStore* store, ServeOptions options)
+    : store_(store),
+      options_(std::move(options)),
+      intake_(std::max<uint64_t>(
+          64, options_.max_queue_depth == 0 ? 1024
+                                            : 2 * options_.max_queue_depth)),
+      batches_(2 * std::max<uint32_t>(1, options_.num_workers)),
+      pool_(std::max<uint32_t>(1, options_.num_workers)),
+      worker_free_s_(std::max<uint32_t>(1, options_.num_workers), 0.0) {}
+
+InferenceEngine::~InferenceEngine() {
+  if (started_ && !drained_) Drain();
+}
+
+Status InferenceEngine::Start() {
+  if (started_) return Status::Internal("InferenceEngine started twice");
+  started_ = true;
+  scheduler_ = std::thread([this] { SchedulerLoop(); });
+  const size_t workers = worker_free_s_.size();
+  worker_done_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    worker_done_.push_back(pool_.Submit([this] { WorkerLoop(); }));
+  }
+  return Status::OK();
+}
+
+std::future<ServeReply> InferenceEngine::Submit(ServeRequest req) {
+  Pending p;
+  p.req = std::move(req);
+  std::future<ServeReply> fut = p.promise.get_future();
+  Status st = PushBlocking(intake_, p);
+  if (!st.ok()) Fail(std::move(p), std::move(st));
+  return fut;
+}
+
+Status InferenceEngine::Drain() {
+  if (!started_) return Status::Internal("InferenceEngine never started");
+  if (drained_) return Status::OK();
+  drained_ = true;
+  intake_.Close();
+  if (scheduler_.joinable()) scheduler_.join();
+  for (auto& done : worker_done_) done.wait();
+  return Status::OK();
+}
+
+ServeStats InferenceEngine::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_.Finalize();
+}
+
+void InferenceEngine::Fail(Pending&& p, Status status) {
+  ServeReply reply;
+  reply.status = std::move(status);
+  p.promise.set_value(std::move(reply));
+}
+
+void InferenceEngine::SchedulerLoop() {
+  for (;;) {
+    Pending p;
+    if (options_.flush_on_idle && !open_items_.empty()) {
+      auto popped = intake_.TryPop(&p);
+      if (!popped.ok()) break;  // cancelled; open batch failed below
+      if (!*popped) {
+        if (intake_.closed()) break;  // final flush below
+        // Idle: no session is waiting to join this batch — the deadline
+        // effectively expires now.
+        CloseOpenBatch(now_s_, /*by_deadline=*/true);
+        continue;
+      }
+    } else {
+      auto popped = intake_.Pop(&p);
+      if (!popped.ok() || !*popped) break;
+    }
+    ProcessArrival(std::move(p));
+  }
+  // End of stream: the open batch waits out its deadline with no further
+  // arrivals to fill it.
+  if (!open_items_.empty()) {
+    CloseOpenBatch(options_.flush_on_idle
+                       ? now_s_
+                       : open_time_ + options_.batch_deadline_s,
+                   /*by_deadline=*/true);
+  }
+  batches_.Close();
+}
+
+void InferenceEngine::ProcessArrival(Pending&& p) {
+  if (p.req.on_arrival) p.req.on_arrival();
+  const double arrival = std::max(p.req.arrival_s, 0.0);
+  now_s_ = std::max(now_s_, arrival);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.RecordArrival(arrival);
+  }
+
+  // A deadline that fell before this arrival closed the open batch first.
+  if (!open_items_.empty() &&
+      arrival > open_time_ + options_.batch_deadline_s) {
+    CloseOpenBatch(open_time_ + options_.batch_deadline_s,
+                   /*by_deadline=*/true);
+  }
+
+  if (p.req.token.cancelled()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.RecordCancelled();
+    }
+    Fail(std::move(p), p.req.token.status());
+    return;
+  }
+
+  // Admission control against the modeled queue: requests whose service
+  // has not started by `arrival` plus the open batch.
+  while (backlog_head_ < backlog_.size() &&
+         backlog_[backlog_head_].first <= arrival) {
+    backlog_count_ -= backlog_[backlog_head_].second;
+    ++backlog_head_;
+  }
+  if (backlog_head_ > 64 && backlog_head_ * 2 > backlog_.size()) {
+    backlog_.erase(backlog_.begin(),
+                   backlog_.begin() + static_cast<ptrdiff_t>(backlog_head_));
+    backlog_head_ = 0;
+  }
+  const uint64_t occupancy = backlog_count_ + open_items_.size();
+  if (options_.max_queue_depth > 0 &&
+      occupancy >= options_.max_queue_depth) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.RecordShed();
+    }
+    Fail(std::move(p),
+         Status::ResourceExhausted(
+             "serve queue full (" + std::to_string(occupancy) + " waiting)"));
+    return;
+  }
+
+  // Batches are per model id; a switch closes the open batch early.
+  if (!open_items_.empty() && p.req.model_id != open_model_id_) {
+    CloseOpenBatch(arrival, /*by_deadline=*/false);
+  }
+  if (open_items_.empty()) {
+    open_model_id_ = p.req.model_id;
+    open_time_ = arrival;
+  }
+  open_items_.push_back(std::move(p));
+  if (open_items_.size() >= options_.max_batch) {
+    CloseOpenBatch(arrival, /*by_deadline=*/false);
+  }
+}
+
+void InferenceEngine::CloseOpenBatch(double close_s, bool by_deadline) {
+  if (open_items_.empty()) return;
+  std::vector<Pending> items = std::move(open_items_);
+  open_items_.clear();
+
+  // Hot-swap boundary: the snapshot resolved here serves the whole batch,
+  // even if a Publish() lands before the batch executes.
+  auto snapshot = store_->GetSnapshot(open_model_id_);
+  if (!snapshot.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    for (auto& item : items) {
+      stats_.RecordFailed();
+      Fail(std::move(item), snapshot.status());
+    }
+    return;
+  }
+
+  // First-free simulated service slot (ties → lowest index).
+  const size_t w = static_cast<size_t>(
+      std::min_element(worker_free_s_.begin(), worker_free_s_.end()) -
+      worker_free_s_.begin());
+  const double start_s = std::max(close_s, worker_free_s_[w]);
+
+  std::vector<Pending> run;
+  run.reserve(items.size());
+  for (auto& item : items) {
+    if (item.req.token.cancelled()) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.RecordCancelled();
+      Fail(std::move(item), item.req.token.status());
+      continue;
+    }
+    if (item.req.deadline_s > 0.0 &&
+        start_s - item.req.arrival_s > item.req.deadline_s) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.RecordExpired();
+      Fail(std::move(item),
+           Status::DeadlineExceeded(
+               "request queued past its " +
+               std::to_string(item.req.deadline_s) + "s deadline"));
+      continue;
+    }
+    if (!TupleFits(item.req.tuple, *snapshot->model)) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.RecordFailed();
+      Fail(std::move(item),
+           Status::InvalidArgument(
+               "tuple features exceed model '" + open_model_id_ +
+               "' input_dim=" +
+               std::to_string(snapshot->model->input_dim())));
+      continue;
+    }
+    run.push_back(std::move(item));
+  }
+  if (run.empty()) return;  // nothing survived; no service slot consumed
+
+  const double service_s =
+      options_.per_batch_overhead_s +
+      static_cast<double>(run.size()) * options_.per_tuple_s;
+  const double completion_s = start_s + service_s;
+  worker_free_s_[w] = completion_s;
+  backlog_.emplace_back(start_s, run.size());
+  backlog_count_ += run.size();
+  if (options_.clock != nullptr) {
+    options_.clock->Advance(TimeCategory::kServe, service_s);
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.RecordBatch(run.size(), by_deadline, service_s);
+    for (const Pending& item : run) {
+      stats_.RecordCompletion(open_model_id_, snapshot->version,
+                              completion_s - item.req.arrival_s,
+                              completion_s);
+    }
+  }
+
+  Batch batch;
+  batch.model = snapshot->model;
+  batch.model_id = open_model_id_;
+  batch.version = snapshot->version;
+  batch.completion_s = completion_s;
+  batch.items = std::move(run);
+  Status st = PushBlocking(batches_, batch);
+  if (!st.ok()) {
+    for (auto& item : batch.items) Fail(std::move(item), st);
+  }
+}
+
+void InferenceEngine::WorkerLoop() {
+  for (;;) {
+    Batch batch;
+    auto popped = batches_.Pop(&batch);
+    if (!popped.ok() || !*popped) return;
+    for (Pending& item : batch.items) {
+      ServeReply reply;
+      reply.value = batch.model->Predict(item.req.tuple);
+      reply.loss = batch.model->Loss(item.req.tuple);
+      reply.correct = batch.model->Correct(item.req.tuple);
+      reply.model_version = batch.version;
+      reply.latency_s = batch.completion_s - item.req.arrival_s;
+      item.promise.set_value(std::move(reply));
+    }
+  }
+}
+
+}  // namespace corgipile

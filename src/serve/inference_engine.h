@@ -1,0 +1,189 @@
+// Micro-batched in-database model serving (the online half of the paper's
+// §6.1 in-kernel models; ROADMAP "heavy traffic" north star).
+//
+// Architecture — three stages connected by Channels, mirroring DESIGN.md §8:
+//
+//   sessions --Submit()--> intake Channel --> scheduler thread
+//       --Batch Channel--> ThreadPool workers --promise--> sessions
+//
+// The *scheduler* is the deterministic heart: a single thread that pops
+// requests in FIFO order, advances a virtual timeline (simulated seconds,
+// same convention as SimClock/Deadline), forms micro-batches (close when
+// `max_batch` tuples are buffered or when the next arrival shows the
+// `batch_deadline_s` has passed, whichever first), applies admission
+// control (shed with kResourceExhausted once the modeled queue holds
+// `max_queue_depth` requests), per-request deadlines and cancellation
+// (util/cancellation.h tokens), resolves the model snapshot from the
+// versioned ModelStore (hot-swap boundary: a batch formed before a
+// Publish() keeps serving the old version), and assigns each batch to the
+// first-free of `num_workers` simulated service slots with
+// service = per_batch_overhead_s + n · per_tuple_s.
+//
+// Because every timing decision reads only generated arrival stamps and
+// this deterministic service model — never the wall clock — the ServeStats
+// produced for a given (schedule, options, store) are bit-identical across
+// reruns. The *execution* of a batch (Model::Predict/Loss/Correct) runs
+// for real on the ThreadPool workers; their wall-time interleaving cannot
+// affect the stats, only when each promise is fulfilled.
+//
+// Liveness modes:
+//  * flush_on_idle = false (generated schedules, the SQL PREDICT path):
+//    the scheduler blocks for the next request before deciding whether the
+//    open batch's deadline passed — fully deterministic, but a partial
+//    batch only closes on the next arrival or Drain().
+//  * flush_on_idle = true (live concurrent sessions): an empty intake
+//    queue closes the open batch immediately, so a session that submits
+//    one request and waits on its future is never stalled behind an open
+//    batch. Stats remain internally consistent but depend on arrival
+//    interleaving.
+
+#pragma once
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/model_store.h"
+#include "iosim/sim_clock.h"
+#include "serve/serve_stats.h"
+#include "storage/tuple.h"
+#include "util/cancellation.h"
+#include "util/channel.h"
+#include "util/status.h"
+#include "util/threadpool.h"
+
+namespace corgipile {
+
+struct ServeOptions {
+  /// Close the open batch once it holds this many requests.
+  uint32_t max_batch = 32;
+  /// ...or once the next arrival is this many simulated seconds past the
+  /// batch's first request (adaptive micro-batching: low load pays at most
+  /// this much extra latency, high load fills batches before it expires).
+  double batch_deadline_s = 2e-3;
+  /// Simulated service slots AND real ThreadPool executor threads.
+  uint32_t num_workers = 4;
+  /// Admission control: shed arrivals once this many accepted requests are
+  /// waiting to start service. 0 = unbounded (never shed).
+  uint64_t max_queue_depth = 256;
+  /// Deterministic service-time model for one batch of n tuples:
+  /// per_batch_overhead_s + n * per_tuple_s. The overhead is what
+  /// micro-batching amortizes.
+  double per_batch_overhead_s = 1e-3;
+  double per_tuple_s = 5e-5;
+  /// See the header comment; false for bit-identical generated schedules.
+  bool flush_on_idle = true;
+  /// Optional: batch service time is charged here under kServe. Borrowed.
+  SimClock* clock = nullptr;
+};
+
+struct ServeRequest {
+  Tuple tuple;
+  std::string model_id;
+  /// Arrival stamp on the engine's virtual timeline (simulated seconds).
+  /// Schedules are generated, not wall-clock (see workload.h).
+  double arrival_s = 0.0;
+  /// Fail with kDeadlineExceeded if service has not *started* within this
+  /// many simulated seconds of arrival. 0 = no deadline.
+  double deadline_s = 0.0;
+  /// Cooperative cancellation; checked at admission and batch formation.
+  CancellationToken token;
+  /// Optional control hook, run on the scheduler thread when it processes
+  /// this arrival (before any batching decision). Because the scheduler
+  /// serializes arrivals in submission order, a side effect here — e.g. a
+  /// ModelStore::Publish hot-swap drill — lands at a deterministic point
+  /// in the timeline instead of racing batch formation from the submitter
+  /// thread. Keep it cheap; it runs inside the batching loop.
+  std::function<void()> on_arrival;
+};
+
+struct ServeReply {
+  Status status;  ///< OK, or why the request was not served
+  double value = 0.0;     ///< Model::Predict
+  double loss = 0.0;      ///< Model::Loss
+  bool correct = false;   ///< Model::Correct
+  uint64_t model_version = 0;  ///< which hot-swap version served it
+  double latency_s = 0.0;      ///< simulated completion − arrival
+};
+
+class InferenceEngine {
+ public:
+  /// `store` is borrowed and must outlive the engine.
+  InferenceEngine(ModelStore* store, ServeOptions options);
+  /// Drains if the caller has not; pending promises are always fulfilled.
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Spawns the scheduler thread and worker loops. Call once.
+  Status Start();
+
+  /// Thread-safe; callable from any number of session threads. The reply
+  /// arrives through the returned future (possibly with a non-OK status:
+  /// kResourceExhausted when shed, kDeadlineExceeded, kCancelled, ...).
+  /// Blocks only for intake-channel flow control, never on service time.
+  std::future<ServeReply> Submit(ServeRequest req);
+
+  /// Closes intake, waits until every submitted request has been answered
+  /// and all threads have stopped. Idempotent.
+  Status Drain();
+
+  /// Snapshot; stable after Drain().
+  ServeStats stats() const;
+
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    ServeRequest req;
+    std::promise<ServeReply> promise;
+  };
+  struct Batch {
+    std::shared_ptr<const Model> model;
+    std::string model_id;
+    uint64_t version = 0;
+    double completion_s = 0.0;
+    std::vector<Pending> items;
+  };
+
+  void SchedulerLoop();
+  void ProcessArrival(Pending&& p);
+  /// Dispatches the open batch; `close_s` is the simulated close time.
+  void CloseOpenBatch(double close_s, bool by_deadline);
+  void WorkerLoop();
+  void Fail(Pending&& p, Status status);
+
+  ModelStore* store_;
+  const ServeOptions options_;
+
+  Channel<Pending> intake_;
+  Channel<Batch> batches_;
+  ThreadPool pool_;
+  std::thread scheduler_;
+  std::vector<std::future<void>> worker_done_;
+  bool started_ = false;
+  bool drained_ = false;
+
+  // --- scheduler-thread state (unsynchronized by design) ---
+  double now_s_ = 0.0;  ///< virtual timeline, monotone
+  std::vector<Pending> open_items_;
+  std::string open_model_id_;
+  double open_time_ = 0.0;
+  std::vector<double> worker_free_s_;  ///< simulated service slots
+  /// Dispatched batches whose service has not started yet at the current
+  /// timeline position: (service_start_s, size). Front-pruned as arrivals
+  /// advance time; the summed sizes are the modeled queue occupancy that
+  /// admission control bounds.
+  std::vector<std::pair<double, uint64_t>> backlog_;
+  size_t backlog_head_ = 0;  ///< pruned prefix
+  uint64_t backlog_count_ = 0;
+
+  mutable std::mutex stats_mu_;
+  ServeStatsBuilder stats_;
+};
+
+}  // namespace corgipile

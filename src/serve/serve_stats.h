@@ -1,0 +1,99 @@
+// Serving-side statistics: request accounting, simulated latency
+// percentiles, batch occupancy, shed rate, and per-model-version traffic
+// attribution.
+//
+// All times are *simulated* seconds on the inference engine's virtual
+// timeline (see inference_engine.h). Because the timeline is advanced only
+// by the single-threaded batching scheduler from generated arrival
+// schedules, every field here is a pure function of (schedule, options,
+// store contents) — two runs over the same inputs produce bit-identical
+// snapshots, which bench_serve_sweep asserts via operator==.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace corgipile {
+
+/// Latency distribution summary over the completed requests, simulated
+/// seconds, nearest-rank percentiles.
+struct LatencySummary {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+
+  bool operator==(const LatencySummary&) const = default;
+};
+
+/// Snapshot of one engine run (or one PREDICT BY statement).
+struct ServeStats {
+  // --- request accounting (submitted = sum of the rest) ---
+  uint64_t submitted = 0;
+  uint64_t completed = 0;   ///< executed and answered OK
+  uint64_t shed = 0;        ///< rejected by admission control (queue full)
+  uint64_t expired = 0;     ///< per-request deadline passed while queued
+  uint64_t cancelled = 0;   ///< CancellationToken fired while queued
+  uint64_t failed = 0;      ///< model missing / feature-dim mismatch
+
+  // --- micro-batching ---
+  uint64_t num_batches = 0;
+  uint64_t max_batch_size = 0;
+  uint64_t deadline_closes = 0;  ///< batches closed by batch_deadline
+  uint64_t full_closes = 0;      ///< batches closed by reaching max_batch
+  double mean_batch_occupancy = 0.0;
+
+  // --- simulated timeline ---
+  double first_arrival_s = 0.0;
+  double last_completion_s = 0.0;
+  double makespan_s = 0.0;        ///< last completion − first arrival
+  double throughput_rps = 0.0;    ///< completed / makespan
+  double service_busy_s = 0.0;    ///< summed batch service time (all workers)
+  LatencySummary latency;
+
+  /// Completed requests per (model id, version) — the hot-swap audit
+  /// trail: a swap mid-run shows both versions with nonzero counts.
+  std::map<std::string, std::map<uint64_t, uint64_t>> served_by_version;
+
+  double shed_rate() const {
+    return submitted ? static_cast<double>(shed) / submitted : 0.0;
+  }
+
+  bool operator==(const ServeStats&) const = default;
+
+  /// One-line human summary ("completed=... p99=...ms shed=...%").
+  std::string ToString() const;
+};
+
+/// Accumulates per-request observations on the scheduler thread and
+/// finalizes percentiles. Not thread-safe; the engine serializes access.
+class ServeStatsBuilder {
+ public:
+  void RecordArrival(double arrival_s);
+  void RecordShed() { ++stats_.shed; }
+  void RecordExpired() { ++stats_.expired; }
+  void RecordCancelled() { ++stats_.cancelled; }
+  void RecordFailed() { ++stats_.failed; }
+
+  /// One dispatched batch: per-request completion latencies are recorded
+  /// by the caller via RecordCompletion.
+  void RecordBatch(uint64_t size, bool closed_by_deadline, double service_s);
+  void RecordCompletion(const std::string& model_id, uint64_t version,
+                        double latency_s, double completion_s);
+
+  /// Percentiles and rates computed; the builder can keep accumulating
+  /// (Finalize is a pure snapshot).
+  ServeStats Finalize() const;
+
+ private:
+  ServeStats stats_;
+  bool saw_arrival_ = false;
+  std::vector<double> latencies_;
+  uint64_t batch_size_sum_ = 0;
+};
+
+}  // namespace corgipile

@@ -56,6 +56,41 @@ class Channel {
     return Status::OK();
   }
 
+  /// Non-blocking Push. Returns true when the item was enqueued; false when
+  /// the channel is full (the item is left untouched in that case); the
+  /// cancel reason if cancelled; kInternal after Close(). The false return
+  /// is how an admission-controlled producer load-sheds instead of waiting.
+  Result<bool> TryPush(T& item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (cancelled_) return final_;
+    if (closed_) return Status::Internal("TryPush on closed channel");
+    if (queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(item));
+    lock.unlock();
+    items_cv_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking Pop. Returns true with *out filled when an item was
+  /// buffered; false when the channel is open (or cleanly closed) but
+  /// currently empty; the failure Status when cancelled or closed with an
+  /// error and drained. Unlike Pop(), a false return does NOT distinguish
+  /// "empty for now" from "clean end of stream" — callers that need the
+  /// distinction should consult closed().
+  Result<bool> TryPop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_.empty()) {
+      if (cancelled_) return final_;
+      if (closed_ && !final_.ok()) return final_;
+      return false;
+    }
+    *out = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    space_cv_.notify_one();
+    return true;
+  }
+
   /// Blocks until a Push would not block (space available, or the channel
   /// is closed/cancelled — in which case the pending failure is returned).
   /// Lets a producer defer building an expensive item until there is room

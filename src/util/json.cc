@@ -1,0 +1,171 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace corgipile {
+
+std::string JsonQuote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+JsonValue JsonValue::Str(const std::string& s) {
+  JsonValue v;
+  v.kind_ = Kind::kLiteral;
+  v.literal_ = JsonQuote(s);
+  return v;
+}
+
+JsonValue JsonValue::Number(double value, int precision) {
+  JsonValue v;
+  v.kind_ = Kind::kLiteral;
+  if (!std::isfinite(value)) {
+    // JSON has no NaN/Inf; emit null so files stay parseable.
+    v.literal_ = "null";
+    return v;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+  v.literal_ = buf;
+  return v;
+}
+
+JsonValue JsonValue::Number(int64_t value) {
+  JsonValue v;
+  v.kind_ = Kind::kLiteral;
+  v.literal_ = std::to_string(value);
+  return v;
+}
+
+JsonValue JsonValue::Number(uint64_t value) {
+  JsonValue v;
+  v.kind_ = Kind::kLiteral;
+  v.literal_ = std::to_string(value);
+  return v;
+}
+
+JsonValue JsonValue::RawNumber(const std::string& formatted) {
+  JsonValue v;
+  v.kind_ = Kind::kLiteral;
+  v.literal_ = formatted.empty() ? "null" : formatted;
+  return v;
+}
+
+JsonValue JsonValue::Bool(bool value) {
+  JsonValue v;
+  v.kind_ = Kind::kLiteral;
+  v.literal_ = value ? "true" : "false";
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue& JsonValue::Set(const std::string& key, JsonValue v) {
+  members_.emplace_back(key, std::move(v));
+  return *this;
+}
+
+JsonValue& JsonValue::Add(JsonValue v) {
+  elements_.push_back(std::move(v));
+  return *this;
+}
+
+void JsonValue::AppendTo(std::string* out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const std::string pad =
+      pretty ? std::string(static_cast<size_t>(indent) * (depth + 1), ' ')
+             : std::string();
+  const std::string close_pad =
+      pretty ? std::string(static_cast<size_t>(indent) * depth, ' ')
+             : std::string();
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      return;
+    case Kind::kLiteral:
+      *out += literal_;
+      return;
+    case Kind::kObject: {
+      if (members_.empty()) {
+        *out += "{}";
+        return;
+      }
+      *out += '{';
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) *out += ',';
+        if (pretty) *out += '\n' + pad;
+        *out += JsonQuote(members_[i].first);
+        *out += pretty ? ": " : ":";
+        members_[i].second.AppendTo(out, indent, depth + 1);
+      }
+      if (pretty) *out += '\n' + close_pad;
+      *out += '}';
+      return;
+    }
+    case Kind::kArray: {
+      if (elements_.empty()) {
+        *out += "[]";
+        return;
+      }
+      *out += '[';
+      for (size_t i = 0; i < elements_.size(); ++i) {
+        if (i > 0) *out += ',';
+        if (pretty) *out += '\n' + pad;
+        elements_[i].AppendTo(out, indent, depth + 1);
+      }
+      if (pretty) *out += '\n' + close_pad;
+      *out += ']';
+      return;
+    }
+  }
+}
+
+std::string JsonValue::ToString(int indent) const {
+  std::string out;
+  AppendTo(&out, indent, 0);
+  return out;
+}
+
+Status JsonValue::WriteFile(const std::string& path, int indent) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return Status::IoError("cannot open " + path);
+  f << ToString(indent) << '\n';
+  if (!f.good()) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace corgipile

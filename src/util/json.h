@@ -1,0 +1,65 @@
+// Minimal JSON emitter for machine-readable bench/experiment output.
+//
+// Deliberately write-only: bench binaries need a stable, escaped,
+// deterministic serialization (no float reformatting — numbers are passed
+// as pre-formatted strings), not a parser. Values appear in insertion
+// order so reruns produce byte-identical files.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace corgipile {
+
+/// Escapes `s` per RFC 8259 (quotes, backslash, control characters) and
+/// wraps it in double quotes.
+std::string JsonQuote(const std::string& s);
+
+/// A JSON value under construction. Build leaves with the static
+/// constructors, containers with Add/Set; serialize with ToString().
+class JsonValue {
+ public:
+  /// Null by default.
+  JsonValue() = default;
+
+  static JsonValue Str(const std::string& s);
+  static JsonValue Number(double v, int precision = 6);
+  static JsonValue Number(int64_t v);
+  static JsonValue Number(uint64_t v);
+  /// A number already formatted by the caller (kept verbatim; must be a
+  /// valid JSON number).
+  static JsonValue RawNumber(const std::string& formatted);
+  static JsonValue Bool(bool v);
+  static JsonValue Object();
+  static JsonValue Array();
+
+  /// Object member (keys keep insertion order). Returns *this for chaining.
+  JsonValue& Set(const std::string& key, JsonValue v);
+  /// Array element.
+  JsonValue& Add(JsonValue v);
+
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Compact serialization (no whitespace) when indent < 0, otherwise
+  /// pretty-printed with `indent` spaces per level.
+  std::string ToString(int indent = 2) const;
+
+  /// Writes ToString(indent) plus a trailing newline to `path`.
+  Status WriteFile(const std::string& path, int indent = 2) const;
+
+ private:
+  enum class Kind { kNull, kLiteral, kObject, kArray };
+  void AppendTo(std::string* out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  std::string literal_;  ///< serialized form for kLiteral (string/num/bool)
+  std::vector<std::pair<std::string, JsonValue>> members_;  ///< object
+  std::vector<JsonValue> elements_;                         ///< array
+};
+
+}  // namespace corgipile
