@@ -31,4 +31,19 @@ Result<bool> DataLoader::NextBatch(std::vector<Tuple>* batch) {
   return true;
 }
 
+Result<bool> DataLoader::NextBatch(TupleBatch* batch) {
+  batch->set_target_tuples(options_.batch_size);
+  const bool got = dataset_->NextBatch(batch);
+  if (batch->size() < options_.batch_size) {
+    // Short or empty fill: the shard ended (or errored) mid-batch.
+    CORGI_RETURN_NOT_OK(dataset_->status());
+  }
+  if (!got) return false;
+  if (options_.drop_last && batch->size() < options_.batch_size) {
+    batch->Clear();
+    return false;
+  }
+  return true;
+}
+
 }  // namespace corgipile

@@ -28,6 +28,11 @@ class DataLoader {
   /// (batch left empty, or short with drop_last=false semantics applied).
   Result<bool> NextBatch(std::vector<Tuple>* batch);
 
+  /// Batched-pipeline form: fills the TupleBatch arena (target_tuples is
+  /// set to batch_size) via one dataset NextBatch call. Same tuples, same
+  /// order, same drop_last semantics as the vector overload.
+  Result<bool> NextBatch(TupleBatch* batch);
+
  private:
   IterableDataset* dataset_;
   Options options_;

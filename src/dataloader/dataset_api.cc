@@ -68,4 +68,18 @@ const Tuple* CorgiPileDataset::Next() {
   return &buffer_[pos_++];
 }
 
+bool CorgiPileDataset::NextBatch(TupleBatch* out) {
+  out->Clear();
+  while (!out->full()) {
+    if (pos_ >= buffer_.size()) {
+      if (!RefillBuffer()) break;
+    }
+    const size_t take =
+        std::min(buffer_.size() - pos_, out->target_tuples() - out->size());
+    for (size_t i = 0; i < take; ++i) out->Append(buffer_[pos_ + i]);
+    pos_ += take;
+  }
+  return !out->empty();
+}
+
 }  // namespace corgipile

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "exec/tuple_batch.h"
 #include "storage/block_source.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -53,6 +54,18 @@ class IterableDataset {
                             uint32_t num_workers) = 0;
   /// nullptr = shard exhausted (check status()).
   virtual const Tuple* Next() = 0;
+  /// Batched pull: clears *out and fills up to out->target_tuples() in
+  /// emission order; true iff at least one tuple was appended. Same
+  /// order contract as BatchStream::NextBatch. Default drains Next().
+  virtual bool NextBatch(TupleBatch* out) {
+    out->Clear();
+    while (!out->full()) {
+      const Tuple* t = Next();
+      if (t == nullptr) break;
+      out->Append(*t);
+    }
+    return !out->empty();
+  }
   virtual Status status() const { return Status::OK(); }
 };
 
@@ -81,6 +94,9 @@ class CorgiPileDataset : public IterableDataset {
   Status StartEpoch(uint64_t epoch, uint32_t worker_id,
                     uint32_t num_workers) override;
   const Tuple* Next() override;
+  /// Native batched fill: copies runs of the shuffled per-worker buffer
+  /// straight into the batch arena.
+  bool NextBatch(TupleBatch* out) override;
   Status status() const override { return status_; }
 
   /// Blocks assigned to this worker in the current epoch.

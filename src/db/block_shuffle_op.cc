@@ -6,7 +6,8 @@
 namespace corgipile {
 
 BlockShuffleOp::BlockShuffleOp(Table* table, Options options)
-    : table_(table), options_(options), rng_(options.seed) {}
+    : WithStreamState("BlockShuffle"), table_(table), options_(options),
+      rng_(options.seed) {}
 
 Status BlockShuffleOp::Init() {
   if (table_ == nullptr) return Status::InvalidArgument("null table");
@@ -21,7 +22,7 @@ Status BlockShuffleOp::Init() {
 
 Status BlockShuffleOp::ReScan() {
   if (!initialized_) return Status::Internal("ReScan before Init");
-  status_ = Status::OK();
+  clear_status();
   block_order_.resize(num_blocks_);
   std::iota(block_order_.begin(), block_order_.end(), 0u);
   if (options_.shuffle_blocks) {
@@ -32,7 +33,7 @@ Status BlockShuffleOp::ReScan() {
   next_block_ = 0;
   current_block_.clear();
   pos_ = 0;
-  epoch_quarantined_ = 0;
+  quarantine().BeginEpoch();
   table_->ResetReadCursor();
   return Status::OK();
 }
@@ -47,29 +48,16 @@ bool BlockShuffleOp::LoadNextBlock() {
     pos_ = 0;
     Status st = table_->ReadTuplesFromPages(first, count, &current_block_);
     if (!st.ok()) {
-      const bool skippable = st.code() == StatusCode::kCorruption ||
-                             st.code() == StatusCode::kIoError;
-      if (!options_.tolerance.quarantine_corrupt_blocks || !skippable) {
-        status_ = st;
-        return false;
-      }
       // Quarantine: drop whatever the partial read produced and move on.
       current_block_.clear();
-      ++quarantined_blocks_;
-      ++epoch_quarantined_;
+      uint64_t lost = 0;
       for (uint64_t p = first; p < first + count; ++p) {
-        skipped_tuples_ += table_->TuplesInPage(p);
+        lost += table_->TuplesInPage(p);
       }
-      const double bad_fraction =
-          static_cast<double>(epoch_quarantined_) /
-          static_cast<double>(std::max<uint32_t>(1, num_blocks_));
-      if (bad_fraction > options_.tolerance.max_bad_block_fraction) {
-        status_ = Status::Corruption(
-            "quarantined " + std::to_string(epoch_quarantined_) + "/" +
-            std::to_string(num_blocks_) +
-            " blocks this epoch, over the tolerated fraction " +
-            std::to_string(options_.tolerance.max_bad_block_fraction) +
-            " (last error: " + st.message() + ")");
+      Status admitted =
+          quarantine().Admit(st, options_.tolerance, lost, num_blocks_);
+      if (!admitted.ok()) {
+        set_status(std::move(admitted));
         return false;
       }
       continue;
@@ -84,6 +72,20 @@ const Tuple* BlockShuffleOp::Next() {
     if (!LoadNextBlock()) return nullptr;
   }
   return &current_block_[pos_++];
+}
+
+bool BlockShuffleOp::NextBatch(TupleBatch* out) {
+  out->Clear();
+  while (!out->full()) {
+    if (pos_ >= current_block_.size()) {
+      if (!LoadNextBlock()) break;
+    }
+    const size_t take = std::min(current_block_.size() - pos_,
+                                 out->target_tuples() - out->size());
+    for (size_t i = 0; i < take; ++i) out->Append(current_block_[pos_ + i]);
+    pos_ += take;
+  }
+  return !out->empty();
 }
 
 void BlockShuffleOp::Close() {

@@ -13,10 +13,11 @@
 #include "storage/block_source.h"
 #include "storage/table.h"
 #include "util/rng.h"
+#include "util/stream_base.h"
 
 namespace corgipile {
 
-class BlockShuffleOp : public PhysicalOperator {
+class BlockShuffleOp : public WithStreamState<PhysicalOperator> {
  public:
   struct Options {
     uint64_t block_size_bytes = 10 * 1024 * 1024;
@@ -29,17 +30,16 @@ class BlockShuffleOp : public PhysicalOperator {
 
   BlockShuffleOp(Table* table, Options options);
 
-  const char* name() const override { return "BlockShuffle"; }
   Status Init() override;
   const Tuple* Next() override;
+  /// Native batched fill: copies whole runs of the decoded block into the
+  /// batch arena.
+  bool NextBatch(TupleBatch* out) override;
   Status ReScan() override;
   void Close() override;
-  Status status() const override { return status_; }
 
   uint32_t num_blocks() const { return num_blocks_; }
   uint64_t pages_per_block() const { return pages_per_block_; }
-  uint64_t QuarantinedBlocks() const override { return quarantined_blocks_; }
-  uint64_t SkippedTuples() const override { return skipped_tuples_; }
 
  private:
   bool LoadNextBlock();
@@ -54,10 +54,6 @@ class BlockShuffleOp : public PhysicalOperator {
   std::vector<Tuple> current_block_;
   size_t pos_ = 0;
   uint64_t epoch_ = 0;
-  uint64_t quarantined_blocks_ = 0;  // cumulative across epochs
-  uint64_t skipped_tuples_ = 0;      // cumulative across epochs
-  uint64_t epoch_quarantined_ = 0;   // this epoch, for the abort threshold
-  Status status_;
   bool initialized_ = false;
 };
 

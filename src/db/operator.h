@@ -1,13 +1,17 @@
-// Volcano-style physical operator interface (paper §6.2).
+// Volcano-style physical operator interface (paper §6.2), extended with the
+// batched transport of DESIGN.md §9.
 //
 // Mirrors PostgreSQL's executor protocol: ExecInit → getNext* → ExecReScan
-// (per epoch) → Close. Operators stream Tuple pointers; nullptr signals end
-// of the current scan.
+// (per epoch) → Close. Operators move whole TupleBatches (NextBatch, the
+// hot path); the per-tuple Next() is retained as the golden-reference
+// protocol and for compatibility. As with BatchStream, the two must not be
+// interleaved within one scan.
 
 #pragma once
 
 #include <memory>
 
+#include "exec/tuple_batch.h"
 #include "storage/tuple.h"
 #include "util/status.h"
 
@@ -25,6 +29,21 @@ class PhysicalOperator {
   /// Produces the next tuple or nullptr at end-of-scan / on error; after
   /// nullptr, check status().
   virtual const Tuple* Next() = 0;
+
+  /// Clears *out and fills it with up to out->target_tuples() tuples in
+  /// scan order; returns true iff at least one was appended. The
+  /// concatenation of batches equals the Next() emission order exactly.
+  /// Default drains Next(); operators with block or staged buffers
+  /// override it to fill from their arenas directly.
+  virtual bool NextBatch(TupleBatch* out) {
+    out->Clear();
+    while (!out->full()) {
+      const Tuple* t = Next();
+      if (t == nullptr) break;
+      out->Append(*t);
+    }
+    return !out->empty();
+  }
 
   /// Resets the scan for the next epoch (PostgreSQL's re-scan mechanism):
   /// reshuffle block ids, reset buffers, and recurse into children.

@@ -41,27 +41,54 @@ Result<bool> SgdOp::NextEpoch(EpochLog* log) {
   double loss_sum = 0.0;
   uint64_t seen = 0;
 
-  if (!batched_) {
-    while (const Tuple* t = child_->Next()) {
-      loss_sum += model_->SgdStep(*t, lr);
-      ++seen;
+  uint32_t in_batch = 0;
+  auto flush = [&] {
+    if (in_batch == 0) return;
+    const double inv = 1.0 / static_cast<double>(in_batch);
+    for (double& g : grad_) g *= inv;
+    opt_->Apply(&model_->params(), grad_, lr);
+    std::fill(grad_.begin(), grad_.end(), 0.0);
+    in_batch = 0;
+  };
+  if (options_.exec_batch_tuples == 0) {
+    // Legacy per-tuple pull — the golden reference for the batched path.
+    if (!batched_) {
+      while (const Tuple* t = child_->Next()) {
+        loss_sum += model_->SgdStep(*t, lr);
+        ++seen;
+      }
+    } else {
+      while (const Tuple* t = child_->Next()) {
+        loss_sum += model_->AccumulateGrad(*t, &grad_);
+        ++seen;
+        if (++in_batch == options_.batch_size) flush();
+      }
+      flush();
     }
   } else {
-    uint32_t in_batch = 0;
-    auto flush = [&] {
-      if (in_batch == 0) return;
-      const double inv = 1.0 / static_cast<double>(in_batch);
-      for (double& g : grad_) g *= inv;
-      opt_->Apply(&model_->params(), grad_, lr);
-      std::fill(grad_.begin(), grad_.end(), 0.0);
-      in_batch = 0;
-    };
-    while (const Tuple* t = child_->Next()) {
-      loss_sum += model_->AccumulateGrad(*t, &grad_);
-      ++seen;
-      if (++in_batch == options_.batch_size) flush();
+    // Batched pipeline: one child->NextBatch per exec_batch_tuples tuples,
+    // with the optimizer's mini-batch grouping re-chunked across transport
+    // boundaries so the flush cadence matches the legacy loop exactly.
+    exec_batch_.set_target_tuples(options_.exec_batch_tuples);
+    while (child_->NextBatch(&exec_batch_)) {
+      if (!batched_) {
+        model_->BatchGradientStep(exec_batch_, lr, &loss_sum);
+        seen += exec_batch_.size();
+      } else {
+        size_t i = 0;
+        while (i < exec_batch_.size()) {
+          const size_t take = std::min<size_t>(
+              exec_batch_.size() - i, options_.batch_size - in_batch);
+          model_->BatchAccumulateGrad(exec_batch_, i, i + take, &grad_,
+                                      &loss_sum);
+          i += take;
+          seen += take;
+          in_batch += static_cast<uint32_t>(take);
+          if (in_batch == options_.batch_size) flush();
+        }
+      }
     }
-    flush();
+    if (batched_) flush();
   }
   CORGI_RETURN_NOT_OK(child_->status());
 

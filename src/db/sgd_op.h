@@ -32,6 +32,10 @@ class SgdOp {
     LabelType label_type = LabelType::kBinary;
     SimClock* clock = nullptr;  ///< compute time charged here
     uint64_t init_seed = 7;
+    /// Transport batch size: tuples pulled per child->NextBatch call.
+    /// Purely a transport knob (seeded results are bit-identical at every
+    /// value); 0 = legacy per-tuple Next() pull, the golden reference.
+    uint32_t exec_batch_tuples = TupleBatch::kDefaultTargetTuples;
   };
 
   /// `model` and `child` are borrowed; both must outlive the operator.
@@ -55,6 +59,7 @@ class SgdOp {
   Model* model_;
   PhysicalOperator* child_;
   Options options_;
+  TupleBatch exec_batch_;  // transport buffer, arena reused across epochs
   uint32_t epoch_ = 0;
   std::unique_ptr<Optimizer> opt_;
   std::vector<double> grad_;

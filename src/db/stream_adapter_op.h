@@ -22,6 +22,8 @@ class StreamAdapterOp : public PhysicalOperator {
   const char* name() const override { return "StreamAdapter"; }
   Status Init() override;
   const Tuple* Next() override;
+  /// Forwards to the wrapped stream's native batched fill.
+  bool NextBatch(TupleBatch* out) override { return stream_->NextBatch(out); }
   Status ReScan() override;
   void Close() override;
   Status status() const override { return stream_->status(); }

@@ -1,6 +1,7 @@
 #include "db/tuple_shuffle_op.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "util/timer.h"
 
@@ -28,23 +29,27 @@ Status TupleShuffleOp::Init() {
 
 std::optional<TupleShuffleOp::Batch> TupleShuffleOp::FillBatch() {
   Batch batch;
-  batch.tuples.reserve(options_.buffer_tuples);
+  batch.tuples.set_target_tuples(options_.buffer_tuples);
   const double io_before = IoElapsed();
   WallTimer timer;
-  while (batch.tuples.size() < options_.buffer_tuples) {
-    const Tuple* t = child_->Next();
-    if (t == nullptr) {
-      Status st = child_->status();
-      if (!st.ok()) {
-        std::lock_guard<std::mutex> lock(status_mu_);
-        status_ = st;
-      }
-      break;
+  const bool got = child_->NextBatch(&batch.tuples);
+  if (batch.tuples.size() < options_.buffer_tuples) {
+    // A short (or empty) fill means the child ended its scan; surface its
+    // error, if any, exactly where the per-tuple loop did.
+    Status st = child_->status();
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(status_mu_);
+      status_ = st;
     }
-    batch.tuples.push_back(*t);
   }
-  if (batch.tuples.empty()) return std::nullopt;
-  if (options_.shuffle_tuples) rng_.Shuffle(batch.tuples);
+  if (!got) return std::nullopt;
+  if (options_.shuffle_tuples) {
+    batch.perm.resize(batch.tuples.size());
+    std::iota(batch.perm.begin(), batch.perm.end(), 0u);
+    // Fisher–Yates over indices: consumes the same RNG draws as shuffling
+    // the tuples themselves, so emission order matches the legacy buffer.
+    rng_.Shuffle(batch.perm);
+  }
   batch.fill_seconds = (IoElapsed() - io_before) + timer.ElapsedSeconds();
   uint64_t prev = peak_buffer_.load();
   while (prev < batch.tuples.size() &&
@@ -126,9 +131,38 @@ const Tuple* TupleShuffleOp::Next() {
       return nullptr;
     }
   }
-  const Tuple* t = &current_.tuples[pos_++];
+  const size_t row = current_.perm.empty() ? pos_ : current_.perm[pos_];
+  current_.tuples.MaterializeTo(row, &scratch_);
+  ++pos_;
   last_emit_ = std::chrono::steady_clock::now();
-  return t;
+  return &scratch_;
+}
+
+bool TupleShuffleOp::NextBatch(TupleBatch* out) {
+  out->Clear();
+  const auto now = std::chrono::steady_clock::now();
+  if (last_emit_.has_value() && have_batch_) {
+    consume_acc_ += std::chrono::duration<double>(now - *last_emit_).count();
+  }
+  while (!out->full()) {
+    if (!have_batch_ || pos_ >= current_.tuples.size()) {
+      if (!AdvanceBatch()) break;
+    }
+    const size_t take = std::min(current_.tuples.size() - pos_,
+                                 out->target_tuples() - out->size());
+    for (size_t i = 0; i < take; ++i) {
+      const size_t row =
+          current_.perm.empty() ? pos_ + i : current_.perm[pos_ + i];
+      out->AppendFrom(current_.tuples, row);
+    }
+    pos_ += take;
+  }
+  if (out->empty()) {
+    last_emit_.reset();
+    return false;
+  }
+  last_emit_ = std::chrono::steady_clock::now();
+  return true;
 }
 
 Status TupleShuffleOp::ReScan() {

@@ -1,8 +1,12 @@
 // TupleShuffle operator (paper §6.2 (2), §6.3).
 //
-// Pulls tuples from its child into an in-memory buffer; when the buffer is
-// full (or the child is exhausted) the buffered tuples are shuffled and
-// served one by one — PostgreSQL's Sort-operator pattern.
+// Pulls tuples from its child into an in-memory staging TupleBatch; when
+// the buffer is full (or the child is exhausted) an index permutation over
+// it is shuffled and the buffered tuples are served in permuted order —
+// PostgreSQL's Sort-operator pattern. Shuffling indices instead of tuples
+// consumes the same Fisher–Yates RNG draws as shuffling the tuple vector
+// did (the shuffle is content-independent), so emission order is unchanged
+// from the per-tuple implementation.
 //
 // Two execution modes:
 //  * single buffering: fills happen inline, serializing I/O and SGD;
@@ -63,6 +67,9 @@ class TupleShuffleOp : public PhysicalOperator {
   const char* name() const override { return "TupleShuffle"; }
   Status Init() override;
   const Tuple* Next() override;
+  /// Native batched fill: copies permuted runs of the staging buffer into
+  /// the output arena; one channel op per staging buffer, not per tuple.
+  bool NextBatch(TupleBatch* out) override;
   Status ReScan() override;
   /// Stops and joins the producer thread (if any) before releasing the
   /// child, so abandoning the operator mid-epoch neither leaks the thread
@@ -86,7 +93,10 @@ class TupleShuffleOp : public PhysicalOperator {
 
  private:
   struct Batch {
-    std::vector<Tuple> tuples;
+    TupleBatch tuples;
+    /// Emission order: serve tuples[perm[i]]. Empty when shuffling is off
+    /// (identity order).
+    std::vector<uint32_t> perm;
     double fill_seconds = 0.0;
   };
 
@@ -111,7 +121,8 @@ class TupleShuffleOp : public PhysicalOperator {
 
   // Current batch being served (consumer thread only).
   Batch current_;
-  size_t pos_ = 0;
+  size_t pos_ = 0;  // emission index into current_ (via perm when shuffled)
+  Tuple scratch_;   // materialization target for the per-tuple Next()
   bool have_batch_ = false;
   double consume_acc_ = 0.0;
   std::optional<std::chrono::steady_clock::time_point> last_emit_;

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "ml/metrics.h"
+#include "shuffle/tuple_stream.h"
 #include "storage/table_shuffle.h"
 #include "util/timer.h"
 
@@ -67,7 +68,8 @@ Result<InDbTrainResult> RunUdaBaseline(Table* table, Model* model,
     CORGI_ASSIGN_OR_RETURN(
         ShuffledCopyResult copy,
         BuildShuffledCopy(table,
-                          options.scratch_dir + "/" + table->schema().name +
+                          ResolveScratchDir(options.scratch_dir) + "/" +
+                              table->schema().name +
                               ".uda_shuffled.tbl",
                           options.seed ^ 0xDA0B50FF, options.device,
                           options.clock, options.io_stats));

@@ -45,7 +45,9 @@ struct UdaEngineOptions {
   SimClock* clock = nullptr;
   IoStats* io_stats = nullptr;
   DeviceProfile device = DeviceProfile::Memory();
-  std::string scratch_dir = "/tmp";
+  /// Directory for the Shuffle Once copy; empty = the platform temp dir
+  /// (std::filesystem::temp_directory_path).
+  std::string scratch_dir;
   uint64_t seed = 42;
   uint64_t init_seed = 7;
   /// Extra per-tuple compute multiplier for MADlib's auxiliary metrics.

@@ -1,0 +1,57 @@
+// PerTupleAdapter: compatibility shim from the batched pipeline back to
+// the old `const Tuple* Next()` protocol.
+//
+// Wraps any BatchStream and re-exposes the per-tuple pull interface so
+// external callers written against the old TupleStream/operator protocol
+// keep working during the transition. Each emitted pointer refers to a
+// scratch tuple materialized from the current batch row and stays valid
+// until the next Next() call — the old contract, preserved.
+
+#pragma once
+
+#include "exec/batch_stream.h"
+
+namespace corgipile {
+
+class PerTupleAdapter {
+ public:
+  /// `stream` is borrowed and must outlive the adapter. `batch_tuples` is
+  /// the transport batch size used internally; it does not affect the
+  /// emitted tuple order.
+  explicit PerTupleAdapter(BatchStream* stream,
+                           size_t batch_tuples = TupleBatch::kDefaultTargetTuples)
+      : stream_(stream), batch_(batch_tuples) {}
+
+  const char* name() const { return stream_->name(); }
+
+  Status StartEpoch(uint64_t epoch) {
+    batch_.Clear();
+    pos_ = 0;
+    return stream_->StartEpoch(epoch);
+  }
+
+  /// Next tuple of the epoch, or nullptr at epoch end / on error. The
+  /// pointer stays valid until the next call. Check status() after nullptr.
+  const Tuple* Next() {
+    if (pos_ >= batch_.size()) {
+      if (!stream_->NextBatch(&batch_)) return nullptr;
+      pos_ = 0;
+    }
+    batch_.MaterializeTo(pos_++, &scratch_);
+    return &scratch_;
+  }
+
+  Status status() const { return stream_->status(); }
+  uint64_t QuarantinedBlocks() const { return stream_->QuarantinedBlocks(); }
+  uint64_t SkippedTuples() const { return stream_->SkippedTuples(); }
+
+  BatchStream* stream() { return stream_; }
+
+ private:
+  BatchStream* stream_;
+  TupleBatch batch_;
+  size_t pos_ = 0;
+  Tuple scratch_;
+};
+
+}  // namespace corgipile

@@ -72,25 +72,148 @@ void BinaryLinearModel::AccumulateLinear(const Tuple& t, double coef,
   }
 }
 
-// ---------- Logistic regression ----------
-
-double LogisticRegression::Loss(const Tuple& t) const {
-  return Log1pExp(-t.label * Margin(t));
+double BinaryLinearModel::Loss(const Tuple& t) const {
+  double coef;
+  return LossAndCoef(Margin(t), t.label, &coef);
 }
 
-double LogisticRegression::SgdStep(const Tuple& t, double lr) {
-  const double m = Margin(t);
-  const double z = -t.label * m;
-  const double loss = Log1pExp(z);
-  const double coef = -t.label * Sigmoid(z);  // dLoss/dMargin
+double BinaryLinearModel::SgdStep(const Tuple& t, double lr) {
+  double coef;
+  const double loss = LossAndCoef(Margin(t), t.label, &coef);
   ApplyLinearStep(t, lr, coef);
   return loss;
 }
 
-double LogisticRegression::AccumulateGrad(const Tuple& t,
-                                          std::vector<double>* grad) const {
-  const double z = -t.label * Margin(t);
-  AccumulateLinear(t, -t.label * Sigmoid(z), grad);
+double BinaryLinearModel::AccumulateGrad(const Tuple& t,
+                                         std::vector<double>* grad) const {
+  double coef;
+  const double loss = LossAndCoef(Margin(t), t.label, &coef);
+  AccumulateLinear(t, coef, grad);
+  return loss;
+}
+
+// ---------- Batched arena kernels ----------
+//
+// These mirror Margin/ApplyLinearStep/AccumulateLinear on raw TupleBatch
+// spans. Loop structure and operation order match the Tuple-based code
+// exactly so seeded results stay bit-identical.
+
+double BinaryLinearModel::MarginAt(const TupleBatch& b, size_t i) const {
+  const size_t n = b.nnz(i);
+  const float* v = b.values(i);
+  const uint32_t* k = b.keys(i);
+  double acc = 0.0;
+  if (k != nullptr) {
+    for (size_t j = 0; j < n; ++j) {
+      acc += params_[k[j]] * static_cast<double>(v[j]);
+    }
+  } else {
+    for (size_t j = 0; j < n; ++j) {
+      acc += params_[j] * static_cast<double>(v[j]);
+    }
+  }
+  return acc + params_[dim_];
+}
+
+void BinaryLinearModel::ApplyLinearStepAt(const TupleBatch& b, size_t i,
+                                          double lr, double coef) {
+  const size_t n = b.nnz(i);
+  const float* v = b.values(i);
+  const uint32_t* k = b.keys(i);
+  if (l2_reg_ != 0.0) {
+    const double shrink = 1.0 - lr * l2_reg_;
+    if (k != nullptr) {
+      for (size_t j = 0; j < n; ++j) params_[k[j]] *= shrink;
+    } else {
+      for (uint32_t d = 0; d < dim_; ++d) params_[d] *= shrink;
+    }
+  }
+  if (coef != 0.0) {
+    const double scale = -lr * coef;
+    if (k != nullptr) {
+      for (size_t j = 0; j < n; ++j) {
+        params_[k[j]] += scale * static_cast<double>(v[j]);
+      }
+    } else {
+      for (size_t j = 0; j < n; ++j) {
+        params_[j] += scale * static_cast<double>(v[j]);
+      }
+    }
+    params_[dim_] -= lr * coef;
+  }
+}
+
+void BinaryLinearModel::AccumulateLinearAt(const TupleBatch& b, size_t i,
+                                           double coef,
+                                           std::vector<double>* grad) const {
+  const size_t n = b.nnz(i);
+  const float* v = b.values(i);
+  const uint32_t* k = b.keys(i);
+  if (coef != 0.0) {
+    if (k != nullptr) {
+      for (size_t j = 0; j < n; ++j) {
+        (*grad)[k[j]] += coef * static_cast<double>(v[j]);
+      }
+    } else {
+      for (size_t j = 0; j < n; ++j) {
+        (*grad)[j] += coef * static_cast<double>(v[j]);
+      }
+    }
+    (*grad)[dim_] += coef;
+  }
+  if (l2_reg_ != 0.0) {
+    for (uint32_t d = 0; d < dim_; ++d) {
+      (*grad)[d] += l2_reg_ * params_[d];
+    }
+  }
+}
+
+void BinaryLinearModel::BatchGradientStep(const TupleBatch& b, double lr,
+                                          double* loss_sum) {
+  for (size_t i = 0; i < b.size(); ++i) {
+    double coef;
+    *loss_sum += LossAndCoef(MarginAt(b, i), b.label(i), &coef);
+    ApplyLinearStepAt(b, i, lr, coef);
+  }
+}
+
+void BinaryLinearModel::BatchAccumulateGrad(const TupleBatch& b, size_t begin,
+                                            size_t end,
+                                            std::vector<double>* grad,
+                                            double* loss_sum) const {
+  for (size_t i = begin; i < end; ++i) {
+    double coef;
+    *loss_sum += LossAndCoef(MarginAt(b, i), b.label(i), &coef);
+    AccumulateLinearAt(b, i, coef, grad);
+  }
+}
+
+void BinaryLinearModel::BatchLoss(const TupleBatch& b,
+                                  double* loss_sum) const {
+  for (size_t i = 0; i < b.size(); ++i) {
+    double coef;
+    *loss_sum += LossAndCoef(MarginAt(b, i), b.label(i), &coef);
+  }
+}
+
+void BinaryLinearModel::BatchEvaluate(const TupleBatch& b, double* predictions,
+                                      double* losses,
+                                      uint8_t* corrects) const {
+  for (size_t i = 0; i < b.size(); ++i) {
+    const double m = MarginAt(b, i);
+    double coef;
+    predictions[i] = m;
+    losses[i] = LossAndCoef(m, b.label(i), &coef);
+    corrects[i] = CorrectAtMargin(m, b.label(i)) ? 1 : 0;
+  }
+}
+
+// ---------- Logistic regression ----------
+
+double LogisticRegression::LossAndCoef(double m, double y,
+                                       double* coef) const {
+  const double z = -y * m;
+  *coef = -y * Sigmoid(z);  // dLoss/dMargin
   return Log1pExp(z);
 }
 
@@ -100,22 +223,9 @@ std::unique_ptr<Model> LogisticRegression::Clone() const {
 
 // ---------- SVM ----------
 
-double SvmModel::Loss(const Tuple& t) const {
-  return std::max(0.0, 1.0 - t.label * Margin(t));
-}
-
-double SvmModel::SgdStep(const Tuple& t, double lr) {
-  const double m = Margin(t);
-  const double hinge = 1.0 - t.label * m;
-  const double coef = hinge > 0.0 ? -t.label : 0.0;
-  ApplyLinearStep(t, lr, coef);
-  return std::max(0.0, hinge);
-}
-
-double SvmModel::AccumulateGrad(const Tuple& t,
-                                std::vector<double>* grad) const {
-  const double hinge = 1.0 - t.label * Margin(t);
-  AccumulateLinear(t, hinge > 0.0 ? -t.label : 0.0, grad);
+double SvmModel::LossAndCoef(double m, double y, double* coef) const {
+  const double hinge = 1.0 - y * m;
+  *coef = hinge > 0.0 ? -y : 0.0;
   return std::max(0.0, hinge);
 }
 
@@ -125,21 +235,10 @@ std::unique_ptr<Model> SvmModel::Clone() const {
 
 // ---------- Linear regression ----------
 
-double LinearRegressionModel::Loss(const Tuple& t) const {
-  const double r = Margin(t) - t.label;
-  return 0.5 * r * r;
-}
-
-double LinearRegressionModel::SgdStep(const Tuple& t, double lr) {
-  const double r = Margin(t) - t.label;
-  ApplyLinearStep(t, lr, r);
-  return 0.5 * r * r;
-}
-
-double LinearRegressionModel::AccumulateGrad(const Tuple& t,
-                                             std::vector<double>* grad) const {
-  const double r = Margin(t) - t.label;
-  AccumulateLinear(t, r, grad);
+double LinearRegressionModel::LossAndCoef(double m, double y,
+                                          double* coef) const {
+  const double r = m - y;
+  *coef = r;
   return 0.5 * r * r;
 }
 

@@ -16,6 +16,9 @@
 namespace corgipile {
 
 /// Common base for the binary linear models (w ∈ R^dim, bias appended).
+/// Subclasses supply only the loss curve via LossAndCoef(); the SGD step,
+/// gradient accumulation, and the batched arena kernels live here so the
+/// per-tuple and batched paths share one implementation of the math.
 class BinaryLinearModel : public Model {
  public:
   explicit BinaryLinearModel(uint32_t dim, double l2_reg = 0.0);
@@ -26,15 +29,49 @@ class BinaryLinearModel : public Model {
   const std::vector<double>& params() const override { return params_; }
   void InitParams(uint64_t seed) override;
 
+  double SgdStep(const Tuple& t, double lr) override;
+  double AccumulateGrad(const Tuple& t,
+                        std::vector<double>* grad) const override;
+  double Loss(const Tuple& t) const override;
+
+  // Batched arena kernels: read TupleBatch spans directly (no Tuple
+  // materialization) while replicating the exact floating-point order of
+  // the per-tuple path above.
+  void BatchGradientStep(const TupleBatch& b, double lr,
+                         double* loss_sum) override;
+  void BatchAccumulateGrad(const TupleBatch& b, size_t begin, size_t end,
+                           std::vector<double>* grad,
+                           double* loss_sum) const override;
+  void BatchLoss(const TupleBatch& b, double* loss_sum) const override;
+  void BatchEvaluate(const TupleBatch& b, double* predictions, double* losses,
+                     uint8_t* corrects) const override;
+
   double Predict(const Tuple& t) const override;  // signed margin
   bool Correct(const Tuple& t) const override;
 
  protected:
+  /// Loss at margin m for label y; sets *coef = dLoss/dMargin. The one
+  /// model-specific piece of math.
+  virtual double LossAndCoef(double m, double y, double* coef) const = 0;
+  /// Classification correctness at a precomputed margin (sign test for the
+  /// classifiers; regression overrides to false).
+  virtual bool CorrectAtMargin(double m, double y) const {
+    return (m >= 0 ? 1.0 : -1.0) == y;
+  }
+
   double Margin(const Tuple& t) const;
+  /// Row margin from batch spans, same accumulation order as Margin().
+  double MarginAt(const TupleBatch& b, size_t i) const;
   /// w ← w − lr·(coef·x + l2·w_active); coef is dLoss/dMargin · y-part.
   void ApplyLinearStep(const Tuple& t, double lr, double coef);
+  /// Span form of ApplyLinearStep, same operation order.
+  void ApplyLinearStepAt(const TupleBatch& b, size_t i, double lr,
+                         double coef);
   void AccumulateLinear(const Tuple& t, double coef,
                         std::vector<double>* grad) const;
+  /// Span form of AccumulateLinear, same operation order.
+  void AccumulateLinearAt(const TupleBatch& b, size_t i, double coef,
+                          std::vector<double>* grad) const;
 
   uint32_t dim_;
   double l2_reg_;
@@ -47,11 +84,10 @@ class LogisticRegression : public BinaryLinearModel {
   explicit LogisticRegression(uint32_t dim, double l2_reg = 0.0)
       : BinaryLinearModel(dim, l2_reg) {}
   const char* name() const override { return "lr"; }
-  double SgdStep(const Tuple& t, double lr) override;
-  double AccumulateGrad(const Tuple& t,
-                        std::vector<double>* grad) const override;
-  double Loss(const Tuple& t) const override;
   std::unique_ptr<Model> Clone() const override;
+
+ protected:
+  double LossAndCoef(double m, double y, double* coef) const override;
 };
 
 /// Linear SVM: f = max(0, 1 − y·m).
@@ -60,11 +96,10 @@ class SvmModel : public BinaryLinearModel {
   explicit SvmModel(uint32_t dim, double l2_reg = 0.0)
       : BinaryLinearModel(dim, l2_reg) {}
   const char* name() const override { return "svm"; }
-  double SgdStep(const Tuple& t, double lr) override;
-  double AccumulateGrad(const Tuple& t,
-                        std::vector<double>* grad) const override;
-  double Loss(const Tuple& t) const override;
   std::unique_ptr<Model> Clone() const override;
+
+ protected:
+  double LossAndCoef(double m, double y, double* coef) const override;
 };
 
 /// Linear regression: f = ½(m − y)².
@@ -73,13 +108,13 @@ class LinearRegressionModel : public BinaryLinearModel {
   explicit LinearRegressionModel(uint32_t dim, double l2_reg = 0.0)
       : BinaryLinearModel(dim, l2_reg) {}
   const char* name() const override { return "linreg"; }
-  double SgdStep(const Tuple& t, double lr) override;
-  double AccumulateGrad(const Tuple& t,
-                        std::vector<double>* grad) const override;
-  double Loss(const Tuple& t) const override;
   double Predict(const Tuple& t) const override { return Margin(t); }
   bool Correct(const Tuple&) const override { return false; }
   std::unique_ptr<Model> Clone() const override;
+
+ protected:
+  double LossAndCoef(double m, double y, double* coef) const override;
+  bool CorrectAtMargin(double, double) const override { return false; }
 };
 
 /// Softmax regression over C classes; labels are class ids 0..C−1.

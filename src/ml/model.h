@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "exec/tuple_batch.h"
 #include "storage/tuple.h"
 
 namespace corgipile {
@@ -14,6 +15,10 @@ namespace corgipile {
 ///    (sparse-friendly: touches only the tuple's nonzero coordinates), and
 ///  * AccumulateGrad/params — dense gradient accumulation for mini-batch
 ///    SGD and Adam.
+/// Both also come in TupleBatch form (the Batch* kernels) for the batched
+/// execution pipeline; the batch kernels apply the same per-tuple updates
+/// in the same order, so seeded results are bit-identical to the per-tuple
+/// path at every transport batch size.
 class Model {
  public:
   virtual ~Model() = default;
@@ -44,6 +49,37 @@ class Model {
 
   /// Loss only.
   virtual double Loss(const Tuple& t) const = 0;
+
+  // --- Mini-batch kernels over a TupleBatch (DESIGN.md §9) ---
+  //
+  // Defaults loop the per-tuple methods over materialized rows, so every
+  // model works on the batched pipeline unchanged; hot models override
+  // them to read the batch arena directly. All kernels preserve the exact
+  // per-tuple update order and floating-point operation sequence. Losses
+  // are accumulated into *loss_sum one row at a time (not batch-summed
+  // first) so the caller's epoch accumulator sees the same addition order
+  // as the per-tuple loop — this is what makes epoch losses bit-identical
+  // at every transport batch size.
+
+  /// Sequential SGD over every row of `b` (one SgdStep-equivalent update
+  /// per row, in row order). Adds each row's pre-update loss to *loss_sum.
+  virtual void BatchGradientStep(const TupleBatch& b, double lr,
+                                 double* loss_sum);
+
+  /// grad accumulation over rows [begin, end); adds each row's loss to
+  /// *loss_sum.
+  virtual void BatchAccumulateGrad(const TupleBatch& b, size_t begin,
+                                   size_t end, std::vector<double>* grad,
+                                   double* loss_sum) const;
+
+  /// Adds each row's loss to *loss_sum. Thread-safe (const model).
+  virtual void BatchLoss(const TupleBatch& b, double* loss_sum) const;
+
+  /// Per-row serving evaluation: fills predictions[i], losses[i] and
+  /// corrects[i] (0/1) for each row. Thread-safe (const model); the
+  /// serving engine runs it concurrently on one shared snapshot.
+  virtual void BatchEvaluate(const TupleBatch& b, double* predictions,
+                             double* losses, uint8_t* corrects) const;
 
   /// Raw prediction: binary → signed margin, multiclass → argmax class id,
   /// regression → predicted value.

@@ -84,6 +84,12 @@ Result<TrainResult> Train(Model* model, TupleStream* stream,
   if (start_epoch > options.epochs) start_epoch = options.epochs;
   result.epochs.reserve(options.epochs - start_epoch);
 
+  // Batched-pipeline transport buffer; the arena is reused across batches
+  // and epochs.
+  TupleBatch exec_batch(options.exec_batch_tuples > 0
+                            ? options.exec_batch_tuples
+                            : TupleBatch::kDefaultTargetTuples);
+
   auto save_checkpoint = [&](uint32_t next_epoch) -> Status {
     TrainCheckpoint ckpt;
     ckpt.model_name = model->name();
@@ -109,27 +115,56 @@ Result<TrainResult> Train(Model* model, TupleStream* stream,
     WallTimer timer;
     double loss_sum = 0.0;
     uint64_t seen = 0;
-    if (!batched) {
-      while (const Tuple* t = stream->Next()) {
-        loss_sum += model->SgdStep(*t, lr);
-        ++seen;
+    uint32_t in_batch = 0;
+    auto flush = [&] {
+      if (in_batch == 0) return;
+      const double inv = 1.0 / static_cast<double>(in_batch);
+      for (double& g : grad) g *= inv;
+      opt->Apply(&model->params(), grad, lr);
+      std::fill(grad.begin(), grad.end(), 0.0);
+      in_batch = 0;
+    };
+    if (options.exec_batch_tuples == 0) {
+      // Legacy per-tuple pull — the golden reference the batched pipeline
+      // is tested against.
+      if (!batched) {
+        while (const Tuple* t = stream->Next()) {
+          loss_sum += model->SgdStep(*t, lr);
+          ++seen;
+        }
+      } else {
+        while (const Tuple* t = stream->Next()) {
+          loss_sum += model->AccumulateGrad(*t, &grad);
+          ++seen;
+          if (++in_batch == options.batch_size) flush();
+        }
+        flush();
       }
     } else {
-      uint32_t in_batch = 0;
-      auto flush = [&] {
-        if (in_batch == 0) return;
-        const double inv = 1.0 / static_cast<double>(in_batch);
-        for (double& g : grad) g *= inv;
-        opt->Apply(&model->params(), grad, lr);
-        std::fill(grad.begin(), grad.end(), 0.0);
-        in_batch = 0;
-      };
-      while (const Tuple* t = stream->Next()) {
-        loss_sum += model->AccumulateGrad(*t, &grad);
-        ++seen;
-        if (++in_batch == options.batch_size) flush();
+      // Batched pipeline: one NextBatch per exec_batch_tuples tuples. The
+      // optimizer's mini-batch grouping is re-chunked across transport
+      // batch boundaries so the flush cadence matches the legacy loop
+      // exactly.
+      while (stream->NextBatch(&exec_batch)) {
+        if (!batched) {
+          model->BatchGradientStep(exec_batch, lr, &loss_sum);
+          seen += exec_batch.size();
+        } else {
+          size_t i = 0;
+          while (i < exec_batch.size()) {
+            const size_t take =
+                std::min<size_t>(exec_batch.size() - i,
+                                 options.batch_size - in_batch);
+            model->BatchAccumulateGrad(exec_batch, i, i + take, &grad,
+                                       &loss_sum);
+            i += take;
+            seen += take;
+            in_batch += static_cast<uint32_t>(take);
+            if (in_batch == options.batch_size) flush();
+          }
+        }
       }
-      flush();
+      if (batched) flush();
     }
     CORGI_RETURN_NOT_OK(stream->status());
 

@@ -262,6 +262,8 @@ void InferenceEngine::CloseOpenBatch(double close_s, bool by_deadline) {
   batch.model_id = open_model_id_;
   batch.version = snapshot->version;
   batch.completion_s = completion_s;
+  batch.tuples.set_target_tuples(run.size());
+  for (const Pending& item : run) batch.tuples.Append(item.req.tuple);
   batch.items = std::move(run);
   Status st = PushBlocking(batches_, batch);
   if (!st.ok()) {
@@ -270,18 +272,29 @@ void InferenceEngine::CloseOpenBatch(double close_s, bool by_deadline) {
 }
 
 void InferenceEngine::WorkerLoop() {
+  std::vector<double> values;
+  std::vector<double> losses;
+  std::vector<uint8_t> corrects;
   for (;;) {
     Batch batch;
     auto popped = batches_.Pop(&batch);
     if (!popped.ok() || !*popped) return;
-    for (Pending& item : batch.items) {
+    const size_t n = batch.items.size();
+    values.resize(n);
+    losses.resize(n);
+    corrects.resize(n);
+    // One batched kernel call per micro-batch; BatchEvaluate is const and
+    // thread-safe on the shared snapshot.
+    batch.model->BatchEvaluate(batch.tuples, values.data(), losses.data(),
+                               corrects.data());
+    for (size_t i = 0; i < n; ++i) {
       ServeReply reply;
-      reply.value = batch.model->Predict(item.req.tuple);
-      reply.loss = batch.model->Loss(item.req.tuple);
-      reply.correct = batch.model->Correct(item.req.tuple);
+      reply.value = values[i];
+      reply.loss = losses[i];
+      reply.correct = corrects[i] != 0;
       reply.model_version = batch.version;
-      reply.latency_s = batch.completion_s - item.req.arrival_s;
-      item.promise.set_value(std::move(reply));
+      reply.latency_s = batch.completion_s - batch.items[i].req.arrival_s;
+      batch.items[i].promise.set_value(std::move(reply));
     }
   }
 }

@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "db/model_store.h"
+#include "exec/tuple_batch.h"
 #include "iosim/sim_clock.h"
 #include "serve/serve_stats.h"
 #include "storage/tuple.h"
@@ -147,6 +148,10 @@ class InferenceEngine {
     std::string model_id;
     uint64_t version = 0;
     double completion_s = 0.0;
+    /// Admitted tuples packed into one arena; row i belongs to items[i].
+    /// Workers evaluate the whole batch with Model::BatchEvaluate instead
+    /// of per-item Predict/Loss/Correct calls.
+    TupleBatch tuples;
     std::vector<Pending> items;
   };
 

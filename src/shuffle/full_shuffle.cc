@@ -25,8 +25,8 @@ Status ShuffleOnceStream::PrepareIfNeeded() {
     // Honest offline shuffle: random-order tuple fetches from the original
     // table (random page I/O) streamed into a sequential shuffled copy.
     Table* orig = table_source->table();
-    const std::string copy_path =
-        options_.scratch_dir + "/" + orig->schema().name + ".shuffled.tbl";
+    const std::string copy_path = ResolveScratchDir(options_.scratch_dir) +
+                                  "/" + orig->schema().name + ".shuffled.tbl";
     CORGI_ASSIGN_OR_RETURN(
         ShuffledCopyResult copy,
         BuildShuffledCopy(orig, copy_path, options_.seed ^ 0x50FF1E,
@@ -73,6 +73,16 @@ const Tuple* ShuffleOnceStream::Next() {
   const Tuple* t = inner_->Next();
   if (t == nullptr) status_ = inner_->status();
   return t;
+}
+
+bool ShuffleOnceStream::NextBatch(TupleBatch* out) {
+  if (inner_ == nullptr) {
+    out->Clear();
+    return false;
+  }
+  const bool more = inner_->NextBatch(out);
+  if (!more) status_ = inner_->status();
+  return more;
 }
 
 uint64_t ShuffleOnceStream::PeakBufferTuples() const {
@@ -122,6 +132,15 @@ Status EpochShuffleStream::StartEpoch(uint64_t epoch) {
 const Tuple* EpochShuffleStream::Next() {
   if (pos_ >= epoch_data_.size()) return nullptr;
   return &epoch_data_[pos_++];
+}
+
+bool EpochShuffleStream::NextBatch(TupleBatch* out) {
+  out->Clear();
+  const size_t take =
+      std::min(epoch_data_.size() - pos_, out->target_tuples());
+  for (size_t i = 0; i < take; ++i) out->Append(epoch_data_[pos_ + i]);
+  pos_ += take;
+  return !out->empty();
 }
 
 }  // namespace corgipile

@@ -8,13 +8,13 @@ namespace corgipile {
 HierarchicalBlockStream::HierarchicalBlockStream(const char* name,
                                                  BlockSource* source,
                                                  Options options)
-    : name_(name), source_(source), options_(options),
+    : WithStreamState<TupleStream>(name), source_(source), options_(options),
       epoch_rng_(options.seed), tuple_rng_(options.seed) {
   if (options_.buffer_tuples == 0) options_.buffer_tuples = 1;
 }
 
 Status HierarchicalBlockStream::StartEpoch(uint64_t epoch) {
-  status_ = Status::OK();
+  clear_status();
   source_->Reset();
   const uint32_t n = source_->num_blocks();
   block_order_.resize(n);
@@ -34,7 +34,7 @@ Status HierarchicalBlockStream::StartEpoch(uint64_t epoch) {
   next_block_ = 0;
   buffer_.clear();
   buffer_pos_ = 0;
-  epoch_quarantined_ = 0;
+  quarantine().BeginEpoch();
   return Status::OK();
 }
 
@@ -48,26 +48,12 @@ bool HierarchicalBlockStream::RefillBuffer() {
     block_scratch_.clear();
     Status st = source_->ReadBlock(b, &block_scratch_);
     if (!st.ok()) {
-      const bool skippable = st.code() == StatusCode::kCorruption ||
-                             st.code() == StatusCode::kIoError;
-      if (!options_.tolerance.quarantine_corrupt_blocks || !skippable) {
-        status_ = st;
-        return false;
-      }
       ++next_block_;
-      ++quarantined_blocks_;
-      ++epoch_quarantined_;
-      skipped_tuples_ += source_->TuplesInBlock(b);
-      const double bad_fraction =
-          static_cast<double>(epoch_quarantined_) /
-          static_cast<double>(std::max<size_t>(1, block_order_.size()));
-      if (bad_fraction > options_.tolerance.max_bad_block_fraction) {
-        status_ = Status::Corruption(
-            "quarantined " + std::to_string(epoch_quarantined_) + "/" +
-            std::to_string(block_order_.size()) +
-            " blocks this epoch, over the tolerated fraction " +
-            std::to_string(options_.tolerance.max_bad_block_fraction) +
-            " (last error: " + st.message() + ")");
+      Status admitted = quarantine().Admit(st, options_.tolerance,
+                                           source_->TuplesInBlock(b),
+                                           block_order_.size());
+      if (!admitted.ok()) {
+        set_status(std::move(admitted));
         return false;
       }
       continue;
@@ -95,6 +81,20 @@ const Tuple* HierarchicalBlockStream::Next() {
     if (!RefillBuffer()) return nullptr;
   }
   return &buffer_[buffer_pos_++];
+}
+
+bool HierarchicalBlockStream::NextBatch(TupleBatch* out) {
+  out->Clear();
+  while (!out->full()) {
+    if (buffer_pos_ >= buffer_.size()) {
+      if (!RefillBuffer()) break;
+    }
+    const size_t take = std::min(buffer_.size() - buffer_pos_,
+                                 out->target_tuples() - out->size());
+    for (size_t i = 0; i < take; ++i) out->Append(buffer_[buffer_pos_ + i]);
+    buffer_pos_ += take;
+  }
+  return !out->empty();
 }
 
 uint64_t HierarchicalBlockStream::TuplesPerEpoch() const {

@@ -22,10 +22,11 @@
 
 #include "shuffle/tuple_stream.h"
 #include "util/rng.h"
+#include "util/stream_base.h"
 
 namespace corgipile {
 
-class HierarchicalBlockStream : public TupleStream {
+class HierarchicalBlockStream : public WithStreamState<TupleStream> {
  public:
   struct Options {
     bool shuffle_blocks = true;
@@ -47,19 +48,17 @@ class HierarchicalBlockStream : public TupleStream {
   HierarchicalBlockStream(const char* name, BlockSource* source,
                           Options options);
 
-  const char* name() const override { return name_; }
   Status StartEpoch(uint64_t epoch) override;
   const Tuple* Next() override;
-  Status status() const override { return status_; }
+  /// Native batched fill: drains the shuffled buffer in batch-sized chunks
+  /// (no per-tuple virtual calls on the hot path).
+  bool NextBatch(TupleBatch* out) override;
   uint64_t TuplesPerEpoch() const override;
   uint64_t PeakBufferTuples() const override { return peak_buffer_; }
-  uint64_t QuarantinedBlocks() const override { return quarantined_blocks_; }
-  uint64_t SkippedTuples() const override { return skipped_tuples_; }
 
  private:
   bool RefillBuffer();
 
-  const char* name_;
   BlockSource* source_;
   Options options_;
   Rng epoch_rng_;
@@ -70,10 +69,6 @@ class HierarchicalBlockStream : public TupleStream {
   std::vector<Tuple> block_scratch_;
   size_t buffer_pos_ = 0;
   uint64_t peak_buffer_ = 0;
-  uint64_t quarantined_blocks_ = 0;   // cumulative across epochs
-  uint64_t skipped_tuples_ = 0;       // cumulative across epochs
-  uint64_t epoch_quarantined_ = 0;    // this epoch, for the abort threshold
-  Status status_;
 };
 
 /// Factories for the three named strategies.

@@ -42,7 +42,7 @@ bool MrsStream::PullScanned(Tuple* out) {
   return true;
 }
 
-const Tuple* MrsStream::Next() {
+bool MrsStream::EmitNext(Tuple* out) {
   // Thread-2 emissions owed from previous drops.
   if (loop_credit_ >= 1.0 && !loop_buf_.empty()) {
     loop_credit_ -= 1.0;
@@ -50,16 +50,16 @@ const Tuple* MrsStream::Next() {
       // The loop wrapped: refresh the snapshot from the live reservoir.
       loop_buf_ = reservoir_;
       loop_pos_ = 0;
-      if (loop_buf_.empty()) return nullptr;
+      if (loop_buf_.empty()) return false;
     }
-    current_ = loop_buf_[loop_pos_++];
-    return &current_;
+    *out = loop_buf_[loop_pos_++];
+    return true;
   }
 
   // Thread-1: scan with reservoir sampling until a tuple is dropped.
   Tuple t;
   for (;;) {
-    if (!PullScanned(&t)) return nullptr;  // epoch end; reservoir retained
+    if (!PullScanned(&t)) return false;  // epoch end; reservoir retained
     ++seen_;
     if (reservoir_.size() < reservoir_capacity_) {
       reservoir_.push_back(std::move(t));
@@ -72,14 +72,24 @@ const Tuple* MrsStream::Next() {
     if (rng_.NextDouble() < keep_p) {
       // t enters the reservoir; the evicted tuple is the dropped one.
       const size_t j = static_cast<size_t>(rng_.Uniform(reservoir_.size()));
-      current_ = std::move(reservoir_[j]);
+      *out = std::move(reservoir_[j]);
       reservoir_[j] = std::move(t);
     } else {
-      current_ = std::move(t);  // t itself is dropped
+      *out = std::move(t);  // t itself is dropped
     }
     loop_credit_ += loop_ratio_;
-    return &current_;
+    return true;
   }
+}
+
+const Tuple* MrsStream::Next() {
+  return EmitNext(&current_) ? &current_ : nullptr;
+}
+
+bool MrsStream::NextBatch(TupleBatch* out) {
+  out->Clear();
+  while (!out->full() && EmitNext(&current_)) out->Append(current_);
+  return !out->empty();
 }
 
 uint64_t MrsStream::TuplesPerEpoch() const {

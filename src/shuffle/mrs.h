@@ -29,11 +29,18 @@ class MrsStream : public TupleStream {
   const char* name() const override { return "mrs"; }
   Status StartEpoch(uint64_t epoch) override;
   const Tuple* Next() override;
+  /// Native batched fill: runs the multiplexed emission step inline per
+  /// slot, one virtual call per batch.
+  bool NextBatch(TupleBatch* out) override;
   Status status() const override { return status_; }
   uint64_t TuplesPerEpoch() const override;
   uint64_t PeakBufferTuples() const override { return peak_reservoir_; }
 
  private:
+  /// One multiplexed emission (loop-buffer replay or reservoir drop) into
+  /// *out; false when the epoch is exhausted. Shared by Next and NextBatch
+  /// so the RNG sequence is identical in both transports.
+  bool EmitNext(Tuple* out);
   bool PullScanned(Tuple* out);
 
   BlockSource* source_;

@@ -36,7 +36,7 @@ bool SlidingWindowStream::PullScanned(Tuple* out) {
   return true;
 }
 
-const Tuple* SlidingWindowStream::Next() {
+bool SlidingWindowStream::EmitNext(Tuple* out) {
   // Fill phase: absorb scanned tuples until the window is full.
   Tuple incoming;
   while (window_.size() < window_capacity_) {
@@ -44,22 +44,32 @@ const Tuple* SlidingWindowStream::Next() {
     window_.push_back(std::move(incoming));
   }
   peak_window_ = std::max<uint64_t>(peak_window_, window_.size());
-  if (window_.empty()) return nullptr;
+  if (window_.empty()) return false;
 
   if (PullScanned(&incoming)) {
     // Steady state: emit a random window slot, refill it with the incoming
     // tuple (paper §3.3 steps 2–3).
     const size_t j = static_cast<size_t>(rng_.Uniform(window_.size()));
-    current_ = std::move(window_[j]);
+    *out = std::move(window_[j]);
     window_[j] = std::move(incoming);
-    return &current_;
+    return true;
   }
   // Drain phase: random removal until empty.
   const size_t j = static_cast<size_t>(rng_.Uniform(window_.size()));
-  current_ = std::move(window_[j]);
+  *out = std::move(window_[j]);
   window_[j] = std::move(window_.back());
   window_.pop_back();
-  return &current_;
+  return true;
+}
+
+const Tuple* SlidingWindowStream::Next() {
+  return EmitNext(&current_) ? &current_ : nullptr;
+}
+
+bool SlidingWindowStream::NextBatch(TupleBatch* out) {
+  out->Clear();
+  while (!out->full() && EmitNext(&current_)) out->Append(current_);
+  return !out->empty();
 }
 
 }  // namespace corgipile

@@ -1,6 +1,7 @@
 #include "shuffle/tuple_stream.h"
 
 #include <algorithm>
+#include <filesystem>
 
 #include "shuffle/full_shuffle.h"
 #include "shuffle/hierarchical.h"
@@ -8,6 +9,24 @@
 #include "shuffle/sliding_window.h"
 
 namespace corgipile {
+
+bool TupleStream::NextBatch(TupleBatch* out) {
+  out->Clear();
+  while (!out->full()) {
+    const Tuple* t = Next();
+    if (t == nullptr) break;
+    out->Append(*t);
+  }
+  return !out->empty();
+}
+
+std::string ResolveScratchDir(const std::string& configured) {
+  if (!configured.empty()) return configured;
+  std::error_code ec;
+  std::filesystem::path tmp = std::filesystem::temp_directory_path(ec);
+  if (ec) return ".";  // last resort: the working directory
+  return tmp.string();
+}
 
 const char* ShuffleStrategyToString(ShuffleStrategy s) {
   switch (s) {

@@ -1,5 +1,12 @@
 // TupleStream: per-epoch stream of training tuples in strategy-defined
 // order, plus the catalog of shuffling strategies the paper studies (§3–§4).
+//
+// TupleStream is the shuffle layer's face of the unified batched pipeline
+// (exec/batch_stream.h): every strategy implements NextBatch natively and
+// the batched form is the hot path. The per-tuple Next() protocol is kept
+// as the golden reference the equivalence suite checks batches against,
+// and for diagnostic consumers; an epoch's batches concatenate to exactly
+// the per-tuple emission order.
 
 #pragma once
 
@@ -7,6 +14,7 @@
 #include <memory>
 #include <string>
 
+#include "exec/batch_stream.h"
 #include "iosim/device.h"
 #include "iosim/sim_clock.h"
 #include "storage/block_source.h"
@@ -14,25 +22,23 @@
 
 namespace corgipile {
 
-/// Streams tuples epoch by epoch. Usage:
+/// Streams tuples epoch by epoch. Batched usage:
 ///   stream->StartEpoch(e);
-///   while (const Tuple* t = stream->Next()) { ... }
+///   while (stream->NextBatch(&batch)) { ... }
 ///   CORGI_RETURN_NOT_OK(stream->status());
-class TupleStream {
+/// Per-tuple (reference) usage replaces the middle line with
+///   while (const Tuple* t = stream->Next()) { ... }
+class TupleStream : public BatchStream {
  public:
-  virtual ~TupleStream() = default;
-
-  virtual const char* name() const = 0;
-
-  /// Begins epoch `epoch` (0-based). Re-randomizes as the strategy dictates.
-  virtual Status StartEpoch(uint64_t epoch) = 0;
-
   /// Next tuple of the epoch, or nullptr at epoch end / on error. The
   /// pointer stays valid until the next call. Check status() after nullptr.
+  /// Must not be interleaved with NextBatch() within one epoch.
   virtual const Tuple* Next() = 0;
 
-  /// Error state of the last Next()/StartEpoch.
-  virtual Status status() const { return Status::OK(); }
+  /// Generic batched pull: loops Next() into *out. Every concrete strategy
+  /// overrides this with a native fill; the fallback keeps third-party
+  /// TupleStream implementations working on the batched pipeline.
+  bool NextBatch(TupleBatch* out) override;
 
   /// Approximate tuples emitted per epoch.
   virtual uint64_t TuplesPerEpoch() const = 0;
@@ -46,14 +52,6 @@ class TupleStream {
 
   /// Peak in-memory buffer occupancy, in tuples.
   virtual uint64_t PeakBufferTuples() const { return 0; }
-
-  /// Cumulative unreadable/corrupt blocks skipped under a
-  /// BlockReadTolerance policy (0 for streams without one).
-  virtual uint64_t QuarantinedBlocks() const { return 0; }
-
-  /// Cumulative tuples lost to quarantined blocks (per the block index's
-  /// tuple counts).
-  virtual uint64_t SkippedTuples() const { return 0; }
 };
 
 /// The data shuffling strategies evaluated in the paper.
@@ -85,8 +83,9 @@ struct ShuffleOptions {
   /// strategies only: no_shuffle, block_only, corgipile).
   BlockReadTolerance tolerance;
   /// Shuffle Once / Epoch Shuffle over table-backed sources: directory for
-  /// the shuffled copy, plus accounting to attach to it.
-  std::string scratch_dir = "/tmp";
+  /// the shuffled copy, plus accounting to attach to it. Empty = the
+  /// platform temp directory (std::filesystem::temp_directory_path()).
+  std::string scratch_dir;
   DeviceProfile device = DeviceProfile::Memory();
   SimClock* clock = nullptr;
   IoStats* io_stats = nullptr;
@@ -101,5 +100,9 @@ Result<std::unique_ptr<TupleStream>> MakeTupleStream(
 /// Resolves the effective buffer size in tuples for `options` over `source`.
 uint64_t ResolveBufferTuples(const ShuffleOptions& options,
                              const BlockSource& source);
+
+/// Resolves a scratch directory: `configured` if non-empty, else the
+/// platform temp directory (never a hard-coded "/tmp").
+std::string ResolveScratchDir(const std::string& configured);
 
 }  // namespace corgipile

@@ -15,20 +15,11 @@
 #include "storage/table.h"
 #include "storage/tuple.h"
 #include "util/status.h"
+// BlockReadTolerance (the quarantine policy consumers of this interface
+// take) lives with the shared quarantine accounting in util/stream_base.h.
+#include "util/stream_base.h"
 
 namespace corgipile {
-
-/// Policy for consumers that read blocks in bulk (streams, db operators):
-/// whether a block that fails with kCorruption / kIoError is skipped
-/// ("quarantined") instead of aborting the scan, and how much loss is
-/// acceptable before aborting anyway.
-struct BlockReadTolerance {
-  /// Skip unreadable/corrupt blocks and keep going.
-  bool quarantine_corrupt_blocks = false;
-  /// Abort the epoch once more than this fraction of its blocks has been
-  /// quarantined. Guards against training on a sliver of the data.
-  double max_bad_block_fraction = 0.05;
-};
 
 class BlockSource {
  public:

@@ -1,0 +1,362 @@
+// Golden equivalence suite for the batched execution pipeline (DESIGN.md
+// §9): the batched transport (NextBatch / Batch* kernels) must emit the
+// same tuples in the same order, and produce bit-identical training
+// results, as the per-tuple reference path — for every shuffle strategy,
+// seed, and transport batch size.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <vector>
+
+#include "dataset/catalog.h"
+#include "dataset/loader.h"
+#include "db/block_shuffle_op.h"
+#include "db/sgd_op.h"
+#include "db/tuple_shuffle_op.h"
+#include "exec/per_tuple_adapter.h"
+#include "exec/tuple_batch.h"
+#include "iosim/fault_injector.h"
+#include "ml/linear_models.h"
+#include "ml/trainer.h"
+#include "shuffle/tuple_stream.h"
+#include "storage/block_source.h"
+
+namespace corgipile {
+namespace {
+
+// Mixed-width toy data so the batched arena exercises both the uniform
+// dense fast path (dense=true) and ragged sparse spans (dense=false).
+std::shared_ptr<std::vector<Tuple>> ToyData(size_t n, bool dense) {
+  auto tuples = std::make_shared<std::vector<Tuple>>();
+  for (size_t i = 0; i < n; ++i) {
+    const double label = i < n / 2 ? -1.0 : 1.0;
+    if (dense) {
+      tuples->push_back(MakeDenseTuple(
+          i, label,
+          {static_cast<float>(i) * 0.01f, 1.0f - static_cast<float>(i % 7)}));
+    } else {
+      std::vector<uint32_t> keys{static_cast<uint32_t>(i % 5),
+                                 5 + static_cast<uint32_t>(i % 3)};
+      tuples->push_back(MakeSparseTuple(
+          i, label, std::move(keys),
+          {static_cast<float>(i % 11) * 0.1f, 0.5f}));
+    }
+  }
+  return tuples;
+}
+
+Schema ToySchema(bool dense) {
+  return Schema{"toy", dense ? 2u : 8u, !dense, LabelType::kBinary, 2};
+}
+
+std::vector<Tuple> DrainPerTuple(TupleStream* stream, uint64_t epoch) {
+  EXPECT_TRUE(stream->StartEpoch(epoch).ok());
+  std::vector<Tuple> out;
+  while (const Tuple* t = stream->Next()) out.push_back(*t);
+  EXPECT_TRUE(stream->status().ok());
+  return out;
+}
+
+std::vector<Tuple> DrainBatched(TupleStream* stream, uint64_t epoch,
+                                size_t batch_tuples) {
+  EXPECT_TRUE(stream->StartEpoch(epoch).ok());
+  std::vector<Tuple> out;
+  TupleBatch batch(batch_tuples);
+  while (stream->NextBatch(&batch)) {
+    EXPECT_LE(batch.size(), batch_tuples);
+    for (size_t i = 0; i < batch.size(); ++i) out.push_back(batch.ToTuple(i));
+  }
+  EXPECT_TRUE(stream->status().ok());
+  return out;
+}
+
+constexpr ShuffleStrategy kAllStrategies[] = {
+    ShuffleStrategy::kNoShuffle,     ShuffleStrategy::kShuffleOnce,
+    ShuffleStrategy::kEpochShuffle,  ShuffleStrategy::kSlidingWindow,
+    ShuffleStrategy::kMrs,           ShuffleStrategy::kBlockOnly,
+    ShuffleStrategy::kCorgiPile};
+
+class BatchEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<ShuffleStrategy, uint64_t>> {
+};
+
+// The concatenation of NextBatch batches equals the Next() emission order
+// exactly — tuples, labels, features, everything — at several transport
+// batch sizes, across epochs, for dense and sparse data.
+TEST_P(BatchEquivalenceTest, BatchedOrderMatchesPerTuple) {
+  const ShuffleStrategy strategy = std::get<0>(GetParam());
+  const uint64_t seed = std::get<1>(GetParam());
+  for (bool dense : {true, false}) {
+    const size_t n = 500;
+    auto tuples = ToyData(n, dense);
+    InMemoryBlockSource src(ToySchema(dense), tuples, 37);
+    ShuffleOptions opts;
+    opts.buffer_fraction = 0.1;
+    opts.seed = seed;
+
+    // Separate stream instances: the two transports must not interleave on
+    // one stream within an epoch. Same (strategy, seed) → same sequence.
+    auto ref = MakeTupleStream(strategy, &src, opts);
+    ASSERT_TRUE(ref.ok());
+    std::vector<std::vector<Tuple>> expected;
+    for (uint64_t epoch = 0; epoch < 2; ++epoch) {
+      expected.push_back(DrainPerTuple(ref->get(), epoch));
+      ASSERT_FALSE(expected.back().empty());
+    }
+
+    for (size_t batch_tuples : {size_t{1}, size_t{7}, size_t{64}, n}) {
+      auto stream = MakeTupleStream(strategy, &src, opts);
+      ASSERT_TRUE(stream.ok());
+      for (uint64_t epoch = 0; epoch < 2; ++epoch) {
+        const auto got = DrainBatched(stream->get(), epoch, batch_tuples);
+        ASSERT_EQ(got.size(), expected[epoch].size())
+            << (*stream)->name() << " batch=" << batch_tuples
+            << " dense=" << dense;
+        for (size_t i = 0; i < got.size(); ++i) {
+          ASSERT_EQ(got[i], expected[epoch][i])
+              << (*stream)->name() << " batch=" << batch_tuples
+              << " dense=" << dense << " pos=" << i;
+        }
+      }
+    }
+  }
+}
+
+// PerTupleAdapter over the batched interface reproduces Next() exactly.
+TEST_P(BatchEquivalenceTest, PerTupleAdapterMatchesNext) {
+  const ShuffleStrategy strategy = std::get<0>(GetParam());
+  const uint64_t seed = std::get<1>(GetParam());
+  auto tuples = ToyData(300, /*dense=*/true);
+  InMemoryBlockSource src(ToySchema(true), tuples, 31);
+  ShuffleOptions opts;
+  opts.buffer_fraction = 0.15;
+  opts.seed = seed;
+
+  auto ref = MakeTupleStream(strategy, &src, opts);
+  auto wrapped = MakeTupleStream(strategy, &src, opts);
+  ASSERT_TRUE(ref.ok());
+  ASSERT_TRUE(wrapped.ok());
+  PerTupleAdapter adapter(wrapped->get(), /*batch_tuples=*/13);
+  for (uint64_t epoch = 0; epoch < 2; ++epoch) {
+    ASSERT_TRUE(ref.ValueOrDie()->StartEpoch(epoch).ok());
+    ASSERT_TRUE(adapter.StartEpoch(epoch).ok());
+    for (;;) {
+      const Tuple* want = ref.ValueOrDie()->Next();
+      const Tuple* got = adapter.Next();
+      if (want == nullptr) {
+        ASSERT_EQ(got, nullptr);
+        break;
+      }
+      ASSERT_NE(got, nullptr);
+      ASSERT_EQ(*got, *want);
+    }
+    EXPECT_TRUE(adapter.status().ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategiesThreeSeeds, BatchEquivalenceTest,
+    ::testing::Combine(::testing::ValuesIn(kAllStrategies),
+                       ::testing::Values(1u, 42u, 20260805u)),
+    [](const auto& info) {
+      return std::string(ShuffleStrategyToString(std::get<0>(info.param))) +
+             "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+// --- Training bit-identity -----------------------------------------------
+
+Result<TrainResult> TrainToy(ShuffleStrategy strategy, uint64_t seed,
+                             uint32_t exec_batch_tuples, uint32_t batch_size,
+                             OptimizerKind optimizer, BlockSource* src) {
+  ShuffleOptions sopts;
+  sopts.buffer_fraction = 0.1;
+  sopts.seed = seed;
+  auto stream = MakeTupleStream(strategy, src, sopts);
+  if (!stream.ok()) return stream.status();
+  LogisticRegression model(2, /*l2_reg=*/1e-4);
+  TrainerOptions topts;
+  topts.epochs = 3;
+  topts.lr.initial = 0.05;
+  topts.batch_size = batch_size;
+  topts.optimizer = optimizer;
+  topts.exec_batch_tuples = exec_batch_tuples;
+  CORGI_ASSIGN_OR_RETURN(TrainResult result,
+                         Train(&model, stream->get(), topts));
+  return result;
+}
+
+// Epoch losses are compared bit-for-bit (EXPECT_EQ on doubles, not NEAR):
+// the transport batch size must not change a single floating-point op.
+TEST(TrainBatchEquivalenceTest, EpochLossesBitIdenticalAcrossBatchSizes) {
+  auto tuples = ToyData(700, /*dense=*/true);
+  InMemoryBlockSource src(ToySchema(true), tuples, 41);
+  for (ShuffleStrategy strategy :
+       {ShuffleStrategy::kCorgiPile, ShuffleStrategy::kSlidingWindow}) {
+    auto legacy = TrainToy(strategy, 42, /*exec=*/0, /*batch=*/1,
+                           OptimizerKind::kSgd, &src);
+    ASSERT_TRUE(legacy.ok());
+    for (uint32_t exec : {1u, 7u, 256u}) {
+      auto batched = TrainToy(strategy, 42, exec, /*batch=*/1,
+                              OptimizerKind::kSgd, &src);
+      ASSERT_TRUE(batched.ok());
+      ASSERT_EQ(batched->epochs.size(), legacy->epochs.size());
+      for (size_t e = 0; e < legacy->epochs.size(); ++e) {
+        EXPECT_EQ(batched->epochs[e].train_loss, legacy->epochs[e].train_loss)
+            << ShuffleStrategyToString(strategy) << " exec=" << exec
+            << " epoch=" << e;
+        EXPECT_EQ(batched->epochs[e].tuples_seen,
+                  legacy->epochs[e].tuples_seen);
+      }
+    }
+  }
+}
+
+// The mini-batch optimizer path: flush cadence must survive re-chunking
+// across transport batch boundaries (incl. batch_size not dividing the
+// transport size).
+TEST(TrainBatchEquivalenceTest, MiniBatchAdamBitIdentical) {
+  auto tuples = ToyData(500, /*dense=*/true);
+  InMemoryBlockSource src(ToySchema(true), tuples, 41);
+  auto legacy = TrainToy(ShuffleStrategy::kCorgiPile, 7, /*exec=*/0,
+                         /*batch=*/32, OptimizerKind::kAdam, &src);
+  ASSERT_TRUE(legacy.ok());
+  for (uint32_t exec : {24u, 256u}) {
+    auto batched = TrainToy(ShuffleStrategy::kCorgiPile, 7, exec,
+                            /*batch=*/32, OptimizerKind::kAdam, &src);
+    ASSERT_TRUE(batched.ok());
+    for (size_t e = 0; e < legacy->epochs.size(); ++e) {
+      EXPECT_EQ(batched->epochs[e].train_loss, legacy->epochs[e].train_loss)
+          << "exec=" << exec << " epoch=" << e;
+    }
+  }
+}
+
+// Final model parameters must also be bit-identical, and sparse data must
+// go through the sparse arena spans.
+TEST(TrainBatchEquivalenceTest, FinalParamsBitIdenticalSparse) {
+  auto tuples = ToyData(400, /*dense=*/false);
+  InMemoryBlockSource src(ToySchema(false), tuples, 29);
+  std::vector<std::vector<double>> params;
+  for (uint32_t exec : {0u, 1u, 64u}) {
+    ShuffleOptions sopts;
+    sopts.buffer_fraction = 0.1;
+    sopts.seed = 13;
+    auto stream = MakeTupleStream(ShuffleStrategy::kCorgiPile, &src, sopts);
+    ASSERT_TRUE(stream.ok());
+    LogisticRegression model(8, /*l2_reg=*/1e-3);
+    TrainerOptions topts;
+    topts.epochs = 3;
+    topts.lr.initial = 0.05;
+    topts.exec_batch_tuples = exec;
+    ASSERT_TRUE(Train(&model, stream->get(), topts).ok());
+    params.push_back(model.params());
+  }
+  EXPECT_EQ(params[1], params[0]);
+  EXPECT_EQ(params[2], params[0]);
+}
+
+// Quarantine accounting: the batched path must count the same quarantined
+// blocks and skipped tuples — and produce the same losses on the surviving
+// data — as the per-tuple path.
+TEST(TrainBatchEquivalenceTest, QuarantineCountsMatch) {
+  auto spec = CatalogLookup("susy", 0.05);
+  Dataset ds = GenerateDataset(*spec, DataOrder::kClustered);
+  auto table = MaterializeTrainTable(
+      ds, testing::TempDir() + "batch_equiv_quarantine.tbl", 2048);
+  ASSERT_TRUE(table.ok());
+  FaultConfig cfg;
+  cfg.seed = 1234;
+  cfg.bit_flip_rate = 0.01;
+  FaultInjector inj(cfg);
+  (*table)->SetFaultInjection(&inj);
+  TableBlockSource source(table->get(), 4 * 2048);
+
+  auto run = [&](uint32_t exec) -> Result<TrainResult> {
+    ShuffleOptions sopts;
+    sopts.buffer_fraction = 0.1;
+    sopts.tolerance.quarantine_corrupt_blocks = true;
+    sopts.tolerance.max_bad_block_fraction = 0.10;
+    auto stream =
+        MakeTupleStream(ShuffleStrategy::kCorgiPile, &source, sopts);
+    if (!stream.ok()) return stream.status();
+    LogisticRegression model(ds.spec.dim);
+    TrainerOptions topts;
+    topts.epochs = 3;
+    topts.lr.initial = 0.005;
+    topts.exec_batch_tuples = exec;
+    return Train(&model, stream->get(), topts);
+  };
+
+  auto legacy = run(0);
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+  ASSERT_GE(legacy->total_quarantined_blocks, 1u);
+  auto batched = run(128);
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+  EXPECT_EQ(batched->total_quarantined_blocks,
+            legacy->total_quarantined_blocks);
+  EXPECT_EQ(batched->total_skipped_tuples, legacy->total_skipped_tuples);
+  ASSERT_EQ(batched->epochs.size(), legacy->epochs.size());
+  for (size_t e = 0; e < legacy->epochs.size(); ++e) {
+    EXPECT_EQ(batched->epochs[e].quarantined_blocks,
+              legacy->epochs[e].quarantined_blocks);
+    EXPECT_EQ(batched->epochs[e].skipped_tuples,
+              legacy->epochs[e].skipped_tuples);
+    EXPECT_EQ(batched->epochs[e].train_loss, legacy->epochs[e].train_loss);
+  }
+}
+
+// The db operator pipeline (BlockShuffle → TupleShuffle → SgdOp): batched
+// transport through the operators is bit-identical to per-tuple pulls,
+// including through the index-permutation staging shuffle.
+TEST(SgdOpBatchEquivalenceTest, PipelineBitIdentical) {
+  auto spec = CatalogLookup("susy", 0.05);
+  Dataset ds = GenerateDataset(*spec, DataOrder::kClustered);
+  auto table = MaterializeTrainTable(
+      ds, testing::TempDir() + "batch_equiv_sgdop.tbl", 2048);
+  ASSERT_TRUE(table.ok());
+
+  auto run = [&](uint32_t exec, bool double_buffer,
+                 std::vector<double>* params_out) {
+    BlockShuffleOp::Options bopts;
+    bopts.block_size_bytes = 8 * 2048;
+    BlockShuffleOp block_op(table->get(), bopts);
+    TupleShuffleOp::Options topts;
+    topts.buffer_tuples = ds.train->size() / 10;
+    topts.double_buffer = double_buffer;
+    TupleShuffleOp tuple_op(&block_op, topts);
+    LogisticRegression model(ds.spec.dim);
+    SgdOp::Options sopts;
+    sopts.max_epochs = 4;
+    sopts.lr.initial = 0.005;
+    sopts.exec_batch_tuples = exec;
+    SgdOp sgd(&model, &tuple_op, sopts);
+    EXPECT_TRUE(sgd.Init().ok());
+    auto logs = sgd.RunToCompletion();
+    EXPECT_TRUE(logs.ok());
+    sgd.Close();
+    *params_out = model.params();
+    return logs.ok() ? *logs : std::vector<EpochLog>{};
+  };
+
+  std::vector<double> legacy_params;
+  const auto legacy = run(0, /*double_buffer=*/false, &legacy_params);
+  ASSERT_EQ(legacy.size(), 4u);
+  for (uint32_t exec : {1u, 64u}) {
+    for (bool dbuf : {false, true}) {
+      std::vector<double> params;
+      const auto got = run(exec, dbuf, &params);
+      ASSERT_EQ(got.size(), legacy.size());
+      for (size_t e = 0; e < legacy.size(); ++e) {
+        EXPECT_EQ(got[e].train_loss, legacy[e].train_loss)
+            << "exec=" << exec << " dbuf=" << dbuf << " epoch=" << e;
+        EXPECT_EQ(got[e].tuples_seen, legacy[e].tuples_seen);
+      }
+      EXPECT_EQ(params, legacy_params) << "exec=" << exec << " dbuf=" << dbuf;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace corgipile
