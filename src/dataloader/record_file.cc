@@ -214,40 +214,50 @@ Result<std::unique_ptr<RecordFileBlockSource>> RecordFileBlockSource::Open(
 
 void RecordFileBlockSource::SetIoAccounting(DeviceProfile device,
                                             SimClock* clock, IoStats* stats) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   device_ = std::move(device);
   clock_ = clock;
   stats_ = stats;
 }
 
 void RecordFileBlockSource::SetFaultInjection(FaultInjector* injector) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   fault_ = injector;
 }
 
 void RecordFileBlockSource::SetRetryPolicy(RetryPolicy policy) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   retry_ = policy;
 }
 
 Status RecordFileBlockSource::ReadRawWithRetry(uint64_t offset, uint8_t* buf,
                                                size_t len) {
+  // One locked snapshot for the whole retry loop: a concurrent
+  // SetFaultInjection/SetRetryPolicy cannot change the rules (or dangle
+  // the injector) between attempts of a single logical read.
+  FaultInjector* fault = nullptr;
+  RetryPolicy retry;
+  {
+    MutexLock lock(mu_);
+    fault = fault_;
+    retry = retry_;
+  }
   Status st = Status::OK();
-  for (uint32_t attempt = 0; attempt <= retry_.max_retries; ++attempt) {
+  for (uint32_t attempt = 0; attempt <= retry.max_retries; ++attempt) {
     if (attempt > 0) {
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (clock_ != nullptr) {
           clock_->Advance(TimeCategory::kRetryBackoff,
-                          retry_.BackoffSeconds(attempt - 1));
+                          retry.BackoffSeconds(attempt - 1));
         }
       }
-      if (fault_ != nullptr) {
-        fault_->stats().retries.fetch_add(1, std::memory_order_relaxed);
+      if (fault != nullptr) {
+        fault->stats().retries.fetch_add(1, std::memory_order_relaxed);
       }
     }
     st = Status::OK();
-    if (fault_ != nullptr) st = fault_->OnReadAttempt(tag_, offset);
+    if (fault != nullptr) st = fault->OnReadAttempt(tag_, offset);
     if (st.ok()) {
       const ssize_t n = ::pread(fd_, buf, len, static_cast<off_t>(offset));
       if (n != static_cast<ssize_t>(len)) {
@@ -255,28 +265,28 @@ Status RecordFileBlockSource::ReadRawWithRetry(uint64_t offset, uint8_t* buf,
       }
     }
     if (st.ok()) {
-      if (fault_ != nullptr) {
-        fault_->MaybeCorrupt(tag_, offset, buf, len);
-        const double spike = fault_->ReadLatencySpikeSeconds(tag_, offset);
+      if (fault != nullptr) {
+        fault->MaybeCorrupt(tag_, offset, buf, len);
+        const double spike = fault->ReadLatencySpikeSeconds(tag_, offset);
         if (spike > 0) {
-          std::lock_guard<std::mutex> lock(mu_);
+          MutexLock lock(mu_);
           if (clock_ != nullptr) {
             clock_->Advance(TimeCategory::kIoRead, spike);
           }
         }
       }
-      if (attempt > 0 && fault_ != nullptr) {
-        fault_->stats().recovered.fetch_add(1, std::memory_order_relaxed);
+      if (attempt > 0 && fault != nullptr) {
+        fault->stats().recovered.fetch_add(1, std::memory_order_relaxed);
       }
       return Status::OK();
     }
     if (st.code() != StatusCode::kIoError) return st;  // not retryable
   }
-  if (fault_ != nullptr) {
-    fault_->stats().permanent_failures.fetch_add(1, std::memory_order_relaxed);
+  if (fault != nullptr) {
+    fault->stats().permanent_failures.fetch_add(1, std::memory_order_relaxed);
   }
   return Status::IoError("read failed after " +
-                         std::to_string(retry_.max_retries) + " retries: " +
+                         std::to_string(retry.max_retries) + " retries: " +
                          st.message());
 }
 
@@ -289,7 +299,7 @@ Status RecordFileBlockSource::ReadBlock(uint32_t block,
   std::vector<uint8_t> buf(entry.bytes);
   CORGI_RETURN_NOT_OK(ReadRawWithRetry(entry.offset, buf.data(), buf.size()));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const bool sequential = last_end_offset_ == entry.offset;
     if (clock_ != nullptr) {
       clock_->Advance(TimeCategory::kIoRead,

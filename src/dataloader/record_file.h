@@ -18,7 +18,6 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -26,6 +25,7 @@
 #include "iosim/fault_injector.h"
 #include "iosim/sim_clock.h"
 #include "storage/block_source.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace corgipile {
@@ -115,7 +115,10 @@ class RecordFileBlockSource : public BlockSource {
     return index_.blocks[block].num_tuples;
   }
   Status ReadBlock(uint32_t block, std::vector<Tuple>* out) override;
-  void Reset() override { last_end_offset_ = UINT64_MAX; }
+  void Reset() override {
+    MutexLock lock(mu_);
+    last_end_offset_ = UINT64_MAX;
+  }
 
  private:
   RecordFileBlockSource(int fd, RecordBlockIndex index, Schema schema,
@@ -127,13 +130,13 @@ class RecordFileBlockSource : public BlockSource {
   RecordBlockIndex index_;
   Schema schema_;
   uint64_t tag_;
-  DeviceProfile device_ = DeviceProfile::Memory();
-  SimClock* clock_ = nullptr;
-  IoStats* stats_ = nullptr;
-  FaultInjector* fault_ = nullptr;
-  RetryPolicy retry_;
-  uint64_t last_end_offset_ = UINT64_MAX;
-  std::mutex mu_;
+  Mutex mu_;
+  DeviceProfile device_ CORGI_GUARDED_BY(mu_) = DeviceProfile::Memory();
+  SimClock* clock_ CORGI_GUARDED_BY(mu_) = nullptr;
+  IoStats* stats_ CORGI_GUARDED_BY(mu_) = nullptr;
+  FaultInjector* fault_ CORGI_GUARDED_BY(mu_) = nullptr;
+  RetryPolicy retry_ CORGI_GUARDED_BY(mu_);
+  uint64_t last_end_offset_ CORGI_GUARDED_BY(mu_) = UINT64_MAX;
 };
 
 /// Convenience: writes `tuples` as a record file + index at

@@ -373,7 +373,7 @@ Result<InDbPredictResult> Database::Predict(const PredictStatement& stmt) {
   // serialized across sessions; the engine work below runs unlocked.
   std::vector<Tuple> tuples;
   {
-    std::lock_guard<std::mutex> lock(scan_mu_);
+    MutexLock lock(scan_mu_);
     table->ResetReadCursor();
     CORGI_RETURN_NOT_OK(table->Scan([&](const Tuple& t) {
       tuples.push_back(t);
@@ -422,7 +422,7 @@ Result<BinaryReport> Database::EvaluateModel(const EvaluateStatement& stmt) {
   std::vector<Tuple> all;
   Table* table = it->second.table.get();
   {
-    std::lock_guard<std::mutex> lock(scan_mu_);
+    MutexLock lock(scan_mu_);
     table->ResetReadCursor();
     CORGI_RETURN_NOT_OK(table->Scan([&](const Tuple& t) {
       all.push_back(t);

@@ -9,7 +9,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "db/model_store.h"
@@ -22,6 +21,7 @@
 #include "serve/inference_engine.h"
 #include "serve/serve_stats.h"
 #include "storage/table.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace corgipile {
@@ -120,8 +120,10 @@ class Database {
   std::string data_dir_;
   DeviceProfile device_;
   /// Serializes heap-file scans (shared read cursor) across the concurrent
-  /// PREDICT sessions the serving path allows.
-  mutable std::mutex scan_mu_;
+  /// PREDICT sessions the serving path allows. Guards the tables' read
+  /// cursors (external state), not a member field — so no GUARDED_BY; the
+  /// capability still makes lock/unlock balance machine-checked.
+  mutable Mutex scan_mu_;
   FaultInjector* fault_ = nullptr;
   std::unique_ptr<BufferManager> buffer_pool_;
   SimClock clock_;

@@ -3,7 +3,7 @@
 namespace corgipile {
 
 std::string ModelStore::Put(std::unique_ptr<Model> model) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string id =
       std::string(model->name()) + "_" + std::to_string(next_id_++);
   models_[id] = Entry{std::shared_ptr<const Model>(std::move(model)), 1};
@@ -12,14 +12,14 @@ std::string ModelStore::Put(std::unique_ptr<Model> model) {
 
 Result<std::shared_ptr<const Model>> ModelStore::Get(
     const std::string& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = models_.find(id);
   if (it == models_.end()) return Status::NotFound("no model '" + id + "'");
   return it->second.model;
 }
 
 Result<ModelSnapshot> ModelStore::GetSnapshot(const std::string& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = models_.find(id);
   if (it == models_.end()) return Status::NotFound("no model '" + id + "'");
   return ModelSnapshot{it->second.model, it->second.version};
@@ -27,7 +27,7 @@ Result<ModelSnapshot> ModelStore::GetSnapshot(const std::string& id) const {
 
 Result<uint64_t> ModelStore::Publish(const std::string& id,
                                      std::unique_ptr<Model> model) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = models_.find(id);
   if (it == models_.end()) {
     models_[id] = Entry{std::shared_ptr<const Model>(std::move(model)), 1};
@@ -38,14 +38,14 @@ Result<uint64_t> ModelStore::Publish(const std::string& id,
 }
 
 Result<uint64_t> ModelStore::GetVersion(const std::string& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = models_.find(id);
   if (it == models_.end()) return Status::NotFound("no model '" + id + "'");
   return it->second.version;
 }
 
 Status ModelStore::Remove(const std::string& id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (models_.erase(id) == 0) {
     return Status::NotFound("no model '" + id + "'");
   }
@@ -53,12 +53,12 @@ Status ModelStore::Remove(const std::string& id) {
 }
 
 size_t ModelStore::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return models_.size();
 }
 
 std::vector<std::string> ModelStore::Ids() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> ids;
   ids.reserve(models_.size());
   for (const auto& [id, _] : models_) ids.push_back(id);

@@ -14,11 +14,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "ml/model.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace corgipile {
@@ -64,9 +64,9 @@ class ModelStore {
     uint64_t version = 1;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> models_;
-  uint64_t next_id_ = 0;
+  mutable Mutex mu_;
+  std::map<std::string, Entry> models_ CORGI_GUARDED_BY(mu_);
+  uint64_t next_id_ CORGI_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace corgipile

@@ -38,7 +38,7 @@ std::optional<TupleShuffleOp::Batch> TupleShuffleOp::FillBatch() {
     // error, if any, exactly where the per-tuple loop did.
     Status st = child_->status();
     if (!st.ok()) {
-      std::lock_guard<std::mutex> lock(status_mu_);
+      MutexLock lock(status_mu_);
       status_ = st;
     }
   }
@@ -104,7 +104,7 @@ bool TupleShuffleOp::AdvanceBatch() {
     if (!popped.ok()) {
       // Producer failed (or the channel was cancelled): surface through
       // status() like the single-buffered path does.
-      std::lock_guard<std::mutex> lock(status_mu_);
+      MutexLock lock(status_mu_);
       if (status_.ok()) status_ = popped.status();
       return false;
     }
@@ -121,28 +121,26 @@ bool TupleShuffleOp::AdvanceBatch() {
 }
 
 const Tuple* TupleShuffleOp::Next() {
-  const auto now = std::chrono::steady_clock::now();
-  if (last_emit_.has_value() && have_batch_) {
-    consume_acc_ += std::chrono::duration<double>(now - *last_emit_).count();
+  if (consume_timer_.has_value() && have_batch_) {
+    consume_acc_ += consume_timer_->ElapsedSeconds();
   }
   if (!have_batch_ || pos_ >= current_.tuples.size()) {
     if (!AdvanceBatch()) {
-      last_emit_.reset();
+      consume_timer_.reset();
       return nullptr;
     }
   }
   const size_t row = current_.perm.empty() ? pos_ : current_.perm[pos_];
   current_.tuples.MaterializeTo(row, &scratch_);
   ++pos_;
-  last_emit_ = std::chrono::steady_clock::now();
+  consume_timer_.emplace();
   return &scratch_;
 }
 
 bool TupleShuffleOp::NextBatch(TupleBatch* out) {
   out->Clear();
-  const auto now = std::chrono::steady_clock::now();
-  if (last_emit_.has_value() && have_batch_) {
-    consume_acc_ += std::chrono::duration<double>(now - *last_emit_).count();
+  if (consume_timer_.has_value() && have_batch_) {
+    consume_acc_ += consume_timer_->ElapsedSeconds();
   }
   while (!out->full()) {
     if (!have_batch_ || pos_ >= current_.tuples.size()) {
@@ -158,10 +156,10 @@ bool TupleShuffleOp::NextBatch(TupleBatch* out) {
     pos_ += take;
   }
   if (out->empty()) {
-    last_emit_.reset();
+    consume_timer_.reset();
     return false;
   }
-  last_emit_ = std::chrono::steady_clock::now();
+  consume_timer_.emplace();
   return true;
 }
 
@@ -173,12 +171,12 @@ Status TupleShuffleOp::ReScan() {
     have_batch_ = false;
   }
   consume_acc_ = 0.0;
-  last_emit_.reset();
+  consume_timer_.reset();
   current_ = Batch{};
   pos_ = 0;
   CORGI_RETURN_NOT_OK(child_->ReScan());
   {
-    std::lock_guard<std::mutex> lock(status_mu_);
+    MutexLock lock(status_mu_);
     status_ = Status::OK();
   }
   if (options_.double_buffer) StartProducer();
@@ -193,7 +191,7 @@ void TupleShuffleOp::Close() {
 }
 
 Status TupleShuffleOp::status() const {
-  std::lock_guard<std::mutex> lock(status_mu_);
+  MutexLock lock(status_mu_);
   return status_;
 }
 

@@ -31,13 +31,16 @@
 // (simulated I/O + decompression read through the child, plus real
 // fill/shuffle CPU) and the consume cost (real time the consumer spent
 // between Next() calls). Benches derive single- and double-buffered epoch
-// durations from the same run.
+// durations from the same run. The timeline is a *benchmarking* artifact —
+// it never feeds back into shuffling, RNG draws, or training results, so
+// seeded reruns stay bit-identical. All real-time measurement goes through
+// WallTimer (util/timer.h, the one allowlisted wall-clock site of the
+// determinism linter); no raw clock primitives appear in db code.
 
 #pragma once
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -45,7 +48,9 @@
 #include "db/operator.h"
 #include "iosim/sim_clock.h"
 #include "util/channel.h"
+#include "util/mutex.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 namespace corgipile {
 
@@ -125,7 +130,10 @@ class TupleShuffleOp : public PhysicalOperator {
   Tuple scratch_;   // materialization target for the per-tuple Next()
   bool have_batch_ = false;
   double consume_acc_ = 0.0;
-  std::optional<std::chrono::steady_clock::time_point> last_emit_;
+  /// Restarted at every emission; its elapsed time on the next call is the
+  /// consumer's real compute between pulls (the timeline's consume cost).
+  /// Empty between epochs / before the first emission.
+  std::optional<WallTimer> consume_timer_;
 
   // Double-buffer machinery: one buffer ahead via a capacity-1 channel.
   std::thread producer_;
@@ -133,8 +141,8 @@ class TupleShuffleOp : public PhysicalOperator {
 
   PipelineTimeline timeline_;
   std::atomic<uint64_t> peak_buffer_{0};
-  Status status_;
-  mutable std::mutex status_mu_;
+  mutable Mutex status_mu_;
+  Status status_ CORGI_GUARDED_BY(status_mu_);
 };
 
 }  // namespace corgipile

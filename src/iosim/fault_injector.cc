@@ -80,7 +80,7 @@ Status FaultInjector::OnReadAttempt(uint64_t tag, uint64_t offset) {
     const uint32_t budget =
         1 + static_cast<uint32_t>(
                 site % std::max<uint32_t>(1, config_.max_transient_failures));
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = transient_remaining_.emplace(site, budget).first;
     if (it->second > 0) {
       --it->second;

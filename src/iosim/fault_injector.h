@@ -28,10 +28,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace corgipile {
@@ -132,9 +132,12 @@ class FaultInjector {
   FaultConfig config_;
   FaultStats stats_;
 
-  std::mutex mu_;
+  Mutex mu_;
   /// Remaining consecutive failures per transient site (keyed by site hash).
-  std::unordered_map<uint64_t, uint32_t> transient_remaining_;
+  /// Lookup-only map: never iterated, so its nondeterministic bucket order
+  /// cannot leak into results (the determinism linter checks iteration).
+  std::unordered_map<uint64_t, uint32_t> transient_remaining_
+      CORGI_GUARDED_BY(mu_);
 };
 
 }  // namespace corgipile

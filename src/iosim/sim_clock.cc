@@ -23,29 +23,29 @@ const char* TimeCategoryToString(TimeCategory c) {
 }
 
 void SimClock::Advance(TimeCategory category, double seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   elapsed_[static_cast<size_t>(category)] += seconds;
 }
 
 double SimClock::Elapsed(TimeCategory category) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return elapsed_[static_cast<size_t>(category)];
 }
 
 double SimClock::TotalElapsed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   double t = 0.0;
   for (double x : elapsed_) t += x;
   return t;
 }
 
 void SimClock::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   elapsed_.fill(0.0);
 }
 
 std::string SimClock::ToString() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream os;
   for (size_t i = 0; i < elapsed_.size(); ++i) {
     if (i) os << " ";

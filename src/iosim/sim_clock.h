@@ -8,9 +8,10 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace corgipile {
 
@@ -44,9 +45,9 @@ class SimClock {
   std::string ToString() const;
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::array<double, static_cast<size_t>(TimeCategory::kNumCategories)>
-      elapsed_{};
+      elapsed_ CORGI_GUARDED_BY(mu_){};
 };
 
 /// Computes the duration of a producer/consumer pipeline given per-batch

@@ -42,7 +42,10 @@ InferenceEngine::InferenceEngine(ModelStore* store, ServeOptions options)
       worker_free_s_(std::max<uint32_t>(1, options_.num_workers), 0.0) {}
 
 InferenceEngine::~InferenceEngine() {
-  if (started_ && !drained_) Drain();
+  // Destructor cannot propagate the Status; Drain() here only exists to
+  // fulfill pending promises, and its failure modes (never started /
+  // already drained) are exactly the states the guard excludes.
+  if (started_ && !drained_) (void)Drain();
 }
 
 Status InferenceEngine::Start() {
@@ -77,7 +80,7 @@ Status InferenceEngine::Drain() {
 }
 
 ServeStats InferenceEngine::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return stats_.Finalize();
 }
 
@@ -122,7 +125,7 @@ void InferenceEngine::ProcessArrival(Pending&& p) {
   const double arrival = std::max(p.req.arrival_s, 0.0);
   now_s_ = std::max(now_s_, arrival);
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     stats_.RecordArrival(arrival);
   }
 
@@ -135,7 +138,7 @@ void InferenceEngine::ProcessArrival(Pending&& p) {
 
   if (p.req.token.cancelled()) {
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       stats_.RecordCancelled();
     }
     Fail(std::move(p), p.req.token.status());
@@ -158,7 +161,7 @@ void InferenceEngine::ProcessArrival(Pending&& p) {
   if (options_.max_queue_depth > 0 &&
       occupancy >= options_.max_queue_depth) {
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       stats_.RecordShed();
     }
     Fail(std::move(p),
@@ -190,7 +193,7 @@ void InferenceEngine::CloseOpenBatch(double close_s, bool by_deadline) {
   // even if a Publish() lands before the batch executes.
   auto snapshot = store_->GetSnapshot(open_model_id_);
   if (!snapshot.ok()) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     for (auto& item : items) {
       stats_.RecordFailed();
       Fail(std::move(item), snapshot.status());
@@ -208,14 +211,14 @@ void InferenceEngine::CloseOpenBatch(double close_s, bool by_deadline) {
   run.reserve(items.size());
   for (auto& item : items) {
     if (item.req.token.cancelled()) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       stats_.RecordCancelled();
       Fail(std::move(item), item.req.token.status());
       continue;
     }
     if (item.req.deadline_s > 0.0 &&
         start_s - item.req.arrival_s > item.req.deadline_s) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       stats_.RecordExpired();
       Fail(std::move(item),
            Status::DeadlineExceeded(
@@ -224,7 +227,7 @@ void InferenceEngine::CloseOpenBatch(double close_s, bool by_deadline) {
       continue;
     }
     if (!TupleFits(item.req.tuple, *snapshot->model)) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       stats_.RecordFailed();
       Fail(std::move(item),
            Status::InvalidArgument(
@@ -248,7 +251,7 @@ void InferenceEngine::CloseOpenBatch(double close_s, bool by_deadline) {
     options_.clock->Advance(TimeCategory::kServe, service_s);
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     stats_.RecordBatch(run.size(), by_deadline, service_s);
     for (const Pending& item : run) {
       stats_.RecordCompletion(open_model_id_, snapshot->version,

@@ -53,6 +53,7 @@
 #include "storage/tuple.h"
 #include "util/cancellation.h"
 #include "util/channel.h"
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/threadpool.h"
 
@@ -187,8 +188,8 @@ class InferenceEngine {
   size_t backlog_head_ = 0;  ///< pruned prefix
   uint64_t backlog_count_ = 0;
 
-  mutable std::mutex stats_mu_;
-  ServeStatsBuilder stats_;
+  mutable Mutex stats_mu_;
+  ServeStatsBuilder stats_ CORGI_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace corgipile

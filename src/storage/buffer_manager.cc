@@ -8,7 +8,7 @@ BufferManager::BufferManager(uint64_t capacity_bytes)
 Result<std::shared_ptr<const Page>> BufferManager::Fetch(HeapFile* file,
                                                          uint64_t page_idx) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = index_.find(Key{file, page_idx});
     if (it != index_.end()) {
       ++stats_.hits;
@@ -22,7 +22,7 @@ Result<std::shared_ptr<const Page>> BufferManager::Fetch(HeapFile* file,
   CORGI_RETURN_NOT_OK(file->ReadPage(page_idx, &page));
   auto shared = std::make_shared<const Page>(std::move(page));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Double check: another thread might have inserted meanwhile.
     auto it = index_.find(Key{file, page_idx});
     if (it != index_.end()) return it->second->page;
@@ -36,7 +36,7 @@ Result<std::shared_ptr<const Page>> BufferManager::Fetch(HeapFile* file,
 
 void BufferManager::Insert(const HeapFile* file, uint64_t page_idx,
                            std::shared_ptr<const Page> page) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const Key key{file, page_idx};
   if (index_.count(key)) return;
   EvictIfNeededLocked(page->size());
@@ -46,7 +46,7 @@ void BufferManager::Insert(const HeapFile* file, uint64_t page_idx,
 }
 
 bool BufferManager::Contains(const HeapFile* file, uint64_t page_idx) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return index_.count(Key{file, page_idx}) > 0;
 }
 
@@ -61,7 +61,7 @@ void BufferManager::EvictIfNeededLocked(uint64_t incoming_bytes) {
 }
 
 void BufferManager::Invalidate(const HeapFile* file) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (file == nullptr || it->key.file == file) {
       cached_bytes_ -= it->page->size();
@@ -74,12 +74,12 @@ void BufferManager::Invalidate(const HeapFile* file) {
 }
 
 BufferManager::Stats BufferManager::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 void BufferManager::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_ = Stats{};
 }
 

@@ -7,10 +7,10 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "storage/heapfile.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace corgipile {
@@ -71,14 +71,17 @@ class BufferManager {
     std::shared_ptr<const Page> page;
   };
 
-  void EvictIfNeededLocked(uint64_t incoming_bytes);
+  void EvictIfNeededLocked(uint64_t incoming_bytes) CORGI_REQUIRES(mu_);
 
   const uint64_t capacity_bytes_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
-  uint64_t cached_bytes_ = 0;
-  Stats stats_;
+  mutable Mutex mu_;
+  /// Front = most recently used. Eviction/invalidation walk this ordered
+  /// list, never the unordered index, so the scan order is deterministic.
+  std::list<Entry> lru_ CORGI_GUARDED_BY(mu_);
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_
+      CORGI_GUARDED_BY(mu_);
+  uint64_t cached_bytes_ CORGI_GUARDED_BY(mu_) = 0;
+  Stats stats_ CORGI_GUARDED_BY(mu_);
 };
 
 }  // namespace corgipile

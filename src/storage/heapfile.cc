@@ -55,24 +55,24 @@ Result<std::unique_ptr<HeapFile>> HeapFile::Open(const std::string& path,
 
 void HeapFile::SetIoAccounting(DeviceProfile device, SimClock* clock,
                                IoStats* stats) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   device_ = std::move(device);
   clock_ = clock;
   stats_ = stats;
 }
 
 void HeapFile::SetFaultInjection(FaultInjector* injector) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   fault_ = injector;
 }
 
 void HeapFile::SetRetryPolicy(RetryPolicy policy) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   retry_ = policy;
 }
 
 void HeapFile::ChargeRead(uint64_t first_page, uint64_t num, bool contiguous) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const uint64_t bytes = num * page_size_;
   const bool sequential =
       contiguous && last_read_page_ + 1 == static_cast<int64_t>(first_page);
@@ -93,7 +93,7 @@ void HeapFile::ChargeRead(uint64_t first_page, uint64_t num, bool contiguous) {
 }
 
 void HeapFile::ChargeWrite(uint64_t num) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const uint64_t bytes = num * page_size_;
   if (clock_ != nullptr) {
     clock_->Advance(TimeCategory::kIoWrite, device_.SequentialCost(bytes));
@@ -105,7 +105,7 @@ void HeapFile::ChargeWrite(uint64_t num) {
 }
 
 void HeapFile::ChargeBackoff(double seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (clock_ != nullptr) {
     clock_->Advance(TimeCategory::kRetryBackoff, seconds);
   }
@@ -123,8 +123,13 @@ Status HeapFile::AppendPage(const Page& page) {
 
   const uint64_t byte_off = num_pages_ * page_size_;
   uint64_t persist = page_size_;
-  if (fault_ != nullptr) {
-    persist = fault_->TornWriteBytes(tag_, byte_off, page_size_);
+  FaultInjector* fault = nullptr;
+  {
+    MutexLock lock(mu_);
+    fault = fault_;
+  }
+  if (fault != nullptr) {
+    persist = fault->TornWriteBytes(tag_, byte_off, page_size_);
   }
   std::vector<uint8_t> buf(stamped.bytes());
   if (persist < page_size_) {
@@ -142,24 +147,25 @@ Status HeapFile::AppendPage(const Page& page) {
   return Status::OK();
 }
 
-Status HeapFile::ReadAttempt(uint64_t offset, uint8_t* buf, size_t len) {
-  if (fault_ != nullptr) {
-    Status st = fault_->OnReadAttempt(tag_, offset);
+Status HeapFile::ReadAttempt(FaultInjector* fault, uint64_t offset,
+                             uint8_t* buf, size_t len) {
+  if (fault != nullptr) {
+    Status st = fault->OnReadAttempt(tag_, offset);
     if (!st.ok()) return st;
   }
   ssize_t n = ::pread(fd_, buf, len, static_cast<off_t>(offset));
   if (n != static_cast<ssize_t>(len)) {
     return Status::IoError("pread " + path_ + ": " + std::strerror(errno));
   }
-  if (fault_ != nullptr) {
+  if (fault != nullptr) {
     // Bit flips and latency spikes are per page so each page in a block
     // read fails independently.
     for (size_t p = 0; p < len; p += page_size_) {
       const size_t chunk = std::min<size_t>(page_size_, len - p);
-      fault_->MaybeCorrupt(tag_, offset + p, buf + p, chunk);
-      const double spike = fault_->ReadLatencySpikeSeconds(tag_, offset + p);
+      fault->MaybeCorrupt(tag_, offset + p, buf + p, chunk);
+      const double spike = fault->ReadLatencySpikeSeconds(tag_, offset + p);
       if (spike > 0) {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (clock_ != nullptr) {
           clock_->Advance(TimeCategory::kIoRead, spike);
         }
@@ -170,28 +176,38 @@ Status HeapFile::ReadAttempt(uint64_t offset, uint8_t* buf, size_t len) {
 }
 
 Status HeapFile::ReadWithRetry(uint64_t offset, uint8_t* buf, size_t len) {
+  // One locked snapshot for the whole retry loop: a concurrent
+  // SetFaultInjection/SetRetryPolicy cannot change the rules (or dangle
+  // the injector) between attempts of a single logical read.
+  FaultInjector* fault = nullptr;
+  RetryPolicy retry;
+  {
+    MutexLock lock(mu_);
+    fault = fault_;
+    retry = retry_;
+  }
   Status st = Status::OK();
-  for (uint32_t attempt = 0; attempt <= retry_.max_retries; ++attempt) {
+  for (uint32_t attempt = 0; attempt <= retry.max_retries; ++attempt) {
     if (attempt > 0) {
-      ChargeBackoff(retry_.BackoffSeconds(attempt - 1));
-      if (fault_ != nullptr) {
-        fault_->stats().retries.fetch_add(1, std::memory_order_relaxed);
+      ChargeBackoff(retry.BackoffSeconds(attempt - 1));
+      if (fault != nullptr) {
+        fault->stats().retries.fetch_add(1, std::memory_order_relaxed);
       }
     }
-    st = ReadAttempt(offset, buf, len);
+    st = ReadAttempt(fault, offset, buf, len);
     if (st.ok()) {
-      if (attempt > 0 && fault_ != nullptr) {
-        fault_->stats().recovered.fetch_add(1, std::memory_order_relaxed);
+      if (attempt > 0 && fault != nullptr) {
+        fault->stats().recovered.fetch_add(1, std::memory_order_relaxed);
       }
       return st;
     }
     if (st.code() != StatusCode::kIoError) return st;  // not retryable
   }
-  if (fault_ != nullptr) {
-    fault_->stats().permanent_failures.fetch_add(1, std::memory_order_relaxed);
+  if (fault != nullptr) {
+    fault->stats().permanent_failures.fetch_add(1, std::memory_order_relaxed);
   }
   return Status::IoError("read failed after " +
-                         std::to_string(retry_.max_retries) + " retries: " +
+                         std::to_string(retry.max_retries) + " retries: " +
                          st.message());
 }
 
@@ -248,7 +264,7 @@ Status HeapFile::ReadPages(uint64_t first, uint64_t count,
 }
 
 void HeapFile::ResetReadCursor() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   last_read_page_ = -2;
 }
 

@@ -17,7 +17,6 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -25,6 +24,7 @@
 #include "iosim/fault_injector.h"
 #include "iosim/sim_clock.h"
 #include "storage/page.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace corgipile {
@@ -96,10 +96,14 @@ class HeapFile {
 
   /// One physical read attempt of [offset, offset+len) into buf, with
   /// injected faults applied. Returns kIoError on (real or injected)
-  /// failure; bit flips and latency spikes are applied silently.
-  Status ReadAttempt(uint64_t offset, uint8_t* buf, size_t len);
+  /// failure; bit flips and latency spikes are applied silently. `fault`
+  /// is the caller's locked snapshot of fault_ (see ReadWithRetry).
+  Status ReadAttempt(FaultInjector* fault, uint64_t offset, uint8_t* buf,
+                     size_t len);
 
   /// ReadAttempt wrapped in the bounded exponential-backoff retry loop.
+  /// Snapshots fault_/retry_ under mu_ once at entry so a concurrent
+  /// Set* cannot race the loop.
   Status ReadWithRetry(uint64_t offset, uint8_t* buf, size_t len);
 
   /// Checksum + structural verification of a page read from `page_idx`.
@@ -111,13 +115,13 @@ class HeapFile {
   uint64_t num_pages_;
   uint64_t tag_;  // FaultInjector site tag derived from path_
 
-  std::mutex mu_;
-  DeviceProfile device_ = DeviceProfile::Memory();
-  SimClock* clock_ = nullptr;
-  IoStats* stats_ = nullptr;
-  FaultInjector* fault_ = nullptr;
-  RetryPolicy retry_;
-  int64_t last_read_page_ = -2;  // -2: nothing read yet
+  Mutex mu_;
+  DeviceProfile device_ CORGI_GUARDED_BY(mu_) = DeviceProfile::Memory();
+  SimClock* clock_ CORGI_GUARDED_BY(mu_) = nullptr;
+  IoStats* stats_ CORGI_GUARDED_BY(mu_) = nullptr;
+  FaultInjector* fault_ CORGI_GUARDED_BY(mu_) = nullptr;
+  RetryPolicy retry_ CORGI_GUARDED_BY(mu_);
+  int64_t last_read_page_ CORGI_GUARDED_BY(mu_) = -2;  // -2: nothing read yet
 };
 
 }  // namespace corgipile

@@ -17,10 +17,10 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "iosim/sim_clock.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace corgipile {
@@ -36,7 +36,7 @@ class CancellationToken {
   /// calls (any thread) are no-ops.
   void Cancel(Status reason) {
     if (reason.ok()) reason = Status::Cancelled("cancelled");
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(state_->mu);
     if (state_->cancelled.load(std::memory_order_relaxed)) return;
     state_->reason = std::move(reason);
     state_->cancelled.store(true, std::memory_order_release);
@@ -51,15 +51,15 @@ class CancellationToken {
   /// OK while alive; the Cancel() reason afterwards.
   Status status() const {
     if (!cancelled()) return Status::OK();
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(state_->mu);
     return state_->reason;
   }
 
  private:
   struct State {
     std::atomic<bool> cancelled{false};
-    mutable std::mutex mu;  ///< guards `reason`
-    Status reason;
+    mutable Mutex mu;
+    Status reason CORGI_GUARDED_BY(mu);
   };
   std::shared_ptr<State> state_;
 };

@@ -16,17 +16,19 @@
 //    without deadlock.
 //
 // Thread-safety: all methods are safe to call from any thread; internally
-// one mutex plus two condition variables (space / items). Items are moved
-// in and out, never copied.
+// one annotated Mutex plus two condition variables (space / items), with
+// every piece of queue state GUARDED_BY(mu_) so -Wthread-safety verifies
+// the lock discipline at compile time (DESIGN.md §10). Wait loops are
+// written as explicit `while (...) cv.Wait(mu_)` so the analysis sees the
+// guarded reads under the lock. Items are moved in and out, never copied.
 
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
 
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace corgipile {
@@ -44,15 +46,15 @@ class Channel {
   /// enqueued; the cancel reason if the channel was cancelled; kInternal
   /// if pushed after Close() (a producer protocol bug).
   Status Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    space_cv_.wait(lock, [this] {
-      return cancelled_ || closed_ || queue_.size() < capacity_;
-    });
+    MutexLock lock(mu_);
+    while (!cancelled_ && !closed_ && queue_.size() >= capacity_) {
+      space_cv_.Wait(mu_);
+    }
     if (cancelled_) return final_;
     if (closed_) return Status::Internal("Push on closed channel");
     queue_.push_back(std::move(item));
-    lock.unlock();
-    items_cv_.notify_one();
+    lock.Unlock();
+    items_cv_.NotifyOne();
     return Status::OK();
   }
 
@@ -61,13 +63,13 @@ class Channel {
   /// cancel reason if cancelled; kInternal after Close(). The false return
   /// is how an admission-controlled producer load-sheds instead of waiting.
   Result<bool> TryPush(T& item) {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (cancelled_) return final_;
     if (closed_) return Status::Internal("TryPush on closed channel");
     if (queue_.size() >= capacity_) return false;
     queue_.push_back(std::move(item));
-    lock.unlock();
-    items_cv_.notify_one();
+    lock.Unlock();
+    items_cv_.NotifyOne();
     return true;
   }
 
@@ -78,7 +80,7 @@ class Channel {
   /// "empty for now" from "clean end of stream" — callers that need the
   /// distinction should consult closed().
   Result<bool> TryPop(T* out) {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (queue_.empty()) {
       if (cancelled_) return final_;
       if (closed_ && !final_.ok()) return final_;
@@ -86,8 +88,8 @@ class Channel {
     }
     *out = std::move(queue_.front());
     queue_.pop_front();
-    lock.unlock();
-    space_cv_.notify_one();
+    lock.Unlock();
+    space_cv_.NotifyOne();
     return true;
   }
 
@@ -96,10 +98,10 @@ class Channel {
   /// Lets a producer defer building an expensive item until there is room
   /// for it, keeping at most `capacity` + the in-flight item alive.
   Status WaitWritable() {
-    std::unique_lock<std::mutex> lock(mu_);
-    space_cv_.wait(lock, [this] {
-      return cancelled_ || closed_ || queue_.size() < capacity_;
-    });
+    MutexLock lock(mu_);
+    while (!cancelled_ && !closed_ && queue_.size() >= capacity_) {
+      space_cv_.Wait(mu_);
+    }
     if (cancelled_) return final_;
     if (closed_) return Status::Internal("WaitWritable on closed channel");
     return Status::OK();
@@ -110,13 +112,13 @@ class Channel {
   /// items are drained. Idempotent; the first close wins.
   void Close(Status final = Status::OK()) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (closed_ || cancelled_) return;
       closed_ = true;
       final_ = std::move(final);
     }
-    items_cv_.notify_all();
-    space_cv_.notify_all();
+    items_cv_.NotifyAll();
+    space_cv_.NotifyAll();
   }
 
   /// Either side aborts the stream: buffered items are dropped and every
@@ -125,14 +127,14 @@ class Channel {
   void Cancel(Status reason) {
     if (reason.ok()) reason = Status::Cancelled("channel cancelled");
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (cancelled_) return;
       cancelled_ = true;
       final_ = std::move(reason);
       queue_.clear();
     }
-    items_cv_.notify_all();
-    space_cv_.notify_all();
+    items_cv_.NotifyAll();
+    space_cv_.NotifyAll();
   }
 
   /// Blocks while the channel is open and empty. Returns true with *out
@@ -140,10 +142,10 @@ class Channel {
   /// drained); the failure Status when the channel was cancelled or closed
   /// with an error (after draining buffered items).
   Result<bool> Pop(T* out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    items_cv_.wait(lock, [this] {
-      return cancelled_ || closed_ || !queue_.empty();
-    });
+    MutexLock lock(mu_);
+    while (!cancelled_ && !closed_ && queue_.empty()) {
+      items_cv_.Wait(mu_);
+    }
     if (cancelled_) return final_;
     if (queue_.empty()) {
       // closed_ and drained: clean end or the producer's error.
@@ -152,37 +154,38 @@ class Channel {
     }
     *out = std::move(queue_.front());
     queue_.pop_front();
-    lock.unlock();
-    space_cv_.notify_one();
+    lock.Unlock();
+    space_cv_.NotifyOne();
     return true;
   }
 
   /// Terminal status: OK while open or cleanly closed, otherwise the
   /// Close(error) / Cancel reason.
   Status status() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return final_;
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return queue_.size();
   }
   size_t capacity() const { return capacity_; }
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return closed_ || cancelled_;
   }
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable items_cv_;  ///< waiters in Pop
-  std::condition_variable space_cv_;  ///< waiters in Push/WaitWritable
-  std::deque<T> queue_;
-  bool closed_ = false;
-  bool cancelled_ = false;
-  Status final_;  ///< reason once closed_/cancelled_; OK for clean close
+  mutable Mutex mu_;
+  CondVar items_cv_;  ///< waiters in Pop
+  CondVar space_cv_;  ///< waiters in Push/WaitWritable
+  std::deque<T> queue_ CORGI_GUARDED_BY(mu_);
+  bool closed_ CORGI_GUARDED_BY(mu_) = false;
+  bool cancelled_ CORGI_GUARDED_BY(mu_) = false;
+  /// Reason once closed_/cancelled_; OK for clean close.
+  Status final_ CORGI_GUARDED_BY(mu_);
 };
 
 }  // namespace corgipile

@@ -1,0 +1,108 @@
+// Annotated mutex / scoped-lock / condition-variable wrappers
+// (DESIGN.md §10).
+//
+// Thin shims over std::mutex and std::condition_variable that carry the
+// clang Thread Safety Analysis capability attributes, so GUARDED_BY fields
+// and REQUIRES contracts are enforceable at compile time. All concurrent
+// code in src/ uses these instead of the raw std:: types; the raw types
+// would be invisible to the analysis.
+//
+// Idioms:
+//  * `Mutex mu_;` + `T field_ CORGI_GUARDED_BY(mu_);`
+//  * `MutexLock lock(mu_);` for scopes; `lock.Unlock()` for the
+//    unlock-before-notify pattern (the destructor then no-ops).
+//  * Condition waits are explicit loops so the analysis sees the guarded
+//    reads in the enclosing (lock-holding) function:
+//        MutexLock lock(mu_);
+//        while (!ready_) cv_.Wait(mu_);
+//    Predicate overloads exist for callers that prefer them; the predicate
+//    runs with the lock held, which it declares by calling
+//    `mu.AssertHeld()` first (see CondVar::Wait below).
+
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace corgipile {
+
+/// Annotated exclusive mutex. Same cost as std::mutex.
+class CORGI_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() CORGI_ACQUIRE() { mu_.lock(); }
+  void Unlock() CORGI_RELEASE() { mu_.unlock(); }
+  bool TryLock() CORGI_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Declares (to the analysis) that this thread holds the mutex. Used in
+  /// wait-loop predicates and other code the analysis cannot follow; it is
+  /// a statement of fact, not a runtime check (std::mutex cannot verify
+  /// ownership portably).
+  void AssertHeld() const CORGI_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII scoped lock over Mutex with optional early release, so the
+/// unlock-then-notify pattern stays expressible under the analysis.
+class CORGI_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CORGI_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() CORGI_RELEASE() {
+    if (held_) mu_.Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases before end of scope (e.g. to notify a CondVar without the
+  /// woken thread immediately blocking on the mutex). Call at most once.
+  void Unlock() CORGI_RELEASE() {
+    held_ = false;
+    mu_.Unlock();
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_ = true;
+};
+
+/// Condition variable usable with Mutex. Wait() atomically releases the
+/// (held) mutex, blocks, and reacquires before returning — the capability
+/// is held on entry and on exit, which is all the static analysis needs to
+/// know; the temporary release inside is invisible to it by design.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) CORGI_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's MutexLock
+  }
+
+  /// Waits until pred() holds. pred runs with `mu` held; it must begin
+  /// with `mu.AssertHeld()` if it reads GUARDED_BY(mu) state, because the
+  /// analysis checks the lambda body out of line.
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) CORGI_REQUIRES(mu) {
+    while (!pred()) Wait(mu);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace corgipile

@@ -33,7 +33,12 @@ enum class StatusCode : int8_t {
 const char* StatusCodeToString(StatusCode code);
 
 /// Operation outcome: OK (cheap, no allocation) or an error code + message.
-class Status {
+///
+/// [[nodiscard]]: ignoring a returned Status silently swallows I/O errors,
+/// corruption, and cancellation — the build treats it as an error
+/// (-Werror=unused-result). The few intentional discards are written
+/// `(void)expr;` with a justification comment (see DESIGN.md §10).
+class [[nodiscard]] Status {
  public:
   Status() noexcept = default;
   Status(StatusCode code, std::string msg);
@@ -104,8 +109,9 @@ class Status {
 };
 
 /// Either a value of type T or an error Status. Like arrow::Result.
+/// [[nodiscard]] for the same reason as Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value.
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)

@@ -1,0 +1,74 @@
+// Clang Thread Safety Analysis annotation macros (DESIGN.md §10).
+//
+// These wrap the capability attributes understood by clang's
+// -Wthread-safety so the three concurrency invariants the system leans on
+// — every guarded field is touched only under its mutex, lock/unlock pairs
+// balance on every path, helper functions declare the locks they expect —
+// are checked at compile time instead of (only) at runtime under tsan.
+//
+// The macros expand to nothing on compilers without the attributes (GCC),
+// so annotated code builds everywhere; the dedicated `thread-safety`
+// preset / CI job builds src/ with clang and -Wthread-safety -Werror.
+//
+// Use through util/mutex.h (the annotated Mutex/MutexLock/CondVar wrapper)
+// rather than annotating raw std::mutex: std::mutex carries no capability
+// attribute, so the analysis cannot see it.
+
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define CORGI_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define CORGI_THREAD_ANNOTATION(x)  // no-op: analysis is clang-only
+#endif
+
+/// Marks a class as a capability (e.g. "mutex"); its name appears in
+/// diagnostics.
+#define CORGI_CAPABILITY(x) CORGI_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose lifetime acquires/releases a capability.
+#define CORGI_SCOPED_CAPABILITY CORGI_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field/variable may only be accessed while holding `x`.
+#define CORGI_GUARDED_BY(x) CORGI_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointed-to data may only be accessed while holding `x` (the pointer
+/// itself is unguarded).
+#define CORGI_PT_GUARDED_BY(x) CORGI_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Caller must hold the capability (exclusively) on entry; still held on
+/// exit. The "Locked"-suffix helper contract, machine-checked.
+#define CORGI_REQUIRES(...) \
+  CORGI_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock prevention for functions
+/// that acquire it themselves).
+#define CORGI_EXCLUDES(...) \
+  CORGI_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define CORGI_ACQUIRE(...) \
+  CORGI_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define CORGI_RELEASE(...) \
+  CORGI_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `ret`.
+#define CORGI_TRY_ACQUIRE(ret, ...) \
+  CORGI_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Runtime assertion that the capability is held; tells the analysis to
+/// treat it as held from here on. The hook for code (wait-loop predicates,
+/// callbacks) whose lock context the analysis cannot follow statically.
+#define CORGI_ASSERT_CAPABILITY(...) \
+  CORGI_THREAD_ANNOTATION(assert_capability(__VA_ARGS__))
+
+/// Function returns a reference to the named capability (lets callers name
+/// an inner mutex in their own annotations).
+#define CORGI_RETURN_CAPABILITY(x) CORGI_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables analysis inside one function. Every use needs a
+/// comment explaining why the analysis cannot follow the code.
+#define CORGI_NO_THREAD_SAFETY_ANALYSIS \
+  CORGI_THREAD_ANNOTATION(no_thread_safety_analysis)

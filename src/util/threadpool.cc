@@ -16,10 +16,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& t : workers_) t.join();
 }
 
@@ -27,8 +27,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(mu_);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
@@ -49,9 +49,10 @@ Status ThreadPool::ParallelForImpl(size_t n,
   struct Control {
     std::atomic<size_t> next{0};
     std::atomic<bool> stop{false};
-    std::mutex mu;  ///< guards the first-error pair below
-    size_t first_error_index = std::numeric_limits<size_t>::max();
-    Status first_error;
+    Mutex mu;
+    size_t first_error_index CORGI_GUARDED_BY(mu) =
+        std::numeric_limits<size_t>::max();
+    Status first_error CORGI_GUARDED_BY(mu);
   };
   Control ctl;
 
@@ -73,7 +74,7 @@ Status ThreadPool::ParallelForImpl(size_t n,
         st = Status::Internal("uncaught non-std exception in ParallelFor task");
       }
       if (!st.ok()) {
-        std::lock_guard<std::mutex> lock(ctl.mu);
+        MutexLock lock(ctl.mu);
         if (i < ctl.first_error_index) {
           ctl.first_error_index = i;
           ctl.first_error = st;
@@ -89,8 +90,13 @@ Status ThreadPool::ParallelForImpl(size_t n,
   for (size_t k = 0; k < width; ++k) futs.push_back(Submit(runner));
   for (auto& f : futs) f.get();  // drain in-flight work unconditionally
 
-  if (ctl.first_error_index != std::numeric_limits<size_t>::max()) {
-    return ctl.first_error;
+  {
+    // All runners have drained, but lock anyway: it is free of contention
+    // here and keeps the GUARDED_BY contract unconditional.
+    MutexLock lock(ctl.mu);
+    if (ctl.first_error_index != std::numeric_limits<size_t>::max()) {
+      return ctl.first_error;
+    }
   }
   if (token != nullptr && token->cancelled()) return token->status();
   return Status::OK();

@@ -13,12 +13,10 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <string>
 #include <thread>
@@ -26,6 +24,7 @@
 #include <vector>
 
 #include "util/cancellation.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace corgipile {
@@ -48,10 +47,10 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       queue_.emplace([task] { (*task)(); });
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return fut;
   }
 
@@ -91,10 +90,10 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::queue<std::function<void()>> queue_ CORGI_GUARDED_BY(mu_);
+  bool stop_ CORGI_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace corgipile

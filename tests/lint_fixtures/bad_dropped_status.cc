@@ -1,0 +1,20 @@
+// Lint fixture: MUST FAIL to compile with -Werror=unused-result.
+//
+// Status is [[nodiscard]] (util/status.h): a call that returns one and
+// ignores it silently swallows I/O errors, corruption, and cancellation.
+// The self-test compiles this TU and asserts the compiler rejects it.
+// Clean twin: good_checked_status.cc.
+
+#include "util/status.h"
+
+namespace lint_fixture {
+
+corgipile::Status MightFail() {
+  return corgipile::Status::IoError("disk on fire");
+}
+
+void Caller() {
+  MightFail();  // dropped Status — the build must refuse this
+}
+
+}  // namespace lint_fixture

@@ -1,0 +1,22 @@
+// Lint fixture: MUST be flagged [nondet-random] by tools/lint_determinism.
+//
+// std::random_device and the C rand() family draw from process-global,
+// unseeded state — no experiment that touches them is reproducible. The
+// clean twin (good_seeded_rng.cc) uses the repo's seeded, splittable Rng.
+
+#include <cstdlib>
+#include <random>
+
+namespace lint_fixture {
+
+unsigned HardwareEntropy() {
+  std::random_device rd;
+  return rd();
+}
+
+int GlobalStateDraw() {
+  std::srand(42);
+  return std::rand();
+}
+
+}  // namespace lint_fixture

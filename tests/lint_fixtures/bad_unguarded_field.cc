@@ -1,0 +1,37 @@
+// Lint fixture: MUST FAIL under clang -Wthread-safety -Werror.
+//
+// `value_` is CORGI_GUARDED_BY(mu_), but UnsafeRead() touches it without
+// holding the mutex — exactly the class of race Thread Safety Analysis
+// catches at compile time. Under GCC the annotations expand to nothing and
+// this TU compiles cleanly; the self-test therefore only asserts the
+// failure when a clang is available. Clean twin: good_guarded_field.cc.
+
+#include <cstdint>
+
+#include "util/mutex.h"
+
+namespace lint_fixture {
+
+class Counter {
+ public:
+  void Increment() {
+    corgipile::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  uint64_t UnsafeRead() const {
+    return value_;  // no lock held — TSA must reject this read
+  }
+
+ private:
+  mutable corgipile::Mutex mu_;
+  uint64_t value_ CORGI_GUARDED_BY(mu_) = 0;
+};
+
+uint64_t Use() {
+  Counter c;
+  c.Increment();
+  return c.UnsafeRead();
+}
+
+}  // namespace lint_fixture

@@ -1,0 +1,29 @@
+// Lint fixture: MUST be flagged [unordered-iter] by tools/lint_determinism.
+//
+// Iterating an unordered container visits buckets in an order that depends
+// on the library's hash and bucket count — output assembled this way differs
+// across platforms (and across libstdc++ versions). Clean twin:
+// good_ordered_iter.cc.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace lint_fixture {
+
+std::vector<uint32_t> HistogramKeys(
+    const std::unordered_map<uint32_t, uint64_t>& histogram) {
+  std::vector<uint32_t> keys;
+  keys.reserve(histogram.size());
+  for (const auto& entry : histogram) {
+    keys.push_back(entry.first);
+  }
+  return keys;
+}
+
+uint64_t FirstCount(const std::unordered_map<uint32_t, uint64_t>& histogram) {
+  auto it = histogram.begin();
+  return it == histogram.end() ? 0 : it->second;
+}
+
+}  // namespace lint_fixture

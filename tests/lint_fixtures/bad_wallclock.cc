@@ -1,0 +1,23 @@
+// Lint fixture: MUST be flagged [wall-clock] by tools/lint_determinism.
+//
+// Reading the machine clock from result-producing code makes two runs of the
+// same seed diverge; modeled time must come from iosim::SimClock (clean twin:
+// good_simclock.cc). This file is valid C++ and compiles warning-free — only
+// the determinism linter objects.
+
+#include <chrono>
+
+namespace lint_fixture {
+
+double SecondsSinceEpoch() {
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+double MonotonicTick() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace lint_fixture

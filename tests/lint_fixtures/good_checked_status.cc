@@ -1,0 +1,30 @@
+// Lint fixture: clean twin of bad_dropped_status.cc — MUST compile with
+// -Werror=unused-result.
+//
+// Every returned Status is consumed: propagated with CORGI_RETURN_NOT_OK,
+// branched on via ok(), or — when a failure is genuinely irrelevant —
+// discarded explicitly with `(void)` plus a justification comment, the one
+// sanctioned escape hatch (DESIGN.md §10).
+
+#include "util/status.h"
+
+namespace lint_fixture {
+
+corgipile::Status MightFail() {
+  return corgipile::Status::IoError("disk on fire");
+}
+
+corgipile::Status Propagates() {
+  CORGI_RETURN_NOT_OK(MightFail());
+  return corgipile::Status::OK();
+}
+
+bool Branches() { return MightFail().ok(); }
+
+void IntentionalDiscard() {
+  // Best-effort cleanup: failure here leaves only a temp file behind, which
+  // the next run truncates anyway.
+  (void)MightFail();
+}
+
+}  // namespace lint_fixture

@@ -1,0 +1,36 @@
+// Lint fixture: clean twin of bad_unguarded_field.cc — MUST compile under
+// clang -Wthread-safety -Werror (and everywhere else).
+//
+// Every access to the CORGI_GUARDED_BY(mu_) field happens behind a
+// MutexLock, so Thread Safety Analysis can prove the locking discipline.
+
+#include <cstdint>
+
+#include "util/mutex.h"
+
+namespace lint_fixture {
+
+class Counter {
+ public:
+  void Increment() {
+    corgipile::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  uint64_t Read() const {
+    corgipile::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable corgipile::Mutex mu_;
+  uint64_t value_ CORGI_GUARDED_BY(mu_) = 0;
+};
+
+uint64_t Use() {
+  Counter c;
+  c.Increment();
+  return c.Read();
+}
+
+}  // namespace lint_fixture

@@ -1,0 +1,35 @@
+// Lint fixture: clean twin of bad_unordered_iter.cc — MUST produce no
+// findings.
+//
+// Anything that walks a keyed collection into results or logs uses an
+// ordered container (or a sorted copy of the keys), so emission order is a
+// function of the keys alone. Point lookups into unordered containers
+// remain fine — only iteration order is implementation-defined.
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace lint_fixture {
+
+std::vector<uint32_t> HistogramKeys(
+    const std::map<uint32_t, uint64_t>& histogram) {
+  std::vector<uint32_t> keys;
+  keys.reserve(histogram.size());
+  for (const auto& entry : histogram) {
+    keys.push_back(entry.first);
+  }
+  return keys;
+}
+
+uint64_t LookupCount(const std::unordered_map<uint32_t, uint64_t>& counts,
+                     uint32_t key) {
+  // Distinct name from the ordered `histogram` above: the lexical engine
+  // tracks unordered-declared identifiers per file, so reusing a name across
+  // ordered and unordered declarations would (conservatively) flag both.
+  const auto it = counts.find(key);
+  return it == counts.end() ? 0 : it->second;
+}
+
+}  // namespace lint_fixture

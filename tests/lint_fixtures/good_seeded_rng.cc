@@ -1,0 +1,23 @@
+// Lint fixture: clean twin of bad_random.cc — MUST produce no findings.
+//
+// All randomness flows through util/rng.h: explicitly seeded, and Fork()
+// derives independent streams so parallel workers stay deterministic
+// regardless of scheduling.
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace lint_fixture {
+
+uint64_t SeededDraw(uint64_t seed) {
+  corgipile::Rng rng(seed);
+  return rng.Next64();
+}
+
+double WorkerStream(const corgipile::Rng& parent, uint64_t worker_id) {
+  corgipile::Rng stream = parent.Fork(worker_id);
+  return stream.NextDouble();
+}
+
+}  // namespace lint_fixture

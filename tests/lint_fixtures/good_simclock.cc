@@ -1,0 +1,20 @@
+// Lint fixture: clean twin of bad_wallclock.cc — MUST produce no findings.
+//
+// Time is modeled, not measured: components charge seconds to a SimClock
+// cost category, and "now" is whatever the simulation says. The same seed
+// therefore yields the same timeline on every machine.
+
+#include "iosim/sim_clock.h"
+
+namespace lint_fixture {
+
+double ModeledIoSeconds(corgipile::SimClock& clock) {
+  clock.Advance(corgipile::TimeCategory::kIoRead, 0.004);
+  return clock.Elapsed(corgipile::TimeCategory::kIoRead);
+}
+
+double ModeledTotal(const corgipile::SimClock& clock) {
+  return clock.TotalElapsed();
+}
+
+}  // namespace lint_fixture

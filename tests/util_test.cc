@@ -288,7 +288,7 @@ TEST(LoggingTest, DcheckPassesOnTrue) {
 TEST(ThreadPoolTest, RunsAllTasks) {
   ThreadPool pool(4);
   std::atomic<int> counter{0};
-  pool.ParallelFor(100, [&](size_t) { counter.fetch_add(1); });
+  CORGI_CHECK_OK(pool.ParallelFor(100, [&](size_t) { counter.fetch_add(1); }));
   EXPECT_EQ(counter.load(), 100);
 }
 

@@ -1,0 +1,444 @@
+#!/usr/bin/env python3
+"""Determinism linter for the CorgiPile repo.
+
+The experiment harness promises bit-identical results for a fixed seed
+(DESIGN.md §10): all randomness flows through util/rng.h (seeded,
+splittable) and all *modeled* time through iosim/sim_clock.h. This linter
+enforces the complement statically: it flags source constructs that smuggle
+nondeterminism in through the back door.
+
+Categories
+----------
+  wall-clock      std::chrono::{system,steady,high_resolution}_clock,
+                  time(), gettimeofday(), clock_gettime(), localtime/gmtime.
+                  Real time is allowed only inside util/timer.h (WallTimer),
+                  whose readings feed benchmarking artifacts, never results.
+  nondet-random   std::random_device, rand()/srand(), random(), drand48().
+                  Seeded generators (util/rng.h's xoshiro, std::mt19937 with
+                  an explicit seed) are fine and are not flagged.
+  unordered-iter  Range-for iteration (or .begin() traversal) over a
+                  variable declared as std::unordered_{map,set,multimap,
+                  multiset}. Iteration order depends on libstdc++ hashing
+                  and bucket counts, so anything that feeds results or logs
+                  from such a loop is nondeterministic across platforms.
+                  Point lookups (find/at/operator[]/count/erase-by-key) are
+                  deterministic and are not flagged.
+
+Engines
+-------
+  lexical      (default) comment/string-stripping token scan implemented
+               below; zero dependencies beyond python3, runs anywhere,
+               used for CI verdicts.
+  clang-query  optional AST cross-check: runs the checked-in matcher
+               scripts (*.cquery in this directory) over the compilation
+               database. Requires clang-query on PATH; the lexical engine
+               remains the source of truth because the toolchain image only
+               guarantees GCC.
+
+Suppression
+-----------
+  * File-level: tools/determinism_allowlist.txt — `path category reason`
+    lines. Entries are budgeted (max {MAX_ALLOWLIST}) and must still match
+    at least one finding, so the allowlist cannot silently go stale.
+  * Line-level: a trailing `// lint:determinism-ok(<reason>)` comment
+    suppresses findings on that line; the reason is mandatory.
+
+Exit codes: 0 clean, 1 findings remain, 2 usage/configuration error.
+"""
+
+import argparse
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+MAX_ALLOWLIST = 3
+
+# Directories scanned when no explicit file list or compilation database is
+# given, relative to --root. tests/lint_fixtures is excluded everywhere:
+# its "bad_*" translation units violate the rules on purpose.
+DEFAULT_DIRS = ("src", "tests", "bench", "examples", "tools")
+EXCLUDED_SUBPATHS = (os.path.join("tests", "lint_fixtures"),)
+SOURCE_EXTS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
+
+SUPPRESS_RE = re.compile(r"lint:determinism-ok\(([^)]+)\)")
+
+WALL_CLOCK_PATTERNS = [
+    re.compile(r"\bchrono\s*::\s*(?:system_clock|steady_clock|high_resolution_clock)\b"),
+    re.compile(r"\b(?:system_clock|steady_clock|high_resolution_clock)\s*::\s*now\b"),
+    re.compile(r"\bgettimeofday\s*\("),
+    re.compile(r"\bclock_gettime\s*\("),
+    re.compile(r"\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
+    re.compile(r"\b(?:localtime|gmtime)(?:_r)?\s*\("),
+]
+
+NONDET_RANDOM_PATTERNS = [
+    re.compile(r"\brandom_device\b"),
+    re.compile(r"\bsrand\s*\("),
+    re.compile(r"\brand\s*\(\s*\)"),
+    re.compile(r"\brandom\s*\(\s*\)"),
+    re.compile(r"\b(?:drand48|lrand48|mrand48)\s*\("),
+]
+
+UNORDERED_TYPE_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
+
+
+class Finding:
+    __slots__ = ("path", "line", "category", "message")
+
+    def __init__(self, path, line, category, message):
+        self.path = path
+        self.line = line
+        self.category = category
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.category}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Replaces comments, string literals, and char literals with spaces,
+    preserving line structure so finding line numbers stay accurate."""
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            if j < 0:
+                j = n
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("".join("\n" if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c == "R" and nxt == '"':
+            # Raw string: R"delim( ... )delim"
+            m = re.match(r'R"([^(\s]{0,16})\(', text[i:])
+            if m is None:
+                out.append(c)
+                i += 1
+                continue
+            close = ")" + m.group(1) + '"'
+            j = text.find(close, i + m.end())
+            j = n if j < 0 else j + len(close)
+            out.append("".join("\n" if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in ('"', "'"):
+            j = i + 1
+            while j < n and text[j] != c:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(c + " " * (j - i - 2 if j - i >= 2 else 0) + (c if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def find_unordered_decls(code):
+    """Returns identifiers declared (or aliased) with an unordered container
+    type in comment/string-stripped `code`. Lexical approximation: walks the
+    balanced template argument list after each `unordered_*` token, then
+    captures the next identifier. Handles one level of alias indirection
+    (`using Foo = std::unordered_map<...>` makes `Foo x;` count)."""
+    names = set()
+    alias_types = set()
+    ident_re = re.compile(r"[A-Za-z_]\w*")
+
+    def decl_after(pos):
+        # pos points just past the unordered_* token; skip the <...> args.
+        m = re.match(r"\s*<", code[pos:])
+        if not m:
+            return None
+        i = pos + m.end()
+        depth = 1
+        while i < len(code) and depth > 0:
+            if code[i] == "<":
+                depth += 1
+            elif code[i] == ">":
+                depth -= 1
+            i += 1
+        # Skip pointer/ref/whitespace and nested-name suffixes like
+        # `::iterator` (a declaration of an iterator is not a container).
+        tail = code[i:]
+        if tail.lstrip().startswith("::"):
+            return None
+        m2 = re.match(r"[\s*&]*([A-Za-z_]\w*)", tail)
+        return m2.group(1) if m2 else None
+
+    for m in UNORDERED_TYPE_RE.finditer(code):
+        # `using Alias = std::unordered_map<...>;` — look backwards for the
+        # alias name on the same statement.
+        stmt_start = code.rfind(";", 0, m.start()) + 1
+        stmt = code[stmt_start:m.start()]
+        alias = re.search(r"\busing\s+([A-Za-z_]\w*)\s*=\s*$", stmt.rstrip() + " ")
+        alias = alias or re.search(r"\busing\s+([A-Za-z_]\w*)\s*=", stmt)
+        if alias:
+            alias_types.add(alias.group(1))
+            continue
+        name = decl_after(m.end())
+        if name and ident_re.fullmatch(name):
+            names.add(name)
+
+    for alias in alias_types:
+        for m in re.finditer(r"\b" + re.escape(alias) + r"\b", code):
+            # Skip the alias definition itself.
+            if code[max(0, m.start() - 32):m.start()].rstrip().endswith("="):
+                continue
+            name = re.match(r"[\s*&]*([A-Za-z_]\w*)", code[m.end():])
+            if name and name.group(1) != alias:
+                names.add(name.group(1))
+    return names
+
+
+def lint_file_lexical(path, display_path):
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            original = f.read()
+    except OSError as e:
+        return [Finding(display_path, 0, "io-error", str(e))]
+
+    code = strip_comments_and_strings(original)
+    original_lines = original.split("\n")
+    findings = []
+
+    def suppressed(lineno):
+        line = original_lines[lineno - 1] if lineno - 1 < len(original_lines) else ""
+        return SUPPRESS_RE.search(line) is not None
+
+    def scan(patterns, category, describe):
+        for lineno, line in enumerate(code.split("\n"), start=1):
+            for pat in patterns:
+                m = pat.search(line)
+                if m and not suppressed(lineno):
+                    findings.append(
+                        Finding(display_path, lineno, category, describe(m.group(0))))
+                    break
+
+    scan(WALL_CLOCK_PATTERNS, "wall-clock",
+         lambda tok: f"wall-clock read `{tok.strip()}` — use iosim::SimClock for "
+                     "modeled time or util/timer.h WallTimer (allowlisted) for "
+                     "benchmark measurement")
+    scan(NONDET_RANDOM_PATTERNS, "nondet-random",
+         lambda tok: f"nondeterministic RNG `{tok.strip()}` — use the seeded "
+                     "util/rng.h Rng (splittable via Fork())")
+
+    unordered = find_unordered_decls(code)
+    if unordered:
+        names_alt = "|".join(re.escape(n) for n in sorted(unordered))
+        iter_res = [
+            re.compile(r"for\s*\([^;()]*:\s*\*?(?:this\s*->\s*)?(" + names_alt + r")\s*\)"),
+            re.compile(r"\b(" + names_alt + r")\s*\.\s*(?:begin|cbegin|rbegin)\s*\("),
+        ]
+        for lineno, line in enumerate(code.split("\n"), start=1):
+            for pat in iter_res:
+                m = pat.search(line)
+                if m and not suppressed(lineno):
+                    findings.append(Finding(
+                        display_path, lineno, "unordered-iter",
+                        f"iteration over unordered container `{m.group(1)}` — "
+                        "bucket order is platform-defined; copy keys into a "
+                        "sorted vector (or use an ordered container) before "
+                        "anything that feeds results or logs"))
+                    break
+    return findings
+
+
+def run_clang_query(script, files, build_dir):
+    """Runs one matcher script over `files`; returns (path, line) pairs."""
+    cmd = ["clang-query", "-f", script]
+    if build_dir:
+        cmd += ["-p", build_dir]
+    cmd += files
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True, timeout=600)
+    except (OSError, subprocess.TimeoutExpired) as e:
+        print(f"lint_determinism: clang-query failed: {e}", file=sys.stderr)
+        return None
+    hits = []
+    loc_re = re.compile(r"^(.*?):(\d+):\d+: note:")
+    for line in proc.stdout.splitlines():
+        m = loc_re.match(line)
+        if m:
+            hits.append((os.path.normpath(m.group(1)), int(m.group(2))))
+    return hits
+
+
+def lint_clang_query(files, root, build_dir):
+    """AST cross-check: one .cquery script per category, shipped alongside
+    this driver. Returns findings, or None if clang-query is unusable."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    scripts = {
+        "wall-clock": os.path.join(here, "wallclock.cquery"),
+        "nondet-random": os.path.join(here, "random.cquery"),
+        "unordered-iter": os.path.join(here, "unordered_iter.cquery"),
+    }
+    tus = [f for f in files if f.endswith((".cc", ".cpp", ".cxx"))]
+    if not tus:
+        return []
+    findings = []
+    for category, script in scripts.items():
+        hits = run_clang_query(script, tus, build_dir)
+        if hits is None:
+            return None
+        for path, line in hits:
+            rel = os.path.relpath(path, root) if os.path.isabs(path) else path
+            findings.append(Finding(rel, line, category,
+                                    f"clang-query matcher hit ({category})"))
+    return findings
+
+
+def load_allowlist(path):
+    """Returns {path: (category, reason)}; raises ValueError on a malformed
+    or over-budget allowlist."""
+    entries = {}
+    if not os.path.exists(path):
+        return entries
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(None, 2)
+            if len(parts) < 3:
+                raise ValueError(
+                    f"{path}:{lineno}: expected `path category reason`, got: {line}")
+            entries[parts[0]] = (parts[1], parts[2])
+    if len(entries) > MAX_ALLOWLIST:
+        raise ValueError(
+            f"{path}: {len(entries)} entries exceeds the budget of "
+            f"{MAX_ALLOWLIST} — fix the code instead of widening the allowlist")
+    return entries
+
+
+def collect_files(root, compdb):
+    files = []
+    if compdb and os.path.exists(compdb):
+        with open(compdb, "r", encoding="utf-8") as f:
+            for entry in json.load(f):
+                p = entry["file"]
+                if not os.path.isabs(p):
+                    p = os.path.normpath(os.path.join(entry.get("directory", "."), p))
+                files.append(p)
+    # Headers never appear in a compilation database; glob them (and, with no
+    # compdb at all, every source) from the default directories.
+    want_exts = (".h", ".hpp") if files else SOURCE_EXTS
+    for d in DEFAULT_DIRS:
+        top = os.path.join(root, d)
+        for dirpath, _, filenames in os.walk(top):
+            for fn in filenames:
+                if fn.endswith(want_exts):
+                    files.append(os.path.join(dirpath, fn))
+    seen = set()
+    result = []
+    for p in files:
+        rel = os.path.relpath(p, root)
+        if rel in seen or not rel.startswith(tuple(DEFAULT_DIRS)):
+            continue
+        if any(rel.startswith(ex) for ex in EXCLUDED_SUBPATHS):
+            continue
+        seen.add(rel)
+        result.append(p)
+    return sorted(result)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("files", nargs="*",
+                    help="explicit files to lint (default: repo scan)")
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: two levels above this script)")
+    ap.add_argument("--compdb", default=None,
+                    help="compile_commands.json to take the TU list from")
+    ap.add_argument("--allowlist", default=None,
+                    help="allowlist file (default: tools/determinism_allowlist.txt; "
+                         "pass empty string to disable)")
+    ap.add_argument("--engine", choices=["lexical", "clang-query"],
+                    default="lexical",
+                    help="lexical (default, dependency-free) or clang-query "
+                         "(AST cross-check, needs clang-query on PATH)")
+    ap.add_argument("-q", "--quiet", action="store_true")
+    args = ap.parse_args()
+
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.abspath(args.root or os.path.join(here, "..", ".."))
+
+    if args.files:
+        files = [os.path.abspath(f) for f in args.files]
+        for f in files:
+            if not os.path.exists(f):
+                print(f"lint_determinism: no such file: {f}", file=sys.stderr)
+                return 2
+    else:
+        files = collect_files(root, args.compdb)
+    if not files:
+        print("lint_determinism: no files to lint", file=sys.stderr)
+        return 2
+
+    allowlist_path = args.allowlist
+    if allowlist_path is None:
+        allowlist_path = os.path.join(root, "tools", "determinism_allowlist.txt")
+    try:
+        allowlist = load_allowlist(allowlist_path) if allowlist_path else {}
+    except ValueError as e:
+        print(f"lint_determinism: {e}", file=sys.stderr)
+        return 2
+
+    if args.engine == "clang-query":
+        if shutil.which("clang-query") is None:
+            print("lint_determinism: clang-query not on PATH "
+                  "(use --engine lexical)", file=sys.stderr)
+            return 2
+        build_dir = os.path.dirname(args.compdb) if args.compdb else None
+        findings = lint_clang_query(files, root, build_dir)
+        if findings is None:
+            return 2
+    else:
+        findings = []
+        for f in files:
+            rel = os.path.relpath(f, root)
+            display = rel if not rel.startswith("..") else f
+            findings.extend(lint_file_lexical(f, display))
+
+    used_entries = set()
+    reported = []
+    for fd in sorted(findings, key=lambda x: (x.path, x.line)):
+        entry = allowlist.get(fd.path)
+        if entry and entry[0] in ("*", fd.category):
+            used_entries.add(fd.path)
+            continue
+        reported.append(fd)
+
+    rc = 0
+    for fd in reported:
+        print(str(fd))
+        rc = 1
+
+    # A stale allowlist entry means the violation it excused is gone; keep
+    # the budget honest by failing until the entry is removed.
+    stale = set(allowlist) - used_entries
+    if stale and not args.files:
+        for path in sorted(stale):
+            print(f"lint_determinism: stale allowlist entry `{path}` "
+                  f"(no {allowlist[path][0]} finding there) — remove it",
+                  file=sys.stderr)
+        rc = rc or 1
+
+    if not args.quiet:
+        print(f"lint_determinism: {len(files)} files, "
+              f"{len(reported)} finding(s), "
+              f"{len(used_entries)} allowlisted, engine={args.engine}",
+              file=sys.stderr)
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Self-test for the static-invariant toolchain (DESIGN.md §10).
+
+Runs every fixture under tests/lint_fixtures/ through the check that is
+supposed to judge it and asserts the verdict:
+
+  bad_wallclock / good_simclock          -> lint_determinism [wall-clock]
+  bad_random / good_seeded_rng           -> lint_determinism [nondet-random]
+  bad_unordered_iter / good_ordered_iter -> lint_determinism [unordered-iter]
+  bad_dropped_status / good_checked_status
+      -> $CXX -fsyntax-only -Werror=unused-result (nodiscard enforcement)
+  bad_unguarded_field / good_guarded_field
+      -> clang++ -fsyntax-only -Wthread-safety -Werror (skipped with a
+         notice when no clang is installed; GCC compiles the annotations
+         as no-ops so it cannot judge these two)
+
+Each `bad_*` fixture must be rejected and its `good_*` twin accepted, so a
+regression in either direction — a check going blind or a check going
+trigger-happy — fails this test. Registered as the `lint_selftest` ctest.
+
+Exit codes: 0 all verdicts correct, 1 otherwise.
+"""
+
+import os
+import shutil
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.abspath(os.path.join(HERE, ".."))
+FIXTURES = os.path.join(ROOT, "tests", "lint_fixtures")
+LINTER = os.path.join(HERE, "lint_determinism", "lint_determinism.py")
+
+failures = []
+skips = []
+
+
+def report(name, ok, detail=""):
+    print(f"[{'PASS' if ok else 'FAIL'}] {name}" + (f": {detail}" if detail else ""))
+    if not ok:
+        failures.append(name)
+
+
+def run(cmd):
+    return subprocess.run(cmd, capture_output=True, text=True, cwd=ROOT)
+
+
+def lint(fixture):
+    """Returns the set of categories lint_determinism reports for `fixture`."""
+    proc = run([sys.executable, LINTER, "--allowlist", "",
+                os.path.join(FIXTURES, fixture)])
+    cats = set()
+    for line in proc.stdout.splitlines():
+        if "] " in line and "[" in line:
+            cats.add(line.split("[", 1)[1].split("]", 1)[0])
+    return proc.returncode, cats
+
+
+def check_lint(bad, good, category):
+    rc, cats = lint(bad)
+    report(f"lint:{bad}", rc == 1 and category in cats,
+           f"expected rc=1 with [{category}], got rc={rc} {sorted(cats)}")
+    rc, cats = lint(good)
+    report(f"lint:{good}", rc == 0 and not cats,
+           f"expected rc=0 clean, got rc={rc} {sorted(cats)}")
+
+
+def compile_fixture(compiler, fixture, extra_flags):
+    cmd = [compiler, "-std=c++20", "-fsyntax-only", "-I", "src",
+           *extra_flags, os.path.join(FIXTURES, fixture)]
+    return run(cmd)
+
+
+def check_compile(compiler, bad, good, flags, must_mention, label):
+    proc = compile_fixture(compiler, bad, flags)
+    rejected = proc.returncode != 0 and any(
+        needle in proc.stderr for needle in must_mention)
+    report(f"{label}:{bad}", rejected,
+           f"expected rejection mentioning one of {must_mention}; "
+           f"rc={proc.returncode}, stderr tail: {proc.stderr.strip()[-200:]}")
+    proc = compile_fixture(compiler, good, flags)
+    report(f"{label}:{good}", proc.returncode == 0,
+           f"expected clean compile; stderr tail: {proc.stderr.strip()[-200:]}")
+
+
+def main():
+    check_lint("bad_wallclock.cc", "good_simclock.cc", "wall-clock")
+    check_lint("bad_random.cc", "good_seeded_rng.cc", "nondet-random")
+    check_lint("bad_unordered_iter.cc", "good_ordered_iter.cc",
+               "unordered-iter")
+
+    cxx = os.environ.get("CXX") or shutil.which("c++") or shutil.which("g++")
+    if cxx:
+        check_compile(cxx, "bad_dropped_status.cc", "good_checked_status.cc",
+                      ["-Werror=unused-result"],
+                      ["unused-result", "nodiscard", "unused result"],
+                      "nodiscard")
+    else:
+        skips.append("nodiscard fixtures (no C++ compiler found)")
+
+    clang = os.environ.get("CLANGXX") or shutil.which("clang++")
+    if clang:
+        check_compile(clang, "bad_unguarded_field.cc", "good_guarded_field.cc",
+                      ["-Wthread-safety", "-Werror"],
+                      ["-Wthread-safety", "guarded_by", "requires holding"],
+                      "thread-safety")
+    else:
+        skips.append("thread-safety fixtures (clang++ not found; GCC "
+                     "compiles the annotations as no-ops)")
+
+    for s in skips:
+        print(f"[SKIP] {s}")
+    if failures:
+        print(f"lint_selftest: {len(failures)} verdict(s) wrong: {failures}")
+        return 1
+    print("lint_selftest: all fixture verdicts correct")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
