@@ -9,6 +9,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "iosim/fault_plane.h"
 #include "util/crc32c.h"
 
 namespace corgipile {
@@ -292,6 +293,7 @@ Status RecordFileBlockSource::ReadRawWithRetry(uint64_t offset, uint8_t* buf,
 
 Status RecordFileBlockSource::ReadBlock(uint32_t block,
                                         std::vector<Tuple>* out) {
+  CORGI_INJECT_POINT("storage.recordfile.read_block");
   if (block >= index_.blocks.size()) {
     return Status::OutOfRange("block index");
   }

@@ -38,6 +38,14 @@ Status BlockShuffleOp::ReScan() {
   return Status::OK();
 }
 
+Status BlockShuffleOp::SkipEpochs(uint64_t n) {
+  if (n == 0) return Status::OK();
+  if (!initialized_) return Status::Internal("SkipEpochs before Init");
+  // After Init/ReScan the op serves epoch_ - 1; land on (epoch_ - 1) + n.
+  epoch_ += n - 1;
+  return ReScan();
+}
+
 bool BlockShuffleOp::LoadNextBlock() {
   while (next_block_ < block_order_.size()) {
     const uint32_t b = block_order_[next_block_++];

@@ -36,6 +36,10 @@ class BlockShuffleOp : public WithStreamState<PhysicalOperator> {
   /// batch arena.
   bool NextBatch(TupleBatch* out) override;
   Status ReScan() override;
+  /// Epoch jump without data reads: the block order of epoch e is a pure
+  /// function of (seed, e), so skipping is one re-shuffle at the target
+  /// epoch, not n.
+  Status SkipEpochs(uint64_t n) override;
   void Close() override;
 
   uint32_t num_blocks() const { return num_blocks_; }

@@ -14,6 +14,7 @@
 #include "ml/mlp.h"
 #include "dataset/libsvm.h"
 #include "dataset/ordering.h"
+#include "iosim/fault_plane.h"
 #include "storage/table_shuffle.h"
 
 namespace corgipile {
@@ -183,6 +184,29 @@ Result<InDbTrainResult> Database::Train(const TrainStatement& stmt) {
                          p.GetBool("tolerate_corruption", false));
   CORGI_ASSIGN_OR_RETURN(double max_bad_fraction,
                          p.GetDouble("max_bad_fraction", 0.05));
+  CORGI_ASSIGN_OR_RETURN(std::string checkpoint_path,
+                         p.GetString("checkpoint", ""));
+  CORGI_ASSIGN_OR_RETURN(int64_t checkpoint_every,
+                         p.GetInt("checkpoint_every", 1));
+  CORGI_ASSIGN_OR_RETURN(bool resume, p.GetBool("resume", false));
+  if (opt_name != "sgd" && opt_name != "adam") {
+    return Status::InvalidArgument("optimizer must be sgd|adam (got '" +
+                                   opt_name + "')");
+  }
+  if (checkpoint_every < 1) {
+    return Status::InvalidArgument("checkpoint_every must be >= 1, got " +
+                                   std::to_string(checkpoint_every));
+  }
+  if (resume && checkpoint_path.empty()) {
+    return Status::InvalidArgument("resume=true requires checkpoint='...'");
+  }
+  if (!checkpoint_path.empty() && strategy == "shuffle_once_inplace") {
+    // The prep pass rewrites the base table in place; re-running it on a
+    // restart would permute already-permuted data, so a resumed run could
+    // not replay the original epoch order.
+    return Status::InvalidArgument(
+        "checkpointing is not supported with strategy=shuffle_once_inplace");
+  }
   if (max_bad_fraction < 0.0 || max_bad_fraction > 1.0) {
     return Status::InvalidArgument(
         "max_bad_fraction must be in [0, 1], got " +
@@ -296,12 +320,17 @@ Result<InDbTrainResult> Database::Train(const TrainStatement& stmt) {
   sopts.label_type = entry.label_type;
   sopts.clock = &clock_;
   sopts.init_seed = static_cast<uint64_t>(seed) ^ 0x11;
+  sopts.checkpoint_path = checkpoint_path;
+  sopts.checkpoint_every_epochs = static_cast<uint32_t>(checkpoint_every);
+  sopts.resume = resume;
 
+  CORGI_INJECT_POINT("db.train.begin");
   SgdOp sgd(model.get(), top, sopts);
   CORGI_RETURN_NOT_OK(sgd.Init());
   CORGI_ASSIGN_OR_RETURN(result.epochs, sgd.RunToCompletion());
-  result.total_quarantined_blocks = top->QuarantinedBlocks();
-  result.total_skipped_tuples = top->SkippedTuples();
+  result.resumed_from_epoch = sgd.resumed_from_epoch();
+  result.total_quarantined_blocks = sgd.total_quarantined_blocks();
+  result.total_skipped_tuples = sgd.total_skipped_tuples();
   sgd.Close();
 
   const double sim_after = clock_.TotalElapsed();

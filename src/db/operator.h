@@ -49,6 +49,17 @@ class PhysicalOperator {
   /// reshuffle block ids, reset buffers, and recurse into children.
   virtual Status ReScan() = 0;
 
+  /// Advances the scan by `n` epochs without serving their tuples, so a
+  /// checkpoint-resumed run aligns every per-epoch RNG stream with where
+  /// the original run would be. Every operator's epoch state is a pure
+  /// function of (seed, epoch), so the default — n re-scans — is always
+  /// correct; operators that buffer or prefetch data override it to skip
+  /// without reading.
+  virtual Status SkipEpochs(uint64_t n) {
+    for (; n > 0; --n) CORGI_RETURN_NOT_OK(ReScan());
+    return Status::OK();
+  }
+
   /// Releases resources. Idempotent.
   virtual void Close() = 0;
 

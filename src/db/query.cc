@@ -22,6 +22,42 @@ struct Tokens {
   std::string with_clause;
 };
 
+// Option whitelists for the WITH clauses. Every key a statement handler
+// reads must be listed here; anything else is rejected up front with
+// kInvalidArgument (never silently ignored, and never surfacing later as a
+// confusing kInternal from a half-configured pipeline).
+const char* const kTrainOptionKeys[] = {
+    "learning_rate", "decay", "max_epoch_num", "block_size",
+    "buffer_fraction", "batch_size", "strategy", "double_buffer", "seed",
+    "optimizer", "publish", "tolerate_corruption", "max_bad_fraction",
+    "hidden", "checkpoint", "checkpoint_every", "resume",
+};
+const char* const kLoadOptionKeys[] = {"dim", "compress", "order", "seed"};
+
+template <size_t N>
+Status ValidateOptionKeys(const Params& params, const char* verb,
+                          const char* const (&allowed)[N]) {
+  for (const std::string& key : params.Keys()) {
+    bool known = false;
+    for (const char* a : allowed) {
+      if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::ostringstream os;
+      os << "unknown " << verb << " option '" << key << "'; valid options: ";
+      for (size_t i = 0; i < N; ++i) {
+        if (i) os << ", ";
+        os << allowed[i];
+      }
+      return Status::InvalidArgument(os.str());
+    }
+  }
+  return Status::OK();
+}
+
 Tokens Tokenize(std::string sql) {
   // Strip trailing semicolon.
   while (!sql.empty() && (sql.back() == ';' || std::isspace(
@@ -61,6 +97,8 @@ Result<Statement> ParseQuery(const std::string& sql) {
       stmt.path = stmt.path.substr(1, stmt.path.size() - 2);
     }
     CORGI_ASSIGN_OR_RETURN(stmt.params, Params::Parse(t.with_clause));
+    CORGI_RETURN_NOT_OK(ValidateOptionKeys(stmt.params, "LOAD",
+                                           kLoadOptionKeys));
     return Statement{std::move(stmt)};
   }
   // Expected: SELECT * FROM <table> (TRAIN|PREDICT|EVALUATE) BY <name>
@@ -76,6 +114,8 @@ Result<Statement> ParseQuery(const std::string& sql) {
     stmt.table_name = w[3];
     stmt.model_kind = w[6];
     CORGI_ASSIGN_OR_RETURN(stmt.params, Params::Parse(t.with_clause));
+    CORGI_RETURN_NOT_OK(ValidateOptionKeys(stmt.params, "TRAIN",
+                                           kTrainOptionKeys));
     return Statement{std::move(stmt)};
   }
   if (verb == "PREDICT") {

@@ -47,6 +47,10 @@ struct InDbTrainResult {
   uint64_t total_quarantined_blocks = 0;
   uint64_t total_skipped_tuples = 0;
 
+  /// Epoch the run resumed from (`WITH checkpoint=..., resume=true`);
+  /// 0 when the run started fresh.
+  uint32_t resumed_from_epoch = 0;
+
   /// Set when the engine refuses/cannot finish (e.g. MADlib LR on wide
   /// dense data, which the paper reports as not finishing in 4 hours).
   bool timed_out = false;

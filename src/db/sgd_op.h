@@ -36,6 +36,16 @@ class SgdOp {
     /// Purely a transport knob (seeded results are bit-identical at every
     /// value); 0 = legacy per-tuple Next() pull, the golden reference.
     uint32_t exec_batch_tuples = TupleBatch::kDefaultTargetTuples;
+
+    /// Crash safety (DESIGN.md §12): with a non-empty checkpoint_path the
+    /// operator durably checkpoints the model after every
+    /// checkpoint_every_epochs-th epoch; with resume=true Init() loads the
+    /// checkpoint (kNotFound = start fresh) and fast-forwards the child
+    /// pipeline via SkipEpochs, so the resumed run replays the remaining
+    /// epochs bit-identically to an uninterrupted one.
+    std::string checkpoint_path;
+    uint32_t checkpoint_every_epochs = 1;
+    bool resume = false;
   };
 
   /// `model` and `child` are borrowed; both must outlive the operator.
@@ -54,13 +64,31 @@ class SgdOp {
 
   Model* model() { return model_; }
   uint32_t epochs_run() const { return epoch_; }
+  /// Epoch the run resumed from (0 when fresh).
+  uint32_t resumed_from_epoch() const { return start_epoch_; }
+  /// Progress counters across the whole logical run, including the epochs
+  /// a resumed checkpoint already covered.
+  uint64_t total_tuples() const { return total_tuples_; }
+  uint64_t total_quarantined_blocks() const {
+    return base_quarantined_ + child_->QuarantinedBlocks();
+  }
+  uint64_t total_skipped_tuples() const {
+    return base_skipped_ + child_->SkippedTuples();
+  }
 
  private:
+  Status SaveProgress();
+
   Model* model_;
   PhysicalOperator* child_;
   Options options_;
   TupleBatch exec_batch_;  // transport buffer, arena reused across epochs
   uint32_t epoch_ = 0;
+  uint32_t start_epoch_ = 0;
+  uint64_t total_tuples_ = 0;
+  double best_test_metric_ = 0.0;
+  uint64_t base_quarantined_ = 0;
+  uint64_t base_skipped_ = 0;
   std::unique_ptr<Optimizer> opt_;
   std::vector<double> grad_;
   bool batched_ = false;

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <numeric>
 
+#include "iosim/fault_plane.h"
 #include "util/timer.h"
 
 namespace corgipile {
 
 TupleShuffleOp::TupleShuffleOp(PhysicalOperator* child, Options options)
-    : child_(child), options_(options), rng_(options.seed) {
+    : child_(child), options_(options), rng_(options.seed),
+      epoch_rng_(rng_.Fork(0)) {
   if (options_.buffer_tuples == 0) options_.buffer_tuples = 1;
 }
 
@@ -23,11 +25,24 @@ double TupleShuffleOp::IoElapsed() const {
 Status TupleShuffleOp::Init() {
   if (child_ == nullptr) return Status::InvalidArgument("null child");
   CORGI_RETURN_NOT_OK(child_->Init());
+  epoch_ = 0;
+  epoch_rng_ = rng_.Fork(epoch_);
   if (options_.double_buffer) StartProducer();
   return Status::OK();
 }
 
 std::optional<TupleShuffleOp::Batch> TupleShuffleOp::FillBatch() {
+  // Chaos point modelling a staging-buffer allocation failure: a kFail
+  // rule surfaces through status() exactly like a child error would.
+  if (FaultPlane::ProcessArmed()) {
+    Status injected =
+        FaultPlane::Process()->OnPoint("db.tuple_shuffle.fill");
+    if (!injected.ok()) {
+      MutexLock lock(status_mu_);
+      if (status_.ok()) status_ = std::move(injected);
+      return std::nullopt;
+    }
+  }
   Batch batch;
   batch.tuples.set_target_tuples(options_.buffer_tuples);
   const double io_before = IoElapsed();
@@ -48,7 +63,7 @@ std::optional<TupleShuffleOp::Batch> TupleShuffleOp::FillBatch() {
     std::iota(batch.perm.begin(), batch.perm.end(), 0u);
     // Fisher–Yates over indices: consumes the same RNG draws as shuffling
     // the tuples themselves, so emission order matches the legacy buffer.
-    rng_.Shuffle(batch.perm);
+    epoch_rng_.Shuffle(batch.perm);
   }
   batch.fill_seconds = (IoElapsed() - io_before) + timer.ElapsedSeconds();
   uint64_t prev = peak_buffer_.load();
@@ -61,6 +76,7 @@ std::optional<TupleShuffleOp::Batch> TupleShuffleOp::FillBatch() {
 void TupleShuffleOp::StartProducer() {
   if (producer_.joinable()) return;  // already running
   channel_ = std::make_unique<Channel<Batch>>(1);
+  channel_->set_chaos_point("channel.tuple_shuffle.push");
   producer_ = std::thread([this] { ProducerLoop(); });
 }
 
@@ -87,7 +103,14 @@ void TupleShuffleOp::ProducerLoop() {
       channel_->Close(status());
       return;
     }
-    if (!channel_->Push(std::move(*batch)).ok()) return;
+    Status pushed = channel_->Push(std::move(*batch));
+    if (!pushed.ok()) {
+      // Cancelled by the consumer (Close on an already-cancelled channel is
+      // a no-op) — or an injected channel-send failure, which must reach
+      // the consumer as the stream's error instead of hanging it.
+      channel_->Close(std::move(pushed));
+      return;
+    }
   }
 }
 
@@ -175,6 +198,29 @@ Status TupleShuffleOp::ReScan() {
   current_ = Batch{};
   pos_ = 0;
   CORGI_RETURN_NOT_OK(child_->ReScan());
+  ++epoch_;
+  epoch_rng_ = rng_.Fork(epoch_);
+  {
+    MutexLock lock(status_mu_);
+    status_ = Status::OK();
+  }
+  if (options_.double_buffer) StartProducer();
+  return Status::OK();
+}
+
+Status TupleShuffleOp::SkipEpochs(uint64_t n) {
+  if (n == 0) return Status::OK();
+  // Joining the producer discards any epoch-state batches it pre-filled
+  // and hands child_/epoch_rng_ ownership back to this thread.
+  StopProducer();
+  have_batch_ = false;
+  consume_acc_ = 0.0;
+  consume_timer_.reset();
+  current_ = Batch{};
+  pos_ = 0;
+  CORGI_RETURN_NOT_OK(child_->SkipEpochs(n));
+  epoch_ += n;
+  epoch_rng_ = rng_.Fork(epoch_);
   {
     MutexLock lock(status_mu_);
     status_ = Status::OK();

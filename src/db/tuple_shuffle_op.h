@@ -76,6 +76,10 @@ class TupleShuffleOp : public PhysicalOperator {
   /// the output arena; one channel op per staging buffer, not per tuple.
   bool NextBatch(TupleBatch* out) override;
   Status ReScan() override;
+  /// Epoch jump without data reads: stops the producer, jumps the epoch
+  /// counter (the buffer-shuffle RNG of epoch e is a pure function of
+  /// (seed, e)), and skips the child. Resumed runs replay exactly.
+  Status SkipEpochs(uint64_t n) override;
   /// Stops and joins the producer thread (if any) before releasing the
   /// child, so abandoning the operator mid-epoch neither leaks the thread
   /// nor deadlocks. Idempotent; also run by the destructor.
@@ -122,7 +126,12 @@ class TupleShuffleOp : public PhysicalOperator {
 
   PhysicalOperator* child_;
   Options options_;
+  /// Base stream, never drawn from directly: each epoch's buffer shuffles
+  /// use epoch_rng_ = rng_.Fork(epoch_), a pure function of (seed, epoch),
+  /// so a checkpoint-resumed epoch replays the exact same permutations.
   Rng rng_;
+  Rng epoch_rng_;
+  uint64_t epoch_ = 0;
 
   // Current batch being served (consumer thread only).
   Batch current_;

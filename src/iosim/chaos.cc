@@ -1,0 +1,102 @@
+#include "iosim/chaos.h"
+
+#include <sstream>
+#include <utility>
+
+namespace corgipile {
+
+namespace {
+
+/// Arms the process FaultPlane for one scope; disarms on destruction so a
+/// throwing workload can never leave the plane armed for the next test.
+class ScopedArm {
+ public:
+  explicit ScopedArm(const ChaosScenario& s) {
+    FaultPlane::Process()->Arm(s.name, s.seed, s.rules, s.clock);
+  }
+  ~ScopedArm() { FaultPlane::Process()->Disarm(); }
+  ScopedArm(const ScopedArm&) = delete;
+  ScopedArm& operator=(const ScopedArm&) = delete;
+};
+
+void FillReport(ChaosReport* report) {
+  FaultPlane* plane = FaultPlane::Process();
+  report->hits = plane->HitSnapshot();
+  report->plane = plane->StatsSnapshot();
+}
+
+}  // namespace
+
+std::string ChaosScenario::Describe() const {
+  std::ostringstream os;
+  os << "scenario=" << name << " seed=" << seed;
+  return os.str();
+}
+
+std::string ChaosReport::Describe() const {
+  std::ostringstream os;
+  os << "scenario=" << scenario << " seed=" << seed
+     << " attempts=" << attempts << " crashes=" << crashes;
+  if (!crash_points.empty()) {
+    os << " crash_points=[";
+    for (size_t i = 0; i < crash_points.size(); ++i) {
+      if (i) os << ",";
+      os << crash_points[i];
+    }
+    os << "]";
+  }
+  os << " status=" << final_status.ToString();
+  return os.str();
+}
+
+ChaosReport ChaosRunner::Run(const ChaosScenario& scenario,
+                             const std::function<Status()>& body) {
+  ChaosReport report;
+  report.scenario = scenario.name;
+  report.seed = scenario.seed;
+  ScopedArm arm(scenario);
+  report.attempts = 1;
+  try {
+    report.final_status = body();
+  } catch (const ChaosCrash& crash) {
+    ++report.crashes;
+    report.crash_points.push_back(crash.point);
+    report.final_status = Status::Cancelled(crash.ToString());
+  }
+  FillReport(&report);
+  return report;
+}
+
+ChaosReport ChaosRunner::RunToCompletion(
+    const ChaosScenario& scenario,
+    const std::function<Status(uint32_t attempt)>& body,
+    uint32_t max_attempts) {
+  ChaosReport report;
+  report.scenario = scenario.name;
+  report.seed = scenario.seed;
+  ScopedArm arm(scenario);
+  for (uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    ++report.attempts;
+    bool crashed = false;
+    try {
+      report.final_status = body(attempt);
+    } catch (const ChaosCrash& crash) {
+      crashed = true;
+      ++report.crashes;
+      report.crash_points.push_back(crash.point);
+      report.final_status = Status::Cancelled(crash.ToString());
+    }
+    if (!crashed) {
+      FillReport(&report);
+      return report;
+    }
+  }
+  std::ostringstream os;
+  os << "still crashing after " << max_attempts << " attempts ("
+     << scenario.Describe() << "); last: " << report.final_status.ToString();
+  report.final_status = Status::Internal(os.str());
+  FillReport(&report);
+  return report;
+}
+
+}  // namespace corgipile

@@ -1,0 +1,77 @@
+// Seeded chaos-scenario runner (DESIGN.md §12).
+//
+// A ChaosScenario is a script: a name, a seed, and a list of ChaosRules
+// describing which named points fail, stall, or kill, and when. The runner
+// arms the process FaultPlane, executes a workload body, and turns scripted
+// kKill crashes into a *kill-and-restart* loop: each ChaosCrash tears the
+// attempt down (stack unwinding releases every resource the workload held),
+// and the body is invoked again with the attempt index — reopening the
+// database from heapfiles + checkpoints exactly like a process restart.
+//
+// Determinism contract: a scenario's crash schedule, injected failures, and
+// stall charges are pure functions of (seed, rules, workload); the report
+// of a rerun compares equal field-for-field.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "iosim/fault_plane.h"
+#include "iosim/sim_clock.h"
+#include "util/status.h"
+
+namespace corgipile {
+
+/// A named, seeded fault script. `clock` (optional) receives kStall charges.
+struct ChaosScenario {
+  std::string name;
+  uint64_t seed = 0;
+  std::vector<ChaosRule> rules;
+  SimClock* clock = nullptr;
+
+  /// One-line repro string ("scenario=<name> seed=<seed>"); every chaos /
+  /// fault assertion prints it so a red CI run reproduces with one command.
+  std::string Describe() const;
+};
+
+/// What happened during a scenario run.
+struct ChaosReport {
+  std::string scenario;
+  uint64_t seed = 0;
+  uint32_t attempts = 0;  ///< workload invocations (1 + restarts)
+  uint32_t crashes = 0;   ///< scripted kills that fired
+  std::vector<std::string> crash_points;  ///< in crash order
+  std::map<std::string, uint64_t> hits;   ///< per-point hit totals
+  FaultPlaneStats plane;
+  Status final_status;  ///< status of the last attempt
+
+  std::string Describe() const;
+};
+
+/// Executes scenarios against workload bodies. Stateless; every method
+/// arms the process FaultPlane on entry and disarms it on exit.
+class ChaosRunner {
+ public:
+  /// Runs `body` once under the scenario. A ChaosCrash is caught and
+  /// recorded (crashes=1, final_status=kCancelled describing the crash);
+  /// it does NOT restart.
+  static ChaosReport Run(const ChaosScenario& scenario,
+                         const std::function<Status()>& body);
+
+  /// Kill-and-restart: invokes `body(attempt)` until an attempt finishes
+  /// without a scripted crash or `max_attempts` is exhausted. Each crash
+  /// unwinds the attempt and increments the counter; kill rules are
+  /// one-shot inside the FaultPlane, so a restarted attempt runs past the
+  /// point that killed its predecessor. The body returning non-OK ends the
+  /// loop immediately (a real failure, not a scripted crash).
+  static ChaosReport RunToCompletion(
+      const ChaosScenario& scenario,
+      const std::function<Status(uint32_t attempt)>& body,
+      uint32_t max_attempts = 8);
+};
+
+}  // namespace corgipile

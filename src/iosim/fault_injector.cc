@@ -40,6 +40,12 @@ double RetryPolicy::BackoffSeconds(uint32_t failure_index) const {
          std::pow(backoff_multiplier, static_cast<double>(failure_index));
 }
 
+double RetryPolicy::MaxTotalBackoffSeconds() const {
+  double total = 0.0;
+  for (uint32_t i = 0; i < max_retries; ++i) total += BackoffSeconds(i);
+  return total;
+}
+
 FaultInjector::FaultInjector(FaultConfig config) : config_(config) {}
 
 uint64_t FaultInjector::TagForPath(const std::string& path) {

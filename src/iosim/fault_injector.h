@@ -94,6 +94,11 @@ struct RetryPolicy {
   double backoff_multiplier = 2.0;
 
   double BackoffSeconds(uint32_t failure_index) const;  ///< 0-based
+
+  /// Upper bound on the backoff one read can charge to the SimClock: the
+  /// sum of BackoffSeconds over the full retry budget. Property-tested
+  /// against randomized fault schedules in tests/property_test.cc.
+  double MaxTotalBackoffSeconds() const;
 };
 
 /// Deterministic fault source consulted by HeapFile and the record-file

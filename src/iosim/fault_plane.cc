@@ -1,0 +1,206 @@
+#include "iosim/fault_plane.h"
+
+#include <sstream>
+
+namespace corgipile {
+
+namespace {
+
+// SplitMix64 finalizer — same mixing idiom as FaultInjector::HashDraw, so
+// probability-gated rules are pure functions of (seed, point, hit).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashPoint(const char* point) {
+  // FNV-1a over the point name; stable across platforms.
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char* p = point; *p; ++p) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(*p));
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+double UnitDraw(uint64_t seed, const char* point, uint64_t hit) {
+  const uint64_t h = Mix64(seed ^ Mix64(HashPoint(point) ^ Mix64(hit)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* ChaosActionToString(ChaosAction a) {
+  switch (a) {
+    case ChaosAction::kFail: return "fail";
+    case ChaosAction::kKill: return "kill";
+    case ChaosAction::kStall: return "stall";
+  }
+  return "?";
+}
+
+std::string ChaosCrash::ToString() const {
+  std::ostringstream os;
+  os << "ChaosCrash at point '" << point << "' hit #" << hit
+     << " (scenario=" << scenario << " seed=" << seed << ")";
+  return os.str();
+}
+
+FaultPlane* FaultPlane::Process() {
+  static FaultPlane* plane = new FaultPlane();  // intentionally leaked
+  return plane;
+}
+
+std::atomic<bool>& FaultPlane::internal_armed() {
+  static std::atomic<bool> armed{false};
+  return armed;
+}
+
+void FaultPlane::Arm(std::string scenario, uint64_t seed,
+                     std::vector<ChaosRule> rules, SimClock* clock) {
+  MutexLock lock(mu_);
+  scenario_ = std::move(scenario);
+  seed_ = seed;
+  rules_ = std::move(rules);
+  rule_consumed_.assign(rules_.size(), false);
+  clock_ = clock;
+  armed_thread_ = std::this_thread::get_id();
+  hits_.clear();
+  stats_ = FaultPlaneStats{};
+  internal_armed().store(true, std::memory_order_release);
+}
+
+void FaultPlane::Disarm() {
+  MutexLock lock(mu_);
+  internal_armed().store(false, std::memory_order_release);
+  rules_.clear();
+  rule_consumed_.clear();
+  clock_ = nullptr;
+}
+
+bool FaultPlane::armed() const { return ProcessArmed(); }
+
+bool FaultPlane::RuleFires(const ChaosRule& rule, uint64_t hit) const {
+  if (hit < rule.from_hit) return false;
+  if (rule.repeat != 0 && hit >= rule.from_hit + rule.repeat) return false;
+  if (rule.probability > 0.0) {
+    return UnitDraw(seed_, rule.point.c_str(), hit) < rule.probability;
+  }
+  return true;
+}
+
+FaultPlane::Decision FaultPlane::Resolve(const char* point,
+                                         bool fail_allowed) {
+  Decision d;
+  MutexLock lock(mu_);
+  if (!internal_armed().load(std::memory_order_acquire)) return d;
+  const uint64_t hit = hits_[point]++;
+  const bool on_arming_thread = std::this_thread::get_id() == armed_thread_;
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    const ChaosRule& rule = rules_[i];
+    if (rule_consumed_[i] || rule.point != point) continue;
+    if (!RuleFires(rule, hit)) continue;
+    switch (rule.action) {
+      case ChaosAction::kStall:
+        d.stall_seconds += rule.stall_seconds;
+        ++d.stall_count;
+        ++stats_.stalls;
+        stats_.stalled_seconds += rule.stall_seconds;
+        break;
+      case ChaosAction::kKill:
+        if (!on_arming_thread) {
+          ++stats_.suppressed_kills;
+          break;
+        }
+        rule_consumed_[i] = true;  // one-shot: restarts run past the point
+        d.kill = true;
+        d.kill_hit = hit;
+        ++stats_.kills;
+        break;
+      case ChaosAction::kFail: {
+        if (!fail_allowed) {
+          ++stats_.dropped_failures;
+          break;
+        }
+        if (!d.fail.ok()) break;  // first matching fail rule wins
+        std::ostringstream os;
+        if (rule.message.empty()) {
+          os << "injected failure at '" << point << "' hit #" << hit;
+        } else {
+          os << rule.message;
+        }
+        os << " (scenario=" << scenario_ << " seed=" << seed_ << ")";
+        d.fail = Status(rule.code, os.str());
+        ++stats_.injected_failures;
+        break;
+      }
+    }
+    if (d.kill) break;  // a crash preempts later rules at this hit
+  }
+  return d;
+}
+
+Status FaultPlane::Apply(const char* point, bool fail_allowed) {
+  Decision d = Resolve(point, fail_allowed);
+  if (d.stall_seconds > 0.0) {
+    MutexLock lock(mu_);
+    if (clock_ != nullptr) {
+      SimClock* clock = clock_;
+      lock.Unlock();
+      clock->Advance(TimeCategory::kChaosStall, d.stall_seconds);
+    }
+  }
+  if (d.kill) {
+    ChaosCrash crash;
+    crash.point = point;
+    crash.hit = d.kill_hit;
+    {
+      MutexLock lock(mu_);
+      crash.seed = seed_;
+      crash.scenario = scenario_;
+    }
+    throw crash;
+  }
+  return d.fail;
+}
+
+Status FaultPlane::OnPoint(const char* point) {
+  return Apply(point, /*fail_allowed=*/true);
+}
+
+void FaultPlane::OnPointVoid(const char* point) {
+  // Kill/stall semantics are identical to OnPoint; fail rules are counted
+  // as dropped inside Resolve, so the returned Status is always OK here.
+  Status st = Apply(point, /*fail_allowed=*/false);
+  (void)st;  // always OK with fail_allowed=false
+}
+
+uint64_t FaultPlane::Hits(const std::string& point) const {
+  MutexLock lock(mu_);
+  auto it = hits_.find(point);
+  return it == hits_.end() ? 0 : it->second;
+}
+
+std::map<std::string, uint64_t> FaultPlane::HitSnapshot() const {
+  MutexLock lock(mu_);
+  return hits_;
+}
+
+FaultPlaneStats FaultPlane::StatsSnapshot() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+std::string FaultPlane::scenario() const {
+  MutexLock lock(mu_);
+  return scenario_;
+}
+
+uint64_t FaultPlane::seed() const {
+  MutexLock lock(mu_);
+  return seed_;
+}
+
+}  // namespace corgipile

@@ -1,0 +1,186 @@
+// Process-wide deterministic chaos plane (DESIGN.md §12).
+//
+// Generalizes the storage-level FaultInjector into a cross-subsystem fault
+// surface: code in storage, shuffle, trainer, checkpoint, db, and serve
+// declares *named points* with CORGI_CRASH_POINT / CORGI_INJECT_POINT, and
+// a chaos scenario arms the plane with a seeded rule list describing what
+// happens at which hit of which point:
+//
+//  * kFail  — the point returns an injected non-OK Status (channel-send
+//             failures, allocation failures, serve-resolution failures).
+//  * kStall — the point charges simulated seconds to the armed SimClock
+//             (TimeCategory::kChaosStall); never a real sleep.
+//  * kKill  — the point throws ChaosCrash, tearing the workload down
+//             mid-flight. Only the arming thread is killed (throwing
+//             across a worker thread's start function would terminate the
+//             process); non-arming threads count the rule as suppressed.
+//
+// Every decision is a pure function of (scenario seed, point name, hit
+// index), so a scenario replays bit-for-bit: same seed, same crashes, same
+// stalls, same injected failures. The plane is disarmed by default and the
+// hooks compile to a single relaxed atomic load in that state, so points
+// are cheap enough for hot paths.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "iosim/sim_clock.h"
+#include "util/mutex.h"
+#include "util/status.h"
+
+namespace corgipile {
+
+/// What a matched rule does at a chaos point.
+enum class ChaosAction : int {
+  kFail = 0,  ///< return an injected Status (ignored at void points)
+  kKill,      ///< throw ChaosCrash on the arming thread
+  kStall,     ///< charge stall_seconds to the armed SimClock
+};
+
+const char* ChaosActionToString(ChaosAction a);
+
+/// One scripted fault. A rule fires when its point's 0-based hit counter
+/// lands in [from_hit, from_hit + repeat) — or, when `probability` > 0,
+/// when additionally the seeded per-hit draw (a pure function of scenario
+/// seed × point × hit index) falls below `probability`. kKill rules are
+/// one-shot regardless of `repeat`: after the first crash they are consumed
+/// so a restarted attempt can run past the point.
+struct ChaosRule {
+  std::string point;
+  ChaosAction action = ChaosAction::kFail;
+
+  uint64_t from_hit = 0;
+  uint64_t repeat = 1;  ///< 0 = every hit from from_hit onward
+  double probability = 0.0;  ///< 0 = fire unconditionally inside the window
+
+  /// kFail payload.
+  StatusCode code = StatusCode::kIoError;
+  std::string message;  ///< defaulted to a descriptive one when empty
+
+  /// kStall payload, charged as TimeCategory::kChaosStall.
+  double stall_seconds = 0.0;
+};
+
+/// Thrown by a kKill rule on the arming thread. Deliberately not derived
+/// from std::exception: generic catch(const std::exception&) recovery
+/// blocks must not swallow a scripted crash.
+struct ChaosCrash {
+  std::string point;
+  uint64_t hit = 0;
+  uint64_t seed = 0;
+  std::string scenario;
+
+  std::string ToString() const;
+};
+
+/// Counters describing plane activity since the last Arm().
+struct FaultPlaneStats {
+  uint64_t kills = 0;              ///< ChaosCrash thrown
+  uint64_t suppressed_kills = 0;   ///< kill matched off the arming thread
+  uint64_t injected_failures = 0;  ///< kFail statuses returned
+  uint64_t dropped_failures = 0;   ///< kFail matched at a void point
+  uint64_t stalls = 0;             ///< kStall charges
+  double stalled_seconds = 0.0;
+};
+
+/// The process-wide chaos plane. Disarmed by default; a ChaosRunner (or a
+/// test) arms it with a scenario's rules for the duration of one workload.
+/// Thread-safe; hit counting is serialized under one mutex, which is fine
+/// because armed runs are short, scripted test workloads.
+class FaultPlane {
+ public:
+  /// The singleton consulted by the CORGI_*_POINT hooks.
+  static FaultPlane* Process();
+  /// Cheap disarmed-check for the hooks' fast path.
+  static bool ProcessArmed() {
+    return internal_armed().load(std::memory_order_acquire);
+  }
+
+  /// Arms the plane. `clock` (optional) receives kStall charges; without
+  /// one, stall rules only count. Replaces any previous arming.
+  void Arm(std::string scenario, uint64_t seed, std::vector<ChaosRule> rules,
+           SimClock* clock = nullptr);
+  void Disarm();
+  bool armed() const;
+
+  /// Full-semantics hook for Status-returning contexts: counts the hit,
+  /// applies stall / kill / fail rules in rule order. Called via
+  /// CORGI_INJECT_POINT; safe (and a cheap no-op) while disarmed.
+  Status OnPoint(const char* point);
+
+  /// Stall/kill-only hook for void contexts (CORGI_CRASH_POINT). A kFail
+  /// rule matching here is counted as dropped, never silently lost.
+  void OnPointVoid(const char* point);
+
+  /// Hits of `point` since the last Arm (0 when never hit).
+  uint64_t Hits(const std::string& point) const;
+  /// All points hit since the last Arm, ordered by name.
+  std::map<std::string, uint64_t> HitSnapshot() const;
+  FaultPlaneStats StatsSnapshot() const;
+
+  std::string scenario() const;
+  uint64_t seed() const;
+
+ private:
+  FaultPlane() = default;
+
+  static std::atomic<bool>& internal_armed();
+
+  struct Decision {
+    bool kill = false;
+    uint64_t kill_hit = 0;
+    double stall_seconds = 0.0;
+    uint64_t stall_count = 0;
+    Status fail;  // OK unless a kFail rule matched
+  };
+  /// Counts the hit and resolves matching rules; all side effects
+  /// (throwing, clock charges) happen in the callers after unlock.
+  Decision Resolve(const char* point, bool fail_allowed);
+  /// Shared body of OnPoint / OnPointVoid.
+  Status Apply(const char* point, bool fail_allowed);
+
+  /// True iff `rule` fires at hit index `hit` (pure in seed × point × hit).
+  bool RuleFires(const ChaosRule& rule, uint64_t hit) const
+      CORGI_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  std::string scenario_ CORGI_GUARDED_BY(mu_);
+  uint64_t seed_ CORGI_GUARDED_BY(mu_) = 0;
+  std::vector<ChaosRule> rules_ CORGI_GUARDED_BY(mu_);
+  std::vector<bool> rule_consumed_ CORGI_GUARDED_BY(mu_);
+  SimClock* clock_ CORGI_GUARDED_BY(mu_) = nullptr;
+  std::thread::id armed_thread_ CORGI_GUARDED_BY(mu_);
+  /// Ordered map: HitSnapshot iterates it, and iteration order must be
+  /// deterministic (the determinism linter forbids unordered iteration).
+  std::map<std::string, uint64_t> hits_ CORGI_GUARDED_BY(mu_);
+  FaultPlaneStats stats_ CORGI_GUARDED_BY(mu_);
+};
+
+/// Declares a named chaos point in a void (or non-Status) context. Applies
+/// kStall and kKill rules; compiles to one atomic load while disarmed.
+#define CORGI_CRASH_POINT(name)                                   \
+  do {                                                            \
+    if (::corgipile::FaultPlane::ProcessArmed()) {                \
+      ::corgipile::FaultPlane::Process()->OnPointVoid(name);      \
+    }                                                             \
+  } while (false)
+
+/// Declares a named chaos point in a Status / Result-returning function.
+/// Applies kStall, kKill, and kFail rules; a matched kFail propagates as
+/// the function's return value via CORGI_RETURN_NOT_OK semantics.
+#define CORGI_INJECT_POINT(name)                                  \
+  do {                                                            \
+    if (::corgipile::FaultPlane::ProcessArmed()) {                \
+      ::corgipile::Status _chaos_st =                             \
+          ::corgipile::FaultPlane::Process()->OnPoint(name);      \
+      if (!_chaos_st.ok()) return _chaos_st;                      \
+    }                                                             \
+  } while (false)
+
+}  // namespace corgipile

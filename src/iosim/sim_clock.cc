@@ -16,6 +16,7 @@ const char* TimeCategoryToString(TimeCategory c) {
     case TimeCategory::kRetryBackoff: return "retry_backoff";
     case TimeCategory::kStragglerWait: return "straggler_wait";
     case TimeCategory::kServe: return "serve";
+    case TimeCategory::kChaosStall: return "chaos_stall";
     case TimeCategory::kOther: return "other";
     case TimeCategory::kNumCategories: break;
   }

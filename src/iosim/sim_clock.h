@@ -25,6 +25,7 @@ enum class TimeCategory : int {
   kRetryBackoff,  ///< simulated backoff waits of the I/O retry paths
   kStragglerWait,  ///< time workers idle at a barrier waiting for stragglers
   kServe,          ///< inference-engine batch service time (src/serve/)
+  kChaosStall,     ///< seeded stalls injected by the FaultPlane (§12)
   kOther,
   kNumCategories,
 };

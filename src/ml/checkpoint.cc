@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "iosim/fault_plane.h"
 #include "ml/serialize.h"
 #include "util/crc32c.h"
 
@@ -61,6 +62,7 @@ bool GetDoubles(const uint8_t* data, size_t len, size_t* pos,
 }  // namespace
 
 Status SaveCheckpoint(const TrainCheckpoint& ckpt, const std::string& path) {
+  CORGI_INJECT_POINT("checkpoint.save");
   std::string body;
   body.append(kMagic);
   body.push_back('\n');

@@ -9,6 +9,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "iosim/fault_plane.h"
+
 namespace corgipile {
 
 namespace {
@@ -46,6 +48,10 @@ Status AtomicWriteFile(const std::string& path, const void* data, size_t len) {
     ::unlink(tmp.c_str());
     return Status::IoError("close " + tmp + ": " + std::strerror(errno));
   }
+  // Chaos point: a kill in the window after the temp file is durable but
+  // before the rename models the classic torn-checkpoint crash — the old
+  // complete file must still be what a restart reads.
+  CORGI_INJECT_POINT("storage.atomic_write.before_rename");
   if (::rename(tmp.c_str(), path.c_str()) != 0) {
     const Status st = Status::IoError("rename " + tmp + " -> " + path + ": " +
                                       std::strerror(errno));

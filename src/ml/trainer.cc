@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "iosim/fault_plane.h"
 #include "ml/checkpoint.h"
 #include "util/timer.h"
 
@@ -107,6 +108,7 @@ Result<TrainResult> Train(Model* model, TupleStream* stream,
   };
 
   for (uint32_t epoch = start_epoch; epoch < options.epochs; ++epoch) {
+    CORGI_INJECT_POINT("trainer.epoch_begin");
     const double lr = options.lr.LrAtEpoch(epoch);
     CORGI_RETURN_NOT_OK(stream->StartEpoch(epoch));
     const uint64_t quarantined_before = stream->QuarantinedBlocks();
@@ -206,6 +208,10 @@ Result<TrainResult> Train(Model* model, TupleStream* stream,
     result.best_test_metric = std::max(result.best_test_metric, log.test_metric);
     result.epochs.push_back(log);
 
+    // Chaos point: a kill here dies after the epoch's updates but before
+    // its checkpoint — a restart replays the whole epoch from the previous
+    // checkpoint and must land on identical parameters.
+    CORGI_INJECT_POINT("trainer.epoch_end");
     const bool target_hit = options.target_metric > 0.0 &&
                             log.test_metric >= options.target_metric;
     const bool last_epoch = target_hit || epoch + 1 == options.epochs;

@@ -1,0 +1,77 @@
+#include "serve/circuit_breaker.h"
+
+#include <algorithm>
+
+namespace corgipile {
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options)
+    : options_(options),
+      outcomes_(std::max<uint32_t>(1, options.window), false) {}
+
+bool CircuitBreaker::AllowRequest(double now_s) {
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now_s - opened_at_s_ >= options_.cooldown_s) {
+        state_ = State::kHalfOpen;
+        return true;  // the single probe
+      }
+      return false;
+    case State::kHalfOpen:
+      // A probe is already outstanding this instant; the scheduler thread
+      // reports its outcome before asking again, so this only triggers if
+      // a caller skipped RecordSuccess/RecordFailure.
+      return false;
+  }
+  return false;  // unreachable
+}
+
+void CircuitBreaker::RecordSuccess() {
+  if (state_ == State::kHalfOpen) {
+    // Probe succeeded: close and start from a clean window so one stale
+    // failure burst cannot immediately re-trip.
+    Reset();
+    return;
+  }
+  outcomes_[next_slot_] = false;
+  next_slot_ = (next_slot_ + 1) % outcomes_.size();
+  filled_ = std::min(filled_ + 1, outcomes_.size());
+}
+
+void CircuitBreaker::RecordFailure(double now_s) {
+  if (state_ == State::kHalfOpen) {
+    state_ = State::kOpen;
+    opened_at_s_ = now_s;
+    ++opens_;
+    return;
+  }
+  outcomes_[next_slot_] = true;
+  next_slot_ = (next_slot_ + 1) % outcomes_.size();
+  filled_ = std::min(filled_ + 1, outcomes_.size());
+  if (state_ == State::kClosed && WindowTrips()) {
+    state_ = State::kOpen;
+    opened_at_s_ = now_s;
+    ++opens_;
+  }
+}
+
+void CircuitBreaker::Reset() {
+  state_ = State::kClosed;
+  std::fill(outcomes_.begin(), outcomes_.end(), false);
+  next_slot_ = 0;
+  filled_ = 0;
+  opened_at_s_ = 0.0;
+}
+
+bool CircuitBreaker::WindowTrips() const {
+  if (filled_ < options_.min_samples) return false;
+  size_t failures = 0;
+  for (size_t i = 0; i < filled_; ++i) {
+    if (outcomes_[i]) ++failures;
+  }
+  return static_cast<double>(failures) >=
+         options_.error_threshold * static_cast<double>(filled_);
+}
+
+}  // namespace corgipile

@@ -1,0 +1,79 @@
+// Per-model circuit breaker for the serving path (DESIGN.md §12).
+//
+// Classic three-state breaker driven entirely by the inference engine's
+// *simulated* timeline, so its decisions are a pure function of the
+// resolve outcomes and their virtual timestamps — bit-identical across
+// reruns of the same chaos scenario.
+//
+//   Closed   — resolves flow through; a sliding window of recent outcomes
+//              is tracked. Once the window holds >= min_samples outcomes
+//              and the failure fraction reaches error_threshold, the
+//              breaker trips to Open.
+//   Open     — resolves are short-circuited (no ModelStore call, no retry
+//              budget burned) until cooldown_s simulated seconds pass.
+//   HalfOpen — after the cooldown, exactly one probe resolve is allowed:
+//              success closes the breaker (window cleared), failure
+//              re-opens it for another cooldown.
+//
+// Concurrency: confined to the engine's single scheduler thread, like the
+// rest of the batching state — no locks by design (inference_engine.h).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace corgipile {
+
+struct CircuitBreakerOptions {
+  /// Sliding window of recent resolve outcomes the trip decision reads.
+  uint32_t window = 8;
+  /// Never trip before the window holds this many outcomes (avoids opening
+  /// on the first failure of a cold breaker).
+  uint32_t min_samples = 4;
+  /// Trip when failures / window_size >= this fraction.
+  double error_threshold = 0.5;
+  /// Simulated seconds to stay Open before allowing the HalfOpen probe.
+  double cooldown_s = 0.05;
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(CircuitBreakerOptions options);
+
+  /// May a resolve be attempted at simulated time `now_s`? Transitions
+  /// Open → HalfOpen once the cooldown has elapsed (the allowed call is
+  /// the probe). The caller must report the attempt's outcome via
+  /// RecordSuccess/RecordFailure before asking again.
+  bool AllowRequest(double now_s);
+
+  /// Outcome of an allowed resolve attempt. RecordFailure may trip the
+  /// breaker (observable via opens()).
+  void RecordSuccess();
+  void RecordFailure(double now_s);
+
+  /// Forgets all history (e.g. when the model was re-published — the new
+  /// version deserves a cold start).
+  void Reset();
+
+  State state() const { return state_; }
+  /// Cumulative Closed/HalfOpen → Open transitions.
+  uint64_t opens() const { return opens_; }
+
+ private:
+  bool WindowTrips() const;
+
+  const CircuitBreakerOptions options_;
+  State state_ = State::kClosed;
+  /// Ring buffer of the last `window` outcomes (true = failure).
+  std::vector<bool> outcomes_;
+  size_t next_slot_ = 0;
+  size_t filled_ = 0;
+  double opened_at_s_ = 0.0;
+  uint64_t opens_ = 0;
+};
+
+}  // namespace corgipile

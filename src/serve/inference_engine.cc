@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "iosim/fault_plane.h"
+
 namespace corgipile {
 
 namespace {
@@ -39,7 +41,11 @@ InferenceEngine::InferenceEngine(ModelStore* store, ServeOptions options)
                                             : 2 * options_.max_queue_depth)),
       batches_(2 * std::max<uint32_t>(1, options_.num_workers)),
       pool_(std::max<uint32_t>(1, options_.num_workers)),
-      worker_free_s_(std::max<uint32_t>(1, options_.num_workers), 0.0) {}
+      worker_free_s_(std::max<uint32_t>(1, options_.num_workers), 0.0) {
+  // Chaos hook: scripted send failures on the scheduler→worker channel
+  // surface as per-item errors, never as wrong answers (tests/chaos_test).
+  batches_.set_chaos_point("channel.serve.batches");
+}
 
 InferenceEngine::~InferenceEngine() {
   // Destructor cannot propagate the Status; Drain() here only exists to
@@ -184,6 +190,62 @@ void InferenceEngine::ProcessArrival(Pending&& p) {
   }
 }
 
+Result<ModelSnapshot> InferenceEngine::ResolveSnapshot(double close_s) {
+  CircuitBreaker& breaker =
+      breakers_.try_emplace(open_model_id_, options_.breaker).first->second;
+
+  if (!breaker.AllowRequest(close_s)) {
+    MutexLock lock(stats_mu_);
+    stats_.RecordBreakerShortCircuit();
+    return Status::ResourceExhausted("circuit breaker open for model '" +
+                                     open_model_id_ + "'");
+  }
+
+  double backoff = options_.resolve_backoff_s;
+  Status last = Status::OK();
+  for (uint32_t attempt = 0;; ++attempt) {
+    Result<ModelSnapshot> snap = [&]() -> Result<ModelSnapshot> {
+      CORGI_INJECT_POINT("serve.resolve");
+      return store_->GetSnapshot(open_model_id_);
+    }();
+    if (snap.ok()) {
+      // A re-published model deserves a cold breaker: stale failures from
+      // the previous version must not trip against the new one.
+      auto prev = last_good_.find(open_model_id_);
+      if (prev != last_good_.end() &&
+          prev->second.version != snap.ValueOrDie().version) {
+        breaker.Reset();
+      }
+      breaker.RecordSuccess();
+      last_good_[open_model_id_] = snap.ValueOrDie();
+      return snap;
+    }
+    // kNotFound is permanent (the model was never stored): no amount of
+    // retrying or tripping helps, and brownout would serve a ghost.
+    if (snap.status().IsNotFound()) return snap;
+    last = snap.status();
+    const uint64_t opens_before = breaker.opens();
+    breaker.RecordFailure(close_s);
+    if (breaker.opens() != opens_before) {
+      MutexLock lock(stats_mu_);
+      stats_.RecordBreakerOpen();
+    }
+    if (attempt >= options_.resolve_max_retries ||
+        breaker.state() != CircuitBreaker::State::kClosed) {
+      break;
+    }
+    {
+      MutexLock lock(stats_mu_);
+      stats_.RecordResolveRetry();
+    }
+    if (options_.clock != nullptr) {
+      options_.clock->Advance(TimeCategory::kRetryBackoff, backoff);
+    }
+    backoff *= std::max(1.0, options_.resolve_backoff_multiplier);
+  }
+  return last;
+}
+
 void InferenceEngine::CloseOpenBatch(double close_s, bool by_deadline) {
   if (open_items_.empty()) return;
   std::vector<Pending> items = std::move(open_items_);
@@ -191,14 +253,25 @@ void InferenceEngine::CloseOpenBatch(double close_s, bool by_deadline) {
 
   // Hot-swap boundary: the snapshot resolved here serves the whole batch,
   // even if a Publish() lands before the batch executes.
-  auto snapshot = store_->GetSnapshot(open_model_id_);
+  bool brownout = false;
+  auto snapshot = ResolveSnapshot(close_s);
   if (!snapshot.ok()) {
-    MutexLock lock(stats_mu_);
-    for (auto& item : items) {
-      stats_.RecordFailed();
-      Fail(std::move(item), snapshot.status());
+    // Brownout: answer from the last snapshot that did resolve — an older
+    // version is still a *correct* model, just possibly stale, which beats
+    // shedding the batch.
+    auto good = last_good_.find(open_model_id_);
+    if (options_.enable_brownout && !snapshot.status().IsNotFound() &&
+        good != last_good_.end()) {
+      snapshot = good->second;
+      brownout = true;
+    } else {
+      MutexLock lock(stats_mu_);
+      for (auto& item : items) {
+        stats_.RecordFailed();
+        Fail(std::move(item), snapshot.status());
+      }
+      return;
     }
-    return;
   }
 
   // First-free simulated service slot (ties → lowest index).
@@ -253,6 +326,7 @@ void InferenceEngine::CloseOpenBatch(double close_s, bool by_deadline) {
   {
     MutexLock lock(stats_mu_);
     stats_.RecordBatch(run.size(), by_deadline, service_s);
+    if (brownout) stats_.RecordBrownoutBatch(run.size());
     for (const Pending& item : run) {
       stats_.RecordCompletion(open_model_id_, snapshot->version,
                               completion_s - item.req.arrival_s,

@@ -41,6 +41,7 @@
 
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -49,6 +50,7 @@
 #include "db/model_store.h"
 #include "exec/tuple_batch.h"
 #include "iosim/sim_clock.h"
+#include "serve/circuit_breaker.h"
 #include "serve/serve_stats.h"
 #include "storage/tuple.h"
 #include "util/cancellation.h"
@@ -80,6 +82,25 @@ struct ServeOptions {
   bool flush_on_idle = true;
   /// Optional: batch service time is charged here under kServe. Borrowed.
   SimClock* clock = nullptr;
+
+  // --- graceful degradation (DESIGN.md §12) ---
+  // Snapshot resolution (ModelStore::GetSnapshot at batch close, the
+  // FaultPlane point "serve.resolve") degrades in three layers: bounded
+  // retry with exponential backoff, a per-model circuit breaker that
+  // short-circuits resolves while failures persist, and a brownout mode
+  // that answers from the last successfully resolved snapshot. kNotFound
+  // is permanent (model never stored) and bypasses all three.
+  /// Retries after the first failed resolve; each retry is preceded by a
+  /// backoff charged to `clock` under kRetryBackoff.
+  uint32_t resolve_max_retries = 2;
+  double resolve_backoff_s = 1e-3;
+  /// Backoff grows by this factor per retry (>= 1).
+  double resolve_backoff_multiplier = 2.0;
+  CircuitBreakerOptions breaker;
+  /// Serve the last-good snapshot (possibly an older version — the
+  /// hot-swap degradation story) when resolution fails; false fails the
+  /// batch with the resolve error instead.
+  bool enable_brownout = true;
 };
 
 struct ServeRequest {
@@ -162,6 +183,10 @@ class InferenceEngine {
   void CloseOpenBatch(double close_s, bool by_deadline);
   void WorkerLoop();
   void Fail(Pending&& p, Status status);
+  /// Resolves the snapshot serving the open batch, applying the breaker /
+  /// bounded-retry layers (scheduler thread only). On success also updates
+  /// the last-good map and resets the model's breaker on a version change.
+  Result<ModelSnapshot> ResolveSnapshot(double close_s);
 
   ModelStore* store_;
   const ServeOptions options_;
@@ -187,6 +212,10 @@ class InferenceEngine {
   std::vector<std::pair<double, uint64_t>> backlog_;
   size_t backlog_head_ = 0;  ///< pruned prefix
   uint64_t backlog_count_ = 0;
+  /// Per-model degradation state (ordered maps: the determinism linter
+  /// forbids unordered iteration, and these are tiny).
+  std::map<std::string, CircuitBreaker> breakers_;
+  std::map<std::string, ModelSnapshot> last_good_;
 
   mutable Mutex stats_mu_;
   ServeStatsBuilder stats_ CORGI_GUARDED_BY(stats_mu_);

@@ -28,6 +28,15 @@ std::string ServeStats::ToString() const {
      << "); p50=" << latency.p50 * 1e3 << "ms p95=" << latency.p95 * 1e3
      << "ms p99=" << latency.p99 * 1e3 << "ms; throughput="
      << throughput_rps << " req/s";
+  if (hedged_retries + breaker_opens + breaker_short_circuits +
+          brownout_batches >
+      0) {
+    os << "; degradation: retries=" << hedged_retries
+       << " breaker_opens=" << breaker_opens
+       << " short_circuits=" << breaker_short_circuits
+       << " brownout=" << brownout_served << " req in " << brownout_batches
+       << " batches";
+  }
   if (!served_by_version.empty()) {
     os << "; versions:";
     for (const auto& [id, per_version] : served_by_version) {

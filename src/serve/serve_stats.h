@@ -47,6 +47,15 @@ struct ServeStats {
   uint64_t full_closes = 0;      ///< batches closed by reaching max_batch
   double mean_batch_occupancy = 0.0;
 
+  // --- graceful degradation (DESIGN.md §12) ---
+  uint64_t hedged_retries = 0;  ///< resolve retries after a failed attempt
+  uint64_t breaker_opens = 0;   ///< circuit-breaker Closed/HalfOpen → Open
+  /// Batches whose snapshot resolve was short-circuited by an Open breaker
+  /// (no ModelStore call, no retry budget burned).
+  uint64_t breaker_short_circuits = 0;
+  uint64_t brownout_batches = 0;  ///< batches served from last-good snapshot
+  uint64_t brownout_served = 0;   ///< requests answered in brownout mode
+
   // --- simulated timeline ---
   double first_arrival_s = 0.0;
   double last_completion_s = 0.0;
@@ -78,6 +87,15 @@ class ServeStatsBuilder {
   void RecordExpired() { ++stats_.expired; }
   void RecordCancelled() { ++stats_.cancelled; }
   void RecordFailed() { ++stats_.failed; }
+
+  // Degradation accounting (CloseOpenBatch's resolve path).
+  void RecordResolveRetry() { ++stats_.hedged_retries; }
+  void RecordBreakerOpen() { ++stats_.breaker_opens; }
+  void RecordBreakerShortCircuit() { ++stats_.breaker_short_circuits; }
+  void RecordBrownoutBatch(uint64_t served) {
+    ++stats_.brownout_batches;
+    stats_.brownout_served += served;
+  }
 
   /// One dispatched batch: per-request completion latencies are recorded
   /// by the caller via RecordCompletion.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "iosim/fault_plane.h"
+
 namespace corgipile {
 
 HierarchicalBlockStream::HierarchicalBlockStream(const char* name,
@@ -14,6 +16,7 @@ HierarchicalBlockStream::HierarchicalBlockStream(const char* name,
 }
 
 Status HierarchicalBlockStream::StartEpoch(uint64_t epoch) {
+  CORGI_INJECT_POINT("shuffle.start_epoch");
   clear_status();
   source_->Reset();
   const uint32_t n = source_->num_blocks();

@@ -1,6 +1,22 @@
 #include "storage/buffer_manager.h"
 
+#include "iosim/fault_plane.h"
+
 namespace corgipile {
+
+namespace {
+
+// Chaos point modelling a cache-frame allocation failure. Admission is an
+// optimization, never a correctness requirement, so a firing rule makes the
+// cache *decline the page* (count it, serve uncached) instead of erroring —
+// the graceful-degradation contract of DESIGN.md §12.
+bool CacheAdmissionFails() {
+  if (!FaultPlane::ProcessArmed()) return false;
+  Status st = FaultPlane::Process()->OnPoint("storage.buffer.admit");
+  return !st.ok();
+}
+
+}  // namespace
 
 BufferManager::BufferManager(uint64_t capacity_bytes)
     : capacity_bytes_(capacity_bytes) {}
@@ -21,6 +37,11 @@ Result<std::shared_ptr<const Page>> BufferManager::Fetch(HeapFile* file,
   Page page(file->page_size());
   CORGI_RETURN_NOT_OK(file->ReadPage(page_idx, &page));
   auto shared = std::make_shared<const Page>(std::move(page));
+  if (CacheAdmissionFails()) {
+    MutexLock lock(mu_);
+    ++stats_.alloc_rejections;
+    return shared;  // degraded: correct data, just not cached
+  }
   {
     MutexLock lock(mu_);
     // Double check: another thread might have inserted meanwhile.
@@ -36,6 +57,11 @@ Result<std::shared_ptr<const Page>> BufferManager::Fetch(HeapFile* file,
 
 void BufferManager::Insert(const HeapFile* file, uint64_t page_idx,
                            std::shared_ptr<const Page> page) {
+  if (CacheAdmissionFails()) {
+    MutexLock lock(mu_);
+    ++stats_.alloc_rejections;
+    return;
+  }
   MutexLock lock(mu_);
   const Key key{file, page_idx};
   if (index_.count(key)) return;

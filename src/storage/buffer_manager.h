@@ -21,6 +21,9 @@ class BufferManager {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
+    /// Pages the cache declined under injected allocation failure
+    /// (FaultPlane point "storage.buffer.admit"); served uncached.
+    uint64_t alloc_rejections = 0;
     double HitRate() const {
       const uint64_t total = hits + misses;
       return total == 0 ? 0.0 : static_cast<double>(hits) / total;

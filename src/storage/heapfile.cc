@@ -8,6 +8,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "iosim/fault_plane.h"
+
 namespace corgipile {
 
 HeapFile::HeapFile(std::string path, int fd, uint32_t page_size,
@@ -112,6 +114,7 @@ void HeapFile::ChargeBackoff(double seconds) {
 }
 
 Status HeapFile::AppendPage(const Page& page) {
+  CORGI_INJECT_POINT("storage.heapfile.append");
   if (page.size() != page_size_) {
     return Status::InvalidArgument("page size mismatch");
   }
@@ -176,6 +179,9 @@ Status HeapFile::ReadAttempt(FaultInjector* fault, uint64_t offset,
 }
 
 Status HeapFile::ReadWithRetry(uint64_t offset, uint8_t* buf, size_t len) {
+  // Chaos point: a scripted kill here models a process death mid-read; a
+  // scripted fail models a catastrophic (non-retryable path) I/O error.
+  CORGI_INJECT_POINT("storage.heapfile.read");
   // One locked snapshot for the whole retry loop: a concurrent
   // SetFaultInjection/SetRetryPolicy cannot change the rules (or dangle
   // the injector) between attempts of a single logical read.

@@ -28,6 +28,7 @@
 #include <deque>
 #include <utility>
 
+#include "iosim/fault_plane.h"
 #include "util/mutex.h"
 #include "util/status.h"
 
@@ -42,10 +43,20 @@ class Channel {
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
 
+  /// Names this channel's send path as a FaultPlane chaos point: while a
+  /// scenario is armed, every Push/TryPush first consults the plane and a
+  /// matching kFail rule makes the send fail with the injected Status (the
+  /// item is left untouched). `point` must outlive the channel (string
+  /// literals in practice). Unset (default) = no chaos hook.
+  void set_chaos_point(const char* point) { chaos_point_ = point; }
+
   /// Blocks while the channel is full. Returns OK once the item is
   /// enqueued; the cancel reason if the channel was cancelled; kInternal
   /// if pushed after Close() (a producer protocol bug).
   Status Push(T item) {
+    if (chaos_point_ != nullptr && FaultPlane::ProcessArmed()) {
+      CORGI_RETURN_NOT_OK(FaultPlane::Process()->OnPoint(chaos_point_));
+    }
     MutexLock lock(mu_);
     while (!cancelled_ && !closed_ && queue_.size() >= capacity_) {
       space_cv_.Wait(mu_);
@@ -63,6 +74,9 @@ class Channel {
   /// cancel reason if cancelled; kInternal after Close(). The false return
   /// is how an admission-controlled producer load-sheds instead of waiting.
   Result<bool> TryPush(T& item) {
+    if (chaos_point_ != nullptr && FaultPlane::ProcessArmed()) {
+      CORGI_RETURN_NOT_OK(FaultPlane::Process()->OnPoint(chaos_point_));
+    }
     MutexLock lock(mu_);
     if (cancelled_) return final_;
     if (closed_) return Status::Internal("TryPush on closed channel");
@@ -178,6 +192,8 @@ class Channel {
 
  private:
   const size_t capacity_;
+  /// Optional FaultPlane point name for the send path; set once before use.
+  const char* chaos_point_ = nullptr;
   mutable Mutex mu_;
   CondVar items_cv_;  ///< waiters in Pop
   CondVar space_cv_;  ///< waiters in Push/WaitWritable

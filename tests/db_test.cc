@@ -96,6 +96,28 @@ TEST(QueryParserTest, Malformed) {
   EXPECT_FALSE(ParseQuery("INSERT INTO t VALUES (1)").ok());
 }
 
+TEST(QueryParserTest, UnknownOptionsAreInvalidArgument) {
+  // A typo'd TRAIN option is rejected at parse time with kInvalidArgument
+  // and a message naming the bad key and the whitelist — never silently
+  // ignored, never a later kInternal from a half-configured pipeline.
+  auto train =
+      ParseQuery("SELECT * FROM t TRAIN BY lr WITH learning_rat=0.1");
+  ASSERT_TRUE(train.status().IsInvalidArgument()) << train.status().ToString();
+  EXPECT_NE(train.status().ToString().find("learning_rat"), std::string::npos);
+  EXPECT_NE(train.status().ToString().find("valid options"),
+            std::string::npos);
+
+  auto load = ParseQuery("LOAD TABLE t FROM '/x' WITH dims=4");
+  ASSERT_TRUE(load.status().IsInvalidArgument()) << load.status().ToString();
+  EXPECT_NE(load.status().ToString().find("dims"), std::string::npos);
+
+  // Every documented key — including the checkpoint/resume trio — parses.
+  EXPECT_TRUE(ParseQuery("SELECT * FROM t TRAIN BY lr WITH "
+                         "checkpoint=/tmp/t.ckpt, checkpoint_every=2, "
+                         "resume=true")
+                  .ok());
+}
+
 TEST(QueryParserTest, ByteSizes) {
   EXPECT_EQ(ParseByteSize("8192").ValueOrDie(), 8192u);
   EXPECT_EQ(ParseByteSize("64KB").ValueOrDie(), 64u * 1024);
@@ -401,6 +423,56 @@ TEST(DatabaseTest, ErrorsSurface) {
   EXPECT_TRUE(db.Execute("SELECT * FROM susy PREDICT BY ghost_9")
                   .status()
                   .IsNotFound());
+  // Semantic option errors are kInvalidArgument too (error-code
+  // consistency: bad user input is never kInternal / kIoError).
+  EXPECT_TRUE(db.Execute("SELECT * FROM susy TRAIN BY lr WITH "
+                         "optimizer=sgdm")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(db.Execute("SELECT * FROM susy TRAIN BY lr WITH resume=true")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(db.Execute("SELECT * FROM susy TRAIN BY lr WITH "
+                         "checkpoint=/tmp/c.ckpt, checkpoint_every=0")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(db.Execute("SELECT * FROM susy TRAIN BY lr WITH "
+                         "checkpoint=/tmp/c.ckpt, "
+                         "strategy=shuffle_once_inplace")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(DatabaseTest, CheckpointResumeSqlRoundTrip) {
+  const std::string dir = MakeTempDir("db_ckpt_sql");
+  Database db(dir, DeviceProfile::Ssd());
+  auto spec = CatalogLookup("susy", 0.02).ValueOrDie();
+  Dataset ds = GenerateDataset(spec, DataOrder::kClustered);
+  ASSERT_TRUE(db.RegisterDataset("susy", ds).ok());
+
+  const std::string ckpt = dir + "/lr.ckpt";
+  TrainStatement stmt;
+  stmt.table_name = "susy";
+  stmt.model_kind = "lr";
+  stmt.params = Params::Parse("learning_rate=0.005, max_epoch_num=4, "
+                              "block_size=16KB, double_buffer=false")
+                    .ValueOrDie();
+  stmt.params.Set("checkpoint", ckpt);
+  auto first = db.Train(stmt);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->resumed_from_epoch, 0u);
+  ASSERT_TRUE(std::filesystem::exists(ckpt));
+  const std::vector<double> trained =
+      db.models().Get(first->model_id).ValueOrDie()->params();
+
+  // Resuming from the completed checkpoint trains zero further epochs and
+  // reproduces the exact parameters.
+  stmt.params.Set("resume", "true");
+  auto resumed = db.Train(stmt);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(resumed->resumed_from_epoch, 4u);
+  EXPECT_EQ(db.models().Get(resumed->model_id).ValueOrDie()->params(),
+            trained);
 }
 
 TEST(DatabaseTest, LoadLibsvmAndTrain) {

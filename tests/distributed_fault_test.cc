@@ -22,6 +22,14 @@
 namespace corgipile {
 namespace {
 
+/// Stamps every failure message of the enclosing scope with the scenario
+/// (the test name) and the fault seed, so a red run reproduces with
+/// `--gtest_filter=<scenario>` and the printed seed (DESIGN.md §12).
+#define FAULT_SCENARIO_TRACE(seed_expr)                                      \
+  SCOPED_TRACE(::std::string("scenario=") +                                  \
+               ::testing::UnitTest::GetInstance()->current_test_info()->name() + \
+               " seed=" + ::std::to_string(seed_expr))
+
 // Record-file-backed fixture. shuffle_blocks is disabled in the returned
 // options so each worker's block shard is identical every epoch — a faulty
 // or slow block then belongs to exactly one worker for the whole run, which
@@ -79,6 +87,7 @@ FaultConfig KillerFaults() {
 TEST(DistributedFaultTest, FailFastSurfacesWorkerError) {
   DistFaultFixture f("dist_failfast");
   FaultInjector inj(KillerFaults());
+  FAULT_SCENARIO_TRACE(inj.config().seed);
   f.source->SetFaultInjection(&inj);
 
   auto result = f.Run(f.Options());  // default policy: kFailFast
@@ -92,6 +101,7 @@ TEST(DistributedFaultTest, FailFastSurfacesWorkerError) {
 TEST(DistributedFaultTest, DropAndRescaleCompletesAndRecordsEviction) {
   DistFaultFixture f("dist_drop");
   FaultInjector inj(KillerFaults());
+  FAULT_SCENARIO_TRACE(inj.config().seed);
   f.source->SetFaultInjection(&inj);
 
   DistributedTrainerOptions opts = f.Options();
@@ -130,6 +140,7 @@ TEST(DistributedFaultTest, DropAndRescaleCompletesAndRecordsEviction) {
 TEST(DistributedFaultTest, DropAndRescaleIsBitIdenticalAcrossReruns) {
   DistFaultFixture f("dist_det");
   FaultInjector inj1(KillerFaults());
+  FAULT_SCENARIO_TRACE(inj1.config().seed);
   DistributedTrainerOptions opts = f.Options();
   opts.failure_policy = WorkerFailurePolicy::kDropAndRescale;
 
@@ -140,6 +151,7 @@ TEST(DistributedFaultTest, DropAndRescaleIsBitIdenticalAcrossReruns) {
 
   // Fresh injector, same seed: the rerun must match bit for bit.
   FaultInjector inj2(KillerFaults());
+  FAULT_SCENARIO_TRACE(inj2.config().seed);
   LogisticRegression m2(f.ds.spec.dim);
   f.source->SetFaultInjection(&inj2);
   auto r2 = f.Run(opts, &m2);
@@ -176,6 +188,7 @@ FaultConfig StragglerFaults() {
 TEST(DistributedFaultTest, StragglerIsEvictedUnderDropPolicy) {
   DistFaultFixture f("dist_straggler_drop");
   FaultInjector inj(StragglerFaults());
+  FAULT_SCENARIO_TRACE(inj.config().seed);
   SimClock clock;
   IoStats io;
   f.source->SetIoAccounting(DeviceProfile::Memory(), &clock, &io);
@@ -203,6 +216,7 @@ TEST(DistributedFaultTest, StragglerIsEvictedUnderDropPolicy) {
 TEST(DistributedFaultTest, WaitPolicyToleratesStragglers) {
   DistFaultFixture f("dist_straggler_wait");
   FaultInjector inj(StragglerFaults());
+  FAULT_SCENARIO_TRACE(inj.config().seed);
   SimClock clock;
   IoStats io;
   f.source->SetIoAccounting(DeviceProfile::Memory(), &clock, &io);
@@ -233,6 +247,7 @@ TEST(DistributedFaultTest, WaitPolicyToleratesStragglers) {
 TEST(DistributedFaultTest, FailFastWithDeadlineReturnsDeadlineExceeded) {
   DistFaultFixture f("dist_straggler_ff");
   FaultInjector inj(StragglerFaults());
+  FAULT_SCENARIO_TRACE(inj.config().seed);
   SimClock clock;
   IoStats io;
   f.source->SetIoAccounting(DeviceProfile::Memory(), &clock, &io);
@@ -250,6 +265,7 @@ TEST(DistributedFaultTest, FailFastWithDeadlineReturnsDeadlineExceeded) {
 TEST(DistributedFaultTest, HardErrorFailsFastUnderWaitPolicy) {
   DistFaultFixture f("dist_wait_hard");
   FaultInjector inj(KillerFaults());
+  FAULT_SCENARIO_TRACE(inj.config().seed);
   f.source->SetFaultInjection(&inj);
 
   DistributedTrainerOptions opts = f.Options();

@@ -36,6 +36,14 @@ std::string TempPath(const std::string& name) {
   return testing::TempDir() + name;
 }
 
+/// Stamps every failure message of the enclosing scope with the scenario
+/// (the test name) and the fault seed, so a red run reproduces with
+/// `--gtest_filter=<scenario>` and the printed seed (DESIGN.md §12).
+#define FAULT_SCENARIO_TRACE(seed_expr)                                      \
+  SCOPED_TRACE(::std::string("scenario=") +                                  \
+               ::testing::UnitTest::GetInstance()->current_test_info()->name() + \
+               " seed=" + ::std::to_string(seed_expr))
+
 // Flips one bit of the file at `path`, byte `offset`.
 void FlipByteOnDisk(const std::string& path, uint64_t offset) {
   std::FILE* f = std::fopen(path.c_str(), "r+b");
@@ -53,6 +61,7 @@ void FlipByteOnDisk(const std::string& path, uint64_t offset) {
 TEST(FaultInjectorTest, DecisionsAreDeterministic) {
   FaultConfig cfg;
   cfg.seed = 99;
+  FAULT_SCENARIO_TRACE(cfg.seed);
   cfg.permanent_read_error_rate = 0.5;
   FaultInjector a(cfg), b(cfg);
   const uint64_t tag = FaultInjector::TagForPath("/data/t.tbl");
@@ -73,6 +82,7 @@ TEST(FaultInjectorTest, DecisionsAreDeterministic) {
 TEST(FaultInjectorTest, TransientSiteEventuallySucceeds) {
   FaultConfig cfg;
   cfg.seed = 7;
+  FAULT_SCENARIO_TRACE(cfg.seed);
   cfg.transient_read_error_rate = 1.0;
   cfg.max_transient_failures = 3;
   FaultInjector inj(cfg);
@@ -93,6 +103,7 @@ TEST(FaultInjectorTest, TransientSiteEventuallySucceeds) {
 TEST(FaultInjectorTest, BitFlipIsStickyAndCounted) {
   FaultConfig cfg;
   cfg.seed = 5;
+  FAULT_SCENARIO_TRACE(cfg.seed);
   cfg.bit_flip_rate = 1.0;
   FaultInjector inj(cfg);
   std::vector<uint8_t> a(64, 0xAB), b(64, 0xAB);
@@ -212,6 +223,7 @@ TEST(HeapFileFaultTest, InjectedBitFlipsAreAlwaysDetected) {
   auto file = MakeHeapFile(path, 512, 16);
   FaultConfig cfg;
   cfg.seed = 11;
+  FAULT_SCENARIO_TRACE(cfg.seed);
   cfg.bit_flip_rate = 1.0;  // every page read comes back corrupted
   FaultInjector inj(cfg);
   file->SetFaultInjection(&inj);
@@ -230,6 +242,7 @@ TEST(HeapFileFaultTest, TransientErrorsRecoverWithBackoff) {
   auto file = MakeHeapFile(path, 512, 4);
   FaultConfig cfg;
   cfg.seed = 3;
+  FAULT_SCENARIO_TRACE(cfg.seed);
   cfg.transient_read_error_rate = 1.0;
   cfg.max_transient_failures = 2;
   FaultInjector inj(cfg);
@@ -256,6 +269,7 @@ TEST(HeapFileFaultTest, PermanentErrorsSurfaceAfterRetries) {
   auto file = MakeHeapFile(path, 512, 1);
   FaultConfig cfg;
   cfg.seed = 3;
+  FAULT_SCENARIO_TRACE(cfg.seed);
   cfg.permanent_read_error_rate = 1.0;
   FaultInjector inj(cfg);
   file->SetFaultInjection(&inj);
@@ -273,6 +287,7 @@ TEST(HeapFileFaultTest, TornWriteIsDetectedOnRead) {
   const std::string path = TempPath("hf_torn.tbl");
   FaultConfig cfg;
   cfg.seed = 21;
+  FAULT_SCENARIO_TRACE(cfg.seed);
   cfg.torn_write_rate = 1.0;
   FaultInjector inj(cfg);
   auto create = HeapFile::Create(path, 512);
@@ -298,6 +313,7 @@ TEST(HeapFileFaultTest, LatencySpikesChargeSimTime) {
   auto file = MakeHeapFile(path, 512, 4);
   FaultConfig cfg;
   cfg.seed = 13;
+  FAULT_SCENARIO_TRACE(cfg.seed);
   cfg.latency_spike_rate = 1.0;
   cfg.latency_spike_seconds = 0.25;
   FaultInjector inj(cfg);
@@ -356,6 +372,7 @@ TEST(RecordFileFaultTest, InjectedFlipsAndRetries) {
 
   FaultConfig cfg;
   cfg.seed = 17;
+  FAULT_SCENARIO_TRACE(cfg.seed);
   cfg.bit_flip_rate = 1.0;
   FaultInjector flip(cfg);
   (*src)->SetFaultInjection(&flip);
@@ -365,6 +382,7 @@ TEST(RecordFileFaultTest, InjectedFlipsAndRetries) {
 
   FaultConfig tcfg;
   tcfg.seed = 17;
+  FAULT_SCENARIO_TRACE(tcfg.seed);
   tcfg.transient_read_error_rate = 1.0;
   tcfg.max_transient_failures = 2;
   FaultInjector transient(tcfg);
@@ -444,6 +462,7 @@ TEST(QuarantineTrainingTest, TrainingSurvivesSparseBitRot) {
   // Sparse sticky bit rot: ~1% of pages → a few corrupt blocks.
   FaultConfig cfg;
   cfg.seed = 1234;
+  FAULT_SCENARIO_TRACE(cfg.seed);
   cfg.bit_flip_rate = 0.01;
   FaultInjector inj(cfg);
   f.table->SetFaultInjection(&inj);
@@ -477,6 +496,7 @@ TEST(QuarantineTrainingTest, AbortsPastBadBlockThreshold) {
   FaultTrainFixture f("threshold");
   FaultConfig cfg;
   cfg.seed = 2;
+  FAULT_SCENARIO_TRACE(cfg.seed);
   cfg.bit_flip_rate = 1.0;  // every block is corrupt
   FaultInjector inj(cfg);
   f.table->SetFaultInjection(&inj);
@@ -500,6 +520,7 @@ TEST(QuarantineTrainingTest, DatabasePipelineQuarantinesAndReports) {
 
   FaultConfig cfg;
   cfg.seed = 77;
+  FAULT_SCENARIO_TRACE(cfg.seed);
   cfg.bit_flip_rate = 0.03;
   FaultInjector inj(cfg);
   db.SetFaultInjection(&inj);
@@ -555,6 +576,7 @@ TEST(QuarantineTrainingTest, CorruptionSurfacesInBothBufferModes) {
     // Sparse sticky corruption; tolerance is off (no BlockReadTolerance).
     FaultConfig cfg;
     cfg.seed = 1234;
+    FAULT_SCENARIO_TRACE(cfg.seed);
     cfg.bit_flip_rate = 0.01;
     FaultInjector inj(cfg);
     f.table->SetFaultInjection(&inj);

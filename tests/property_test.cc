@@ -14,6 +14,10 @@
 #include "dataset/loader.h"
 #include "dataloader/dataset_api.h"
 #include "iosim/device.h"
+#include "iosim/fault_injector.h"
+#include "iosim/sim_clock.h"
+#include "storage/heapfile.h"
+#include "storage/page.h"
 #include "ml/linear_models.h"
 #include "ml/mlp.h"
 #include "shuffle/tuple_stream.h"
@@ -274,6 +278,84 @@ INSTANTIATE_TEST_SUITE_P(Sweep, ShardingProperty,
                          [](const auto& info) {
                            return "P" + std::to_string(info.param);
                          });
+
+// ---------------------------------------------------------------------
+// Property 6: bounded retry never charges more simulated backoff to one
+// read than the policy cap (RetryPolicy::MaxTotalBackoffSeconds), for any
+// randomized fault schedule — transient, permanent, or mixed.
+// ---------------------------------------------------------------------
+
+using BackoffCapParam =
+    std::tuple<uint64_t /*seed*/, double /*transient_rate*/,
+               double /*permanent_rate*/, uint32_t /*max_retries*/>;
+
+class RetryBackoffCapProperty
+    : public ::testing::TestWithParam<BackoffCapParam> {};
+
+TEST_P(RetryBackoffCapProperty, PerReadChargeNeverExceedsPolicyCap) {
+  const auto [seed, transient_rate, permanent_rate, max_retries] = GetParam();
+  SCOPED_TRACE("scenario=RetryBackoffCap seed=" + std::to_string(seed) +
+               " transient=" + std::to_string(transient_rate) +
+               " permanent=" + std::to_string(permanent_rate) +
+               " retries=" + std::to_string(max_retries));
+
+  const std::string path = testing::TempDir() + "prop_backoff_" +
+                           std::to_string(seed) + ".tbl";
+  const uint32_t kPageSize = 512;
+  const uint64_t kPages = 48;
+  auto file = HeapFile::Create(path, kPageSize).ValueOrDie();
+  for (uint64_t i = 0; i < kPages; ++i) {
+    Page p(kPageSize);
+    const uint8_t rec[] = {static_cast<uint8_t>(i), 1, 2, 3};
+    ASSERT_TRUE(p.AddRecord(rec, sizeof(rec)));
+    ASSERT_TRUE(file->AppendPage(p).ok());
+  }
+  ASSERT_TRUE(file->Sync().ok());
+
+  FaultConfig cfg;
+  cfg.seed = seed;
+  cfg.transient_read_error_rate = transient_rate;
+  cfg.max_transient_failures = max_retries + 2;  // some sites never recover
+  cfg.permanent_read_error_rate = permanent_rate;
+  FaultInjector inj(cfg);
+  SimClock clock;
+  IoStats io;
+  file->SetIoAccounting(DeviceProfile::Memory(), &clock, &io);
+  file->SetFaultInjection(&inj);
+  RetryPolicy policy;
+  policy.max_retries = max_retries;
+  file->SetRetryPolicy(policy);
+  const double cap = policy.MaxTotalBackoffSeconds();
+
+  Page out;
+  for (uint64_t p = 0; p < kPages; ++p) {
+    const double before = clock.Elapsed(TimeCategory::kRetryBackoff);
+    const Status st = file->ReadPage(p, &out);  // ok or not — both legal
+    const double charged =
+        clock.Elapsed(TimeCategory::kRetryBackoff) - before;
+    EXPECT_LE(charged, cap + 1e-12)
+        << "page " << p << " (" << st.ToString() << ") charged " << charged
+        << "s of backoff against a policy cap of " << cap << "s";
+    EXPECT_GE(charged, 0.0) << "page " << p;
+  }
+  EXPECT_LE(clock.Elapsed(TimeCategory::kRetryBackoff),
+            static_cast<double>(kPages) * cap + 1e-9);
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RetryBackoffCapProperty,
+    ::testing::Values(
+        BackoffCapParam{1, 0.5, 0.0, 3},   // transient-heavy
+        BackoffCapParam{2, 1.0, 0.0, 2},   // every site flaky
+        BackoffCapParam{3, 0.0, 0.3, 3},   // permanent-only
+        BackoffCapParam{4, 0.4, 0.2, 1},   // mixed, tight budget
+        BackoffCapParam{5, 0.8, 0.1, 4},   // mixed, generous budget
+        BackoffCapParam{77, 1.0, 1.0, 0}), // no retries at all
+    [](const auto& info) {
+      return "Seed" + std::to_string(std::get<0>(info.param)) + "R" +
+             std::to_string(std::get<3>(info.param));
+    });
 
 }  // namespace
 }  // namespace corgipile
