@@ -88,6 +88,7 @@ int main(int argc, char** argv) {
   CsvTable t({"load_rps", "max_batch", "submitted", "completed", "shed",
               "shed_rate", "throughput_rps", "p50_ms", "p95_ms", "p99_ms",
               "mean_occupancy", "deadline_closes", "full_closes",
+              "hedged_retries", "breaker_opens", "brownout_served",
               "bit_identical", "wall_s"});
   bool all_identical = true;
   double tput_batch1_peak = 0.0, tput_batch32_peak = 0.0;
@@ -136,6 +137,9 @@ int main(int argc, char** argv) {
           .Add(s.mean_batch_occupancy, 2)
           .Add(s.deadline_closes)
           .Add(s.full_closes)
+          .Add(s.hedged_retries)
+          .Add(s.breaker_opens)
+          .Add(s.brownout_served)
           .Add(identical ? "yes" : "MISMATCH")
           .Add(wall_s, 3);
     }
@@ -163,6 +167,8 @@ int main(int argc, char** argv) {
   ServeStats a = swap1->stats, b = swap2->stats;
   a.served_by_version.clear();
   b.served_by_version.clear();
+  a.quality_by_version.clear();
+  b.quality_by_version.clear();
   const bool swap_identical = a == b;
   all_identical = all_identical && swap_identical;
 

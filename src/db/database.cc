@@ -15,6 +15,7 @@
 #include "dataset/libsvm.h"
 #include "dataset/ordering.h"
 #include "iosim/fault_plane.h"
+#include "lifecycle/validation_gate.h"
 #include "storage/table_shuffle.h"
 
 namespace corgipile {
@@ -112,6 +113,22 @@ Status Database::Attach(const std::string& name) {
   return Status::OK();
 }
 
+Status Database::Insert(const std::string& table,
+                        const std::vector<Tuple>& tuples) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table '" + table + "'");
+  }
+  // Appends race table scans on the shared heap-file cursor the same way
+  // concurrent PREDICT scans do; the scan mutex serializes both.
+  MutexLock lock(scan_mu_);
+  return it->second.table->AppendTuples(tuples);
+}
+
+Status Database::RollbackModel(const RollbackStatement& stmt) {
+  return models_.Rollback(stmt.model_id, stmt.version);
+}
+
 void Database::SetFaultInjection(FaultInjector* injector) {
   fault_ = injector;
   for (auto& [name, entry] : tables_) {
@@ -189,6 +206,40 @@ Result<InDbTrainResult> Database::Train(const TrainStatement& stmt) {
   CORGI_ASSIGN_OR_RETURN(int64_t checkpoint_every,
                          p.GetInt("checkpoint_every", 1));
   CORGI_ASSIGN_OR_RETURN(bool resume, p.GetBool("resume", false));
+  // Guarded lifecycle (DESIGN.md §13).
+  CORGI_ASSIGN_OR_RETURN(bool validate, p.GetBool("validate", false));
+  CORGI_ASSIGN_OR_RETURN(double holdout_fraction,
+                         p.GetDouble("holdout_fraction", 0.2));
+  CORGI_ASSIGN_OR_RETURN(double validate_min_metric,
+                         p.GetDouble("validate_min_metric", 0.0));
+  CORGI_ASSIGN_OR_RETURN(double validate_max_loss,
+                         p.GetDouble("validate_max_loss", 0.0));
+  CORGI_ASSIGN_OR_RETURN(double validate_max_regression,
+                         p.GetDouble("validate_max_regression", 0.0));
+  CORGI_ASSIGN_OR_RETURN(double canary_fraction,
+                         p.GetDouble("canary_fraction", 0.0));
+  CORGI_ASSIGN_OR_RETURN(int64_t canary_batches,
+                         p.GetInt("canary_batches", 8));
+  CORGI_ASSIGN_OR_RETURN(bool auto_rollback, p.GetBool("auto_rollback", true));
+  if (canary_fraction < 0.0 || canary_fraction >= 1.0) {
+    return Status::InvalidArgument(
+        "canary_fraction must be in [0, 1), got " +
+        std::to_string(canary_fraction));
+  }
+  if (canary_fraction > 0.0 && publish_id.empty()) {
+    return Status::InvalidArgument(
+        "canary_fraction requires publish=<id> (a canary needs an incumbent "
+        "to compare against)");
+  }
+  if (validate && (holdout_fraction <= 0.0 || holdout_fraction > 1.0)) {
+    return Status::InvalidArgument(
+        "holdout_fraction must be in (0, 1], got " +
+        std::to_string(holdout_fraction));
+  }
+  if (canary_batches < 0) {
+    return Status::InvalidArgument("canary_batches must be >= 0, got " +
+                                   std::to_string(canary_batches));
+  }
   if (opt_name != "sgd" && opt_name != "adam") {
     return Status::InvalidArgument("optimizer must be sgd|adam (got '" +
                                    opt_name + "')");
@@ -358,14 +409,73 @@ Result<InDbTrainResult> Database::Train(const TrainStatement& stmt) {
     result.final_metric = result.epochs.back().test_metric;
     result.final_loss = result.epochs.back().test_loss;
   }
-  if (publish_id.empty()) {
+  // --- guarded publish (DESIGN.md §13) ---
+  // The candidate still lives on the local `model`; nothing below stores it
+  // until the gate has passed, so a rejected candidate is never reachable
+  // through ModelStore::GetSnapshot under any servable id.
+  if (validate) {
+    std::vector<Tuple> holdout;
+    if (entry.test_set != nullptr && !entry.test_set->empty()) {
+      holdout = *entry.test_set;
+    } else {
+      // No registered test split: seeded sample from the training table.
+      std::vector<Tuple> pool;
+      {
+        MutexLock lock(scan_mu_);
+        table->ResetReadCursor();
+        CORGI_RETURN_NOT_OK(table->Scan([&](const Tuple& t) {
+          pool.push_back(t);
+          return Status::OK();
+        }));
+      }
+      holdout = SampleHoldout(pool, holdout_fraction,
+                              static_cast<uint64_t>(seed) ^ 0x401D07);
+    }
+    std::shared_ptr<const Model> incumbent;
+    if (!publish_id.empty()) {
+      auto current = models_.Get(publish_id);
+      if (current.ok()) incumbent = std::move(current).ValueOrDie();
+    }
+    ValidationThresholds thresholds;
+    thresholds.min_metric = validate_min_metric;
+    thresholds.max_loss = validate_max_loss;
+    thresholds.max_regression = validate_max_regression;
+    const ValidationReport report = EvaluateCandidate(
+        *model, incumbent.get(), holdout, entry.label_type, thresholds);
+    result.validated = report.passed;
+    result.validation_metric = report.candidate.metric;
+    result.validation_loss = report.candidate.mean_loss;
+    result.validation_reason = report.reason;
+    if (!report.passed) {
+      result.lifecycle_state = "rejected";
+      result.model_id = publish_id;
+      return result;  // candidate dies with this scope; incumbent unchanged
+    }
+  }
+  const bool lifecycle = validate || canary_fraction > 0.0;
+  if (canary_fraction > 0.0 && models_.GetVersion(publish_id).ok()) {
+    CanaryPolicy policy;
+    policy.fraction = canary_fraction;
+    policy.seed = static_cast<uint64_t>(seed) ^ 0xCA11A;
+    policy.promote_after_batches = static_cast<uint32_t>(canary_batches);
+    policy.auto_rollback = auto_rollback;
+    CORGI_ASSIGN_OR_RETURN(
+        result.canary_version,
+        models_.StageCanary(publish_id, std::move(model), policy));
+    result.model_id = publish_id;
+    result.lifecycle_state = "canary";
+  } else if (publish_id.empty()) {
     result.model_id = models_.Put(std::move(model));
+    if (lifecycle) result.lifecycle_state = "published";
   } else {
     // Stable alias: the first train creates it, retrains hot-swap it while
     // in-flight predicts keep their snapshot (see ModelStore::Publish).
+    // A canary_fraction on the *first* train lands here too: with no
+    // incumbent there is nothing to canary against.
     CORGI_ASSIGN_OR_RETURN(result.model_version,
                            models_.Publish(publish_id, std::move(model)));
     result.model_id = publish_id;
+    if (lifecycle) result.lifecycle_state = "published";
   }
   return result;
 }
@@ -505,11 +615,28 @@ Result<std::string> Database::Execute(const std::string& sql) {
     os << "loaded " << n << " tuples into " << load.table_name;
     return os.str();
   }
+  if (std::holds_alternative<RollbackStatement>(stmt)) {
+    const auto& rb = std::get<RollbackStatement>(stmt);
+    CORGI_RETURN_NOT_OK(RollbackModel(rb));
+    os << "rolled back model " << rb.model_id << " to version "
+       << rb.version;
+    return os.str();
+  }
   if (std::holds_alternative<TrainStatement>(stmt)) {
     CORGI_ASSIGN_OR_RETURN(InDbTrainResult r,
                            Train(std::get<TrainStatement>(stmt)));
-    os << "trained model " << r.model_id;
-    if (r.model_version > 1) os << " (v" << r.model_version << ")";
+    if (r.lifecycle_state == "rejected") {
+      os << "rejected candidate for model " << r.model_id << " ("
+         << r.validation_reason << "); incumbent unchanged";
+      return os.str();
+    }
+    if (r.lifecycle_state == "canary") {
+      os << "staged canary " << r.model_id << " (candidate v"
+         << r.canary_version << ")";
+    } else {
+      os << "trained model " << r.model_id;
+      if (r.model_version > 1) os << " (v" << r.model_version << ")";
+    }
     os << " in " << r.epochs.size()
        << " epochs; final metric " << r.final_metric << ", loss "
        << r.final_loss << "; simulated end-to-end "

@@ -83,6 +83,16 @@ class Database {
   /// heap file). Test splits are not persisted.
   Status Attach(const std::string& name);
 
+  /// Streaming ingest (INSERT analog): appends `tuples` to an existing
+  /// table as fresh heap-file pages, serialized against concurrent scans.
+  /// The continual-learning loop feeds on this (src/lifecycle/continual.h).
+  Status Insert(const std::string& table, const std::vector<Tuple>& tuples);
+
+  /// ROLLBACK MODEL <id> TO <version>: re-points the published model at a
+  /// retained prior version (ModelStore::Rollback; in-flight predicts keep
+  /// their snapshot).
+  Status RollbackModel(const RollbackStatement& stmt);
+
   // --- introspection ---
 
   /// Attaches a fault injector to every table (current and future) for

@@ -9,11 +9,34 @@
 // its last holder drops it, while new lookups immediately see the new
 // version. All mutating and reading members take the registry mutex; the
 // Model objects themselves are immutable once stored (const access only).
+//
+// Guarded model lifecycle (DESIGN.md §13). Publish() is no longer the only
+// way a version changes hands:
+//
+//   candidate --StageCanary--> canary --PromoteCanary--> promoted (current)
+//        \                        \--AbortCanary--> dropped
+//         \--Publish--> promoted (current)
+//   current --Rollback(version)--> a retained prior version is current again
+//
+// Every prior current version is pushed into a bounded per-id history
+// (`history_limit` versions; oldest evicted first), which is what Rollback
+// serves from. Eviction only drops the registry's reference: snapshots
+// pinned by in-flight Get() holders stay alive until released — the bound
+// caps registry memory, never correctness.
+//
+// Crash atomicity: the lifecycle mutations declare FaultPlane crash points
+// (lifecycle.publish / lifecycle.rollback / lifecycle.canary_promote /
+// lifecycle.canary_abort) placed between *staging* (all allocation and
+// lookup work, done on locals) and *commit* (a short sequence of noexcept
+// moves under the registry mutex). A scripted kill at any of these points
+// unwinds with the entry either fully in the old state or fully in the new
+// one — never torn, never a half-published model (tests/chaos_test.cc).
 
 #pragma once
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,14 +47,73 @@
 namespace corgipile {
 
 /// One Get() result: an immutable model snapshot plus the version it
-/// carries. Versions start at 1 and bump on every Publish().
+/// carries. Versions start at 1 and bump on every Publish()/StageCanary().
 struct ModelSnapshot {
   std::shared_ptr<const Model> model;
   uint64_t version = 0;
 };
 
+/// Routing/guard policy for a staged canary version, carried with the
+/// candidate so every InferenceEngine serving the id applies the same
+/// deterministic rules (src/serve/inference_engine.h).
+struct CanaryPolicy {
+  /// Seeded fraction of batches routed to the candidate (0, 1).
+  double fraction = 0.1;
+  /// Seed for the engine's routing draws; derive from the TRAIN seed so
+  /// the canary split replays bit-for-bit.
+  uint64_t seed = 42;
+  /// Candidate batch loss may exceed the incumbent's paired loss on the
+  /// same batch by at most this relative margin before the batch counts as
+  /// a breach.
+  double loss_tolerance = 0.1;
+  /// Consecutive clean canary batches before the engine promotes the
+  /// candidate. 0 = never auto-promote (an external controller decides).
+  uint32_t promote_after_batches = 8;
+  /// Breach handling: true aborts the canary (incumbent resumes 100% of
+  /// traffic) when the breach breaker trips; false only counts breaches.
+  bool auto_rollback = true;
+  /// Breaker translating per-batch breach outcomes into the trip decision
+  /// (reuses the PR 6 circuit-breaker machinery; engine-side).
+  uint32_t breaker_window = 4;
+  uint32_t breaker_min_samples = 2;
+  double breaker_error_threshold = 0.5;
+};
+
+/// A staged-but-not-promoted candidate, visible only to serving paths that
+/// explicitly ask for it (GetCanary); GetSnapshot never returns it.
+struct CanarySnapshot {
+  std::shared_ptr<const Model> model;
+  uint64_t version = 0;
+  CanaryPolicy policy;
+};
+
+/// Audit trail of one id's lifecycle transitions, in commit order. The
+/// sequence is deterministic for a deterministic workload, which the
+/// lifecycle tests assert across seeds.
+enum class LifecycleAction : int {
+  kPublished = 0,  ///< Publish() made `version` current
+  kStaged,         ///< StageCanary() reserved `version` for canary traffic
+  kPromoted,       ///< PromoteCanary() made the staged `version` current
+  kAborted,        ///< AbortCanary() dropped the staged `version`
+  kRolledBack,     ///< Rollback() made retained `version` current again
+  kEvicted,        ///< history bound dropped `version` from the registry
+};
+
+const char* LifecycleActionToString(LifecycleAction a);
+
+struct LifecycleEvent {
+  LifecycleAction action = LifecycleAction::kPublished;
+  uint64_t version = 0;
+
+  bool operator==(const LifecycleEvent&) const = default;
+};
+
 class ModelStore {
  public:
+  /// Prior (non-current) versions retained per id for Rollback. In-flight
+  /// snapshot holders are unaffected by the bound (see header comment).
+  static constexpr size_t kDefaultHistoryLimit = 3;
+
   /// Stores a model under a generated id ("<name>_<n>") at version 1.
   std::string Put(std::unique_ptr<Model> model);
 
@@ -40,33 +122,99 @@ class ModelStore {
   Result<std::shared_ptr<const Model>> Get(const std::string& id) const;
 
   /// Snapshot plus its version number (for serving-side attribution).
+  /// Never returns a staged canary or a failed candidate.
   Result<ModelSnapshot> GetSnapshot(const std::string& id) const;
+
+  /// Retained version `version` of `id`: the current version or any
+  /// history entry. NotFound once the bound evicted it.
+  Result<ModelSnapshot> GetVersionSnapshot(const std::string& id,
+                                           uint64_t version) const;
 
   /// Hot-swap: atomically replaces the model stored under `id` and
   /// returns the new version number (upsert: a fresh id starts at
   /// version 1, so `TRAIN ... publish=<id>` works for first train and
-  /// retrain alike). In-flight holders of the previous snapshot keep
-  /// serving it; new Get()s see the replacement.
+  /// retrain alike). The displaced current version is retained in the
+  /// bounded history; in-flight holders of any snapshot keep serving it.
+  /// Crash point: lifecycle.publish (all-or-nothing, see header).
   Result<uint64_t> Publish(const std::string& id,
                            std::unique_ptr<Model> model);
 
+  /// Atomically re-points `id` at retained `version`. The displaced
+  /// current version joins the history (roll-forward stays possible).
+  /// NotFound when the id is unknown or the version was evicted;
+  /// InvalidArgument when `version` is already current.
+  /// Crash point: lifecycle.rollback.
+  Status Rollback(const std::string& id, uint64_t version);
+
+  // --- canary staging (DESIGN.md §13) ---
+
+  /// Reserves the next version number for `model` and stages it as the
+  /// id's canary candidate; GetSnapshot keeps returning the incumbent.
+  /// The id must already exist (a first publish has no incumbent to canary
+  /// against — use Publish). One canary per id; a second stage replaces
+  /// the first (its version number is burned).
+  Result<uint64_t> StageCanary(const std::string& id,
+                               std::unique_ptr<Model> model,
+                               const CanaryPolicy& policy);
+
+  /// The staged candidate, if any (serving engines poll this at batch
+  /// close).
+  std::optional<CanarySnapshot> GetCanary(const std::string& id) const;
+
+  /// Makes the staged candidate current (the incumbent joins the
+  /// history). InvalidArgument when no canary is staged.
+  /// Crash point: lifecycle.canary_promote.
+  Status PromoteCanary(const std::string& id);
+
+  /// Drops the staged candidate; the incumbent resumes 100% of traffic.
+  /// InvalidArgument when no canary is staged.
+  /// Crash point: lifecycle.canary_abort.
+  Status AbortCanary(const std::string& id);
+
+  // --- introspection ---
+
   /// Current version of `id`; NotFound if absent.
   Result<uint64_t> GetVersion(const std::string& id) const;
+
+  /// Retained non-current versions of `id`, ascending (what Rollback can
+  /// reach). Empty vector when the id exists with no history.
+  Result<std::vector<uint64_t>> History(const std::string& id) const;
+
+  /// Lifecycle transitions of `id` in commit order.
+  Result<std::vector<LifecycleEvent>> Events(const std::string& id) const;
 
   Status Remove(const std::string& id);
 
   size_t size() const;
   std::vector<std::string> Ids() const;
 
+  size_t history_limit() const;
+  /// Bounds retained prior versions per id; takes effect on the next
+  /// mutation of each entry (0 = keep no history, Rollback always fails).
+  void set_history_limit(size_t limit);
+
  private:
   struct Entry {
     std::shared_ptr<const Model> model;
     uint64_t version = 1;
+    /// Monotone per-id version counter; never reused, even by rollback.
+    uint64_t next_version = 2;
+    /// Retained prior versions, ascending; bounded by history_limit_.
+    std::map<uint64_t, std::shared_ptr<const Model>> history;
+    std::optional<CanarySnapshot> canary;
+    std::vector<LifecycleEvent> events;
   };
+
+  /// Pushes the displaced current version into `entry`'s history and
+  /// evicts past the bound, recording kEvicted events. noexcept mutations
+  /// only (map::erase, vector::pop); the map node for the insert is
+  /// allocated by the caller during staging.
+  void RetireCurrentLocked(Entry* entry) CORGI_REQUIRES(mu_);
 
   mutable Mutex mu_;
   std::map<std::string, Entry> models_ CORGI_GUARDED_BY(mu_);
   uint64_t next_id_ CORGI_GUARDED_BY(mu_) = 0;
+  size_t history_limit_ CORGI_GUARDED_BY(mu_) = kDefaultHistoryLimit;
 };
 
 }  // namespace corgipile

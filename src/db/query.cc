@@ -31,6 +31,10 @@ const char* const kTrainOptionKeys[] = {
     "buffer_fraction", "batch_size", "strategy", "double_buffer", "seed",
     "optimizer", "publish", "tolerate_corruption", "max_bad_fraction",
     "hidden", "checkpoint", "checkpoint_every", "resume",
+    // Guarded lifecycle (DESIGN.md §13): validation gate + canary staging.
+    "validate", "holdout_fraction", "validate_min_metric",
+    "validate_max_loss", "validate_max_regression", "canary_fraction",
+    "canary_batches", "auto_rollback",
 };
 const char* const kLoadOptionKeys[] = {"dim", "compress", "order", "seed"};
 
@@ -99,6 +103,29 @@ Result<Statement> ParseQuery(const std::string& sql) {
     CORGI_ASSIGN_OR_RETURN(stmt.params, Params::Parse(t.with_clause));
     CORGI_RETURN_NOT_OK(ValidateOptionKeys(stmt.params, "LOAD",
                                            kLoadOptionKeys));
+    return Statement{std::move(stmt)};
+  }
+  // ROLLBACK MODEL <id> TO <version>
+  if (!w.empty() && Upper(w[0]) == "ROLLBACK") {
+    if (w.size() != 5 || Upper(w[1]) != "MODEL" || Upper(w[3]) != "TO") {
+      return Status::InvalidArgument(
+          "expected: ROLLBACK MODEL <model_id> TO <version>");
+    }
+    if (!t.with_clause.empty()) {
+      return Status::InvalidArgument("ROLLBACK takes no WITH clause");
+    }
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(w[4].c_str(), &end, 10);
+    // strtoull wraps a leading '-' instead of failing; reject signs
+    // explicitly so "-1" is a parse error, not version 2^64-1.
+    if (w[4].empty() || !std::isdigit(static_cast<unsigned char>(w[4][0])) ||
+        end == w[4].c_str() || *end != '\0' || v == 0) {
+      return Status::InvalidArgument("bad version '" + w[4] +
+                                     "' (want a positive integer)");
+    }
+    RollbackStatement stmt;
+    stmt.model_id = w[2];
+    stmt.version = static_cast<uint64_t>(v);
     return Statement{std::move(stmt)};
   }
   // Expected: SELECT * FROM <table> (TRAIN|PREDICT|EVALUATE) BY <name>

@@ -3,6 +3,7 @@
 //   SELECT * FROM <table> PREDICT BY <model_id>
 //   SELECT * FROM <table> EVALUATE BY <model_id>   (detailed report)
 //   LOAD TABLE <table> FROM '<libsvm_path>' [WITH order=clustered, ...]
+//   ROLLBACK MODEL <model_id> TO <version>         (lifecycle, DESIGN.md §13)
 
 #pragma once
 
@@ -37,8 +38,16 @@ struct LoadStatement {
   Params params;     ///< order=clustered|shuffled, compress=true, dim=, seed=
 };
 
+/// ROLLBACK MODEL <id> TO <version>: re-point a published model at a
+/// retained prior version (ModelStore::Rollback).
+struct RollbackStatement {
+  std::string model_id;
+  uint64_t version = 0;
+};
+
 using Statement = std::variant<TrainStatement, PredictStatement,
-                               EvaluateStatement, LoadStatement>;
+                               EvaluateStatement, LoadStatement,
+                               RollbackStatement>;
 
 /// Parses one statement. Keywords are case-insensitive; identifiers are
 /// case-sensitive. Trailing semicolon optional.

@@ -51,6 +51,22 @@ struct InDbTrainResult {
   /// 0 when the run started fresh.
   uint32_t resumed_from_epoch = 0;
 
+  // --- guarded lifecycle (DESIGN.md §13) ---
+  /// How the trained candidate left the statement:
+  ///   "published" — stored/hot-swapped as the current version
+  ///   "canary"    — staged behind the incumbent (see canary_version)
+  ///   "rejected"  — failed the validation gate; never stored
+  /// Empty when the statement used the plain ungated path.
+  std::string lifecycle_state;
+  /// Validation-gate outcome (`WITH validate=true`).
+  bool validated = false;
+  double validation_metric = 0.0;
+  double validation_loss = 0.0;
+  /// Why the gate rejected the candidate; empty when it passed.
+  std::string validation_reason;
+  /// Version reserved for the staged canary (lifecycle_state == "canary").
+  uint64_t canary_version = 0;
+
   /// Set when the engine refuses/cannot finish (e.g. MADlib LR on wide
   /// dense data, which the paper reports as not finishing in 4 hours).
   bool timed_out = false;

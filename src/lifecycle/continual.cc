@@ -1,0 +1,32 @@
+#include "lifecycle/continual.h"
+
+#include <utility>
+
+namespace corgipile {
+
+ContinualController::ContinualController(Database* db,
+                                         ContinualOptions options)
+    : db_(db), options_(std::move(options)), monitor_(options_.drift) {}
+
+Result<bool> ContinualController::Ingest(const std::vector<Tuple>& tuples) {
+  if (tuples.empty()) return false;
+  CORGI_RETURN_NOT_OK(db_->Insert(options_.table, tuples));
+  bool drifted = false;
+  for (const Tuple& t : tuples) {
+    ++ingested_;
+    if (monitor_.Observe(TupleDriftSignal(t))) drifted = true;
+  }
+  if (!drifted) return false;
+  if (ingested_ - last_retrain_at_ < options_.min_tuples_between_retrains) {
+    return false;
+  }
+  CORGI_ASSIGN_OR_RETURN(last_result_, db_->Train(options_.retrain));
+  ++retrains_;
+  last_retrain_at_ = ingested_;
+  // The retrained model saw the drifted data; the next full window is the
+  // new normal.
+  monitor_.Rebaseline();
+  return true;
+}
+
+}  // namespace corgipile

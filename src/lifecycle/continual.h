@@ -1,0 +1,72 @@
+// Continual-learning controller: the loop that closes the lifecycle
+// (DESIGN.md §13, ROADMAP "train-while-serving").
+//
+//   streaming ingest (Database::Insert, heap-file appends)
+//     → DriftMonitor over the ingested tuples
+//       → drift event: retrain through the database's *gated* TRAIN path
+//         (validate= / canary_fraction= options on the statement)
+//         → ValidationGate → canary serving → promote or auto-rollback
+//
+// The controller itself is deliberately thin: it appends, observes, and —
+// when a completed window drifts — replays one pre-configured
+// TrainStatement. All gating/canary policy lives in that statement's WITH
+// options, so the controller needs no knowledge of thresholds or serving.
+//
+// Concurrency: the controller is single-caller (drive it from one ingest
+// thread). The Database calls it makes are safe against concurrent
+// serving — Insert serializes against table scans, and the gated TRAIN
+// publishes through the thread-safe ModelStore that live InferenceEngines
+// resolve from.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "db/database.h"
+#include "db/query.h"
+#include "db/run_result.h"
+#include "lifecycle/drift_monitor.h"
+#include "storage/tuple.h"
+
+namespace corgipile {
+
+struct ContinualOptions {
+  /// Table receiving the ingest stream (must exist).
+  std::string table;
+  /// Gated retrain statement replayed on each drift event; configure
+  /// publish=<id>, validate=..., canary_fraction=... here.
+  TrainStatement retrain;
+  DriftMonitorOptions drift;
+  /// Damper: ignore drift events until this many tuples arrived after the
+  /// previous retrain (0 = retrain on every event).
+  uint64_t min_tuples_between_retrains = 0;
+};
+
+class ContinualController {
+ public:
+  ContinualController(Database* db, ContinualOptions options);
+
+  /// Appends `tuples` to the table, feeds the drift monitor, and — when a
+  /// window drifts past the damper — runs one gated retrain. Returns true
+  /// when a retrain ran (its outcome is in last_result()).
+  Result<bool> Ingest(const std::vector<Tuple>& tuples);
+
+  uint64_t ingested() const { return ingested_; }
+  uint64_t retrains() const { return retrains_; }
+  /// Outcome of the most recent retrain (lifecycle_state says whether it
+  /// was published, staged as canary, or rejected by the gate).
+  const InDbTrainResult& last_result() const { return last_result_; }
+  const DriftMonitor& monitor() const { return monitor_; }
+
+ private:
+  Database* db_;
+  ContinualOptions options_;
+  DriftMonitor monitor_;
+  uint64_t ingested_ = 0;
+  uint64_t retrains_ = 0;
+  uint64_t last_retrain_at_ = 0;
+  InDbTrainResult last_result_;
+};
+
+}  // namespace corgipile

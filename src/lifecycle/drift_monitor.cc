@@ -1,0 +1,54 @@
+#include "lifecycle/drift_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace corgipile {
+
+DriftMonitor::DriftMonitor(DriftMonitorOptions options) : options_(options) {}
+
+bool DriftMonitor::Observe(double value) {
+  sum_ += value;
+  sum_sq_ += value * value;
+  if (++count_ < std::max<uint32_t>(1, options_.window)) return false;
+
+  const auto n = static_cast<double>(count_);
+  const double mean = sum_ / n;
+  const double var = std::max(0.0, sum_sq_ / n - mean * mean);
+  sum_ = sum_sq_ = 0.0;
+  count_ = 0;
+  ++windows_;
+
+  if (!has_reference_) {
+    has_reference_ = true;
+    ref_mean_ = mean;
+    ref_std_ = std::sqrt(var);
+    return false;
+  }
+  const double scale = std::max(ref_std_, options_.min_std);
+  if (std::abs(mean - ref_mean_) > options_.threshold * scale) {
+    ++drift_events_;
+    return true;
+  }
+  return false;
+}
+
+void DriftMonitor::Rebaseline() {
+  has_reference_ = false;
+  ref_mean_ = 0.0;
+  ref_std_ = 0.0;
+  sum_ = sum_sq_ = 0.0;
+  count_ = 0;
+}
+
+double TupleDriftSignal(const Tuple& t) {
+  double feature_mean = 0.0;
+  if (!t.feature_values.empty()) {
+    double sum = 0.0;
+    for (double v : t.feature_values) sum += v;
+    feature_mean = sum / static_cast<double>(t.feature_values.size());
+  }
+  return t.label + feature_mean;
+}
+
+}  // namespace corgipile

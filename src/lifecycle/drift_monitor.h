@@ -1,0 +1,70 @@
+// Streaming drift detection over ingested tuples (DESIGN.md §13).
+//
+// The monitor folds a scalar signal per observation into fixed-size
+// windows. The first completed window becomes the *reference*; every later
+// completed window is compared against it with a mean-shift test: drift
+// fires when |window mean − reference mean| exceeds `threshold` reference
+// standard deviations. After a retrain the caller Rebaseline()s so the
+// next window (drawn from the post-shift distribution) becomes the new
+// reference.
+//
+// Deterministic by construction: state is a pure fold over the observation
+// sequence — no clocks, no sampling — so the same ingest stream fires
+// drift at the same tuple on every run, which the lifecycle tests assert
+// across seeds.
+
+#pragma once
+
+#include <cstdint>
+
+#include "storage/tuple.h"
+
+namespace corgipile {
+
+struct DriftMonitorOptions {
+  /// Observations per window; a window must fill completely before it is
+  /// tested (or adopted as reference).
+  uint32_t window = 128;
+  /// Mean-shift trigger, in reference standard deviations.
+  double threshold = 3.0;
+  /// Floor on the reference std so a near-constant reference window does
+  /// not make the test fire on noise-level shifts.
+  double min_std = 1e-3;
+};
+
+class DriftMonitor {
+ public:
+  explicit DriftMonitor(DriftMonitorOptions options = {});
+
+  /// Folds one observation. Returns true when this observation completes a
+  /// window whose mean has drifted from the reference.
+  bool Observe(double value);
+
+  /// Drops the reference (and the partial window); the next completed
+  /// window re-baselines. Call after acting on a drift event.
+  void Rebaseline();
+
+  bool has_reference() const { return has_reference_; }
+  double reference_mean() const { return ref_mean_; }
+  double reference_std() const { return ref_std_; }
+  uint64_t windows() const { return windows_; }
+  uint64_t drift_events() const { return drift_events_; }
+  const DriftMonitorOptions& options() const { return options_; }
+
+ private:
+  const DriftMonitorOptions options_;
+  bool has_reference_ = false;
+  double ref_mean_ = 0.0;
+  double ref_std_ = 0.0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  uint32_t count_ = 0;
+  uint64_t windows_ = 0;
+  uint64_t drift_events_ = 0;
+};
+
+/// Canonical per-tuple signal for ingest streams: label plus mean feature
+/// value, so both label shift and covariate shift move it.
+double TupleDriftSignal(const Tuple& t);
+
+}  // namespace corgipile

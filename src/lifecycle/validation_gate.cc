@@ -1,0 +1,78 @@
+#include "lifecycle/validation_gate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/rng.h"
+
+namespace corgipile {
+
+std::vector<Tuple> SampleHoldout(const std::vector<Tuple>& pool,
+                                 double fraction, uint64_t seed) {
+  if (pool.empty() || fraction <= 0.0) return {};
+  const double clamped = std::min(fraction, 1.0);
+  const auto n = pool.size();
+  auto k = static_cast<uint32_t>(
+      std::ceil(clamped * static_cast<double>(n)));
+  k = std::min<uint32_t>(k, static_cast<uint32_t>(n));
+  Rng rng(seed);
+  std::vector<uint32_t> picked =
+      rng.SampleWithoutReplacement(static_cast<uint32_t>(n), k);
+  // Pool order, not draw order: the holdout is a set, and a stable order
+  // keeps the two-pass evaluation's FP sums reproducible.
+  std::sort(picked.begin(), picked.end());
+  std::vector<Tuple> out;
+  out.reserve(picked.size());
+  for (uint32_t idx : picked) out.push_back(pool[idx]);
+  return out;
+}
+
+ValidationReport EvaluateCandidate(const Model& candidate,
+                                   const Model* incumbent,
+                                   const std::vector<Tuple>& holdout,
+                                   LabelType label_type,
+                                   const ValidationThresholds& thresholds) {
+  ValidationReport report;
+  if (holdout.empty()) {
+    report.reason = "empty holdout: nothing to validate against";
+    return report;
+  }
+  report.candidate = Evaluate(candidate, holdout, label_type);
+  if (incumbent != nullptr) {
+    report.has_incumbent = true;
+    report.incumbent = Evaluate(*incumbent, holdout, label_type);
+  }
+
+  std::ostringstream why;
+  // Tiny slack so a candidate sitting exactly on a bound is not rejected
+  // by FP rounding.
+  constexpr double kSlack = 1e-12;
+  if (thresholds.min_metric > 0.0 &&
+      report.candidate.metric + kSlack < thresholds.min_metric) {
+    why << "metric " << report.candidate.metric << " below floor "
+        << thresholds.min_metric;
+  } else if (thresholds.max_loss > 0.0 &&
+             report.candidate.mean_loss > thresholds.max_loss + kSlack) {
+    why << "mean loss " << report.candidate.mean_loss << " above ceiling "
+        << thresholds.max_loss;
+  } else if (thresholds.max_regression > 0.0 && report.has_incumbent) {
+    if (report.candidate.mean_loss >
+        report.incumbent.mean_loss * (1.0 + thresholds.max_regression) +
+            kSlack) {
+      why << "mean loss " << report.candidate.mean_loss << " regresses >"
+          << thresholds.max_regression * 100 << "% vs incumbent "
+          << report.incumbent.mean_loss;
+    } else if (report.candidate.metric + thresholds.max_regression + kSlack <
+               report.incumbent.metric) {
+      why << "metric " << report.candidate.metric << " drops >"
+          << thresholds.max_regression << " vs incumbent "
+          << report.incumbent.metric;
+    }
+  }
+  report.reason = why.str();
+  report.passed = report.reason.empty();
+  return report;
+}
+
+}  // namespace corgipile

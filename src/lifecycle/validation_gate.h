@@ -1,0 +1,66 @@
+// Validation gate: the first guard in the model lifecycle (DESIGN.md §13).
+//
+// A freshly trained candidate is evaluated on a held-out split *before* it
+// becomes visible to any serving path — Database::Train keeps the candidate
+// on a local unique_ptr until the gate passes, so a rejected model is never
+// stored under a servable id and ModelStore::GetSnapshot can never return
+// it. The gate checks absolute thresholds (metric floor, loss ceiling) and
+// relative-regression bounds against the incumbent currently serving the
+// target id.
+//
+// Everything here is deterministic: the holdout is either the dataset's
+// registered test split or a seeded without-replacement sample, and the
+// evaluation is the same two-pass Evaluate() the trainer logs per epoch.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ml/metrics.h"
+#include "ml/model.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace corgipile {
+
+/// Pass/fail policy for a candidate. A bound set to 0 is disabled, so the
+/// default-constructed thresholds accept everything (the gate still runs
+/// and reports the numbers).
+struct ValidationThresholds {
+  /// Absolute floor on the holdout metric (accuracy or R²).
+  double min_metric = 0.0;
+  /// Absolute ceiling on the holdout mean loss.
+  double max_loss = 0.0;
+  /// Relative-regression bound vs the incumbent: the candidate fails when
+  /// its mean loss exceeds the incumbent's by more than this fraction, or
+  /// its metric drops below the incumbent's by more than this amount.
+  /// Ignored when there is no incumbent (first publish).
+  double max_regression = 0.0;
+};
+
+/// Outcome of one gate evaluation; `reason` is empty iff `passed`.
+struct ValidationReport {
+  bool passed = false;
+  EvalResult candidate;
+  EvalResult incumbent;
+  bool has_incumbent = false;
+  std::string reason;
+};
+
+/// Seeded without-replacement sample of ceil(fraction * pool.size())
+/// tuples, in pool order (deterministic in `seed`). Used when a table has
+/// no registered test split to validate against.
+std::vector<Tuple> SampleHoldout(const std::vector<Tuple>& pool,
+                                 double fraction, uint64_t seed);
+
+/// Evaluates `candidate` (and `incumbent`, when non-null) on `holdout` and
+/// applies `thresholds`. An empty holdout fails the gate: a candidate that
+/// cannot be validated must not be published by a validating train.
+ValidationReport EvaluateCandidate(const Model& candidate,
+                                   const Model* incumbent,
+                                   const std::vector<Tuple>& holdout,
+                                   LabelType label_type,
+                                   const ValidationThresholds& thresholds);
+
+}  // namespace corgipile

@@ -246,6 +246,96 @@ Result<ModelSnapshot> InferenceEngine::ResolveSnapshot(double close_s) {
   return last;
 }
 
+bool InferenceEngine::ApplyCanary(const ModelSnapshot& incumbent,
+                                  const TupleBatch& tuples, uint64_t served,
+                                  double close_s, ModelSnapshot* snapshot) {
+  if (!options_.serve_canary) return false;
+  std::optional<CanarySnapshot> staged = store_->GetCanary(open_model_id_);
+  if (!staged.has_value()) {
+    // Promoted, aborted, or never staged: drop any stale runtime so a
+    // future candidate starts cold.
+    canaries_.erase(open_model_id_);
+    return false;
+  }
+  const CanaryPolicy& policy = staged->policy;
+  auto it = canaries_.find(open_model_id_);
+  if (it == canaries_.end() || it->second.version != staged->version) {
+    // Fresh candidate (or a re-stage burned the old one): cold routing RNG
+    // and breach breaker, both derived from the staged policy so every
+    // engine run makes identical decisions.
+    if (it != canaries_.end()) canaries_.erase(it);
+    CircuitBreakerOptions bopts;
+    bopts.window = policy.breaker_window;
+    bopts.min_samples = policy.breaker_min_samples;
+    bopts.error_threshold = policy.breaker_error_threshold;
+    it = canaries_
+             .emplace(open_model_id_,
+                      CanaryRuntime{staged->version, Rng(policy.seed),
+                                    CircuitBreaker(bopts), 0})
+             .first;
+  }
+  CanaryRuntime& rt = it->second;
+  // One seeded draw per batch: whole micro-batches route to exactly one
+  // version, so a request's reply never mixes versions.
+  if (rt.rng.NextDouble() >= policy.fraction) return false;
+
+  // Paired quality: candidate vs incumbent loss over the *same* tuples,
+  // computed synchronously on the scheduler thread so the breach/promote
+  // decision sequence is a pure function of the schedule.
+  double candidate_loss = 0.0;
+  double incumbent_loss = 0.0;
+  staged->model->BatchLoss(tuples, &candidate_loss);
+  incumbent.model->BatchLoss(tuples, &incumbent_loss);
+  const bool breach =
+      candidate_loss >
+      incumbent_loss * (1.0 + policy.loss_tolerance) + 1e-12;
+
+  {
+    MutexLock lock(stats_mu_);
+    stats_.RecordCanaryBatch(served);
+    if (breach) stats_.RecordCanaryBreach();
+  }
+
+  // The breach breaker turns per-batch outcomes into the trip decision.
+  // AllowRequest only advances the Open→HalfOpen timer; a tripped canary
+  // is aborted below, so short-circuiting never applies here.
+  (void)rt.breaker.AllowRequest(close_s);
+  if (breach) {
+    rt.clean_streak = 0;
+    rt.breaker.RecordFailure(close_s);
+  } else {
+    rt.breaker.RecordSuccess();
+    ++rt.clean_streak;
+  }
+
+  // This batch is already the candidate's (its answers are well-formed,
+  // just possibly lower-quality); the decisions below only steer *future*
+  // traffic.
+  *snapshot = ModelSnapshot{staged->model, staged->version};
+
+  if (breach && policy.auto_rollback &&
+      rt.breaker.state() != CircuitBreaker::State::kClosed) {
+    // Trip: the candidate regressed on enough paired batches. Abort so the
+    // incumbent resumes 100% of traffic. A failed abort (chaos-injected)
+    // leaves the runtime in place and retries on the next canary batch.
+    if (store_->AbortCanary(open_model_id_).ok()) {
+      MutexLock lock(stats_mu_);
+      stats_.RecordCanaryRollback();
+      canaries_.erase(open_model_id_);
+    }
+    return true;
+  }
+  if (!breach && policy.promote_after_batches > 0 &&
+      rt.clean_streak >= policy.promote_after_batches) {
+    if (store_->PromoteCanary(open_model_id_).ok()) {
+      MutexLock lock(stats_mu_);
+      stats_.RecordCanaryPromotion();
+      canaries_.erase(open_model_id_);
+    }
+  }
+  return true;
+}
+
 void InferenceEngine::CloseOpenBatch(double close_s, bool by_deadline) {
   if (open_items_.empty()) return;
   std::vector<Pending> items = std::move(open_items_);
@@ -313,6 +403,23 @@ void InferenceEngine::CloseOpenBatch(double close_s, bool by_deadline) {
   }
   if (run.empty()) return;  // nothing survived; no service slot consumed
 
+  // Pack the arena before the canary stage: paired quality evaluation
+  // needs the batched tuples.
+  Batch batch;
+  batch.model_id = open_model_id_;
+  batch.tuples.set_target_tuples(run.size());
+  for (const Pending& item : run) batch.tuples.Append(item.req.tuple);
+
+  // Canary routing (DESIGN.md §13). A brownout batch never canaries: it is
+  // already serving degraded, and its "incumbent" is a stale snapshot.
+  ModelSnapshot serving = snapshot.ValueOrDie();
+  bool canary = false;
+  if (!brownout) {
+    canary =
+        ApplyCanary(snapshot.ValueOrDie(), batch.tuples, run.size(), close_s,
+                    &serving);
+  }
+
   const double service_s =
       options_.per_batch_overhead_s +
       static_cast<double>(run.size()) * options_.per_tuple_s;
@@ -328,19 +435,17 @@ void InferenceEngine::CloseOpenBatch(double close_s, bool by_deadline) {
     stats_.RecordBatch(run.size(), by_deadline, service_s);
     if (brownout) stats_.RecordBrownoutBatch(run.size());
     for (const Pending& item : run) {
-      stats_.RecordCompletion(open_model_id_, snapshot->version,
+      stats_.RecordCompletion(open_model_id_, serving.version,
                               completion_s - item.req.arrival_s,
                               completion_s);
     }
   }
 
-  Batch batch;
-  batch.model = snapshot->model;
-  batch.model_id = open_model_id_;
-  batch.version = snapshot->version;
+  batch.model = serving.model;
+  batch.version = serving.version;
+  batch.seq = next_batch_seq_++;
+  batch.canary = canary;
   batch.completion_s = completion_s;
-  batch.tuples.set_target_tuples(run.size());
-  for (const Pending& item : run) batch.tuples.Append(item.req.tuple);
   batch.items = std::move(run);
   Status st = PushBlocking(batches_, batch);
   if (!st.ok()) {
@@ -364,6 +469,20 @@ void InferenceEngine::WorkerLoop() {
     // thread-safe on the shared snapshot.
     batch.model->BatchEvaluate(batch.tuples, values.data(), losses.data(),
                                corrects.data());
+    // Per-version quality: summed row-major here (deterministic within the
+    // batch), folded in dispatch order by ServeStatsBuilder::Finalize so
+    // worker interleaving never changes the totals.
+    uint64_t correct_count = 0;
+    double loss_sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      correct_count += corrects[i] != 0 ? 1 : 0;
+      loss_sum += losses[i];
+    }
+    {
+      MutexLock lock(stats_mu_);
+      stats_.RecordBatchQuality(batch.seq, batch.model_id, batch.version, n,
+                                correct_count, loss_sum);
+    }
     for (size_t i = 0; i < n; ++i) {
       ServeReply reply;
       reply.value = values[i];

@@ -56,6 +56,7 @@
 #include "util/cancellation.h"
 #include "util/channel.h"
 #include "util/mutex.h"
+#include "util/rng.h"
 #include "util/status.h"
 #include "util/threadpool.h"
 
@@ -101,6 +102,20 @@ struct ServeOptions {
   /// hot-swap degradation story) when resolution fails; false fails the
   /// batch with the resolve error instead.
   bool enable_brownout = true;
+
+  // --- canary lifecycle (DESIGN.md §13) ---
+  // When the ModelStore has a canary staged for a batch's model id, the
+  // scheduler routes a seeded fraction of batches (granularity: whole
+  // micro-batches, so a batch is served by exactly one version) to the
+  // candidate, pairs each canary batch's loss against the incumbent's loss
+  // on the same tuples, feeds the outcome into a per-canary CircuitBreaker,
+  // and — all on the deterministic virtual timeline — promotes the
+  // candidate after `promote_after_batches` clean canary batches or aborts
+  // it (auto-rollback) when the breach breaker trips. All knobs live in
+  // the staged CanaryPolicy so every engine applies the same rules.
+  /// Master switch: false ignores staged canaries entirely (the incumbent
+  /// serves 100% of traffic).
+  bool serve_canary = true;
 };
 
 struct ServeRequest {
@@ -169,6 +184,11 @@ class InferenceEngine {
     std::shared_ptr<const Model> model;
     std::string model_id;
     uint64_t version = 0;
+    /// Dispatch sequence number; keys the worker's quality report so
+    /// Finalize can fold contributions in a deterministic order.
+    uint64_t seq = 0;
+    /// Served by a staged canary candidate instead of the incumbent.
+    bool canary = false;
     double completion_s = 0.0;
     /// Admitted tuples packed into one arena; row i belongs to items[i].
     /// Workers evaluate the whole batch with Model::BatchEvaluate instead
@@ -187,6 +207,13 @@ class InferenceEngine {
   /// bounded-retry layers (scheduler thread only). On success also updates
   /// the last-good map and resets the model's breaker on a version change.
   Result<ModelSnapshot> ResolveSnapshot(double close_s);
+  /// Canary stage at batch close (scheduler thread only): seeded routing
+  /// draw, paired candidate-vs-incumbent loss on the batch tuples, breach
+  /// breaker, promote / auto-rollback. `incumbent` is the resolved current
+  /// snapshot; on a canary draw *snapshot is replaced by the candidate.
+  /// Returns true when the batch is served by the candidate.
+  bool ApplyCanary(const ModelSnapshot& incumbent, const TupleBatch& tuples,
+                   uint64_t served, double close_s, ModelSnapshot* snapshot);
 
   ModelStore* store_;
   const ServeOptions options_;
@@ -216,6 +243,16 @@ class InferenceEngine {
   /// forbids unordered iteration, and these are tiny).
   std::map<std::string, CircuitBreaker> breakers_;
   std::map<std::string, ModelSnapshot> last_good_;
+  uint64_t next_batch_seq_ = 0;
+  /// Per-model canary runtime: routing RNG, breach breaker, clean streak.
+  /// Keyed by staged version so a re-staged candidate gets a cold start.
+  struct CanaryRuntime {
+    uint64_t version = 0;
+    Rng rng;
+    CircuitBreaker breaker{CircuitBreakerOptions{}};
+    uint32_t clean_streak = 0;
+  };
+  std::map<std::string, CanaryRuntime> canaries_;
 
   mutable Mutex stats_mu_;
   ServeStatsBuilder stats_ CORGI_GUARDED_BY(stats_mu_);

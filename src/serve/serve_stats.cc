@@ -37,6 +37,12 @@ std::string ServeStats::ToString() const {
        << " brownout=" << brownout_served << " req in " << brownout_batches
        << " batches";
   }
+  if (canary_batches + canary_promotions + canary_rollbacks > 0) {
+    os << "; canary: " << canary_served << " req in " << canary_batches
+       << " batches, breaches=" << canary_breaches
+       << " promotions=" << canary_promotions
+       << " rollbacks=" << canary_rollbacks;
+  }
   if (!served_by_version.empty()) {
     os << "; versions:";
     for (const auto& [id, per_version] : served_by_version) {
@@ -78,8 +84,26 @@ void ServeStatsBuilder::RecordCompletion(const std::string& model_id,
   ++stats_.served_by_version[model_id][version];
 }
 
+void ServeStatsBuilder::RecordBatchQuality(uint64_t seq,
+                                           const std::string& model_id,
+                                           uint64_t version, uint64_t served,
+                                           uint64_t correct, double loss_sum) {
+  PendingQuality& q = pending_quality_[seq];
+  q.model_id = model_id;
+  q.version = version;
+  q.served = served;
+  q.correct = correct;
+  q.loss_sum = loss_sum;
+}
+
 ServeStats ServeStatsBuilder::Finalize() const {
   ServeStats out = stats_;
+  for (const auto& [seq, q] : pending_quality_) {
+    VersionQuality& dst = out.quality_by_version[q.model_id][q.version];
+    dst.served += q.served;
+    dst.correct += q.correct;
+    dst.loss_sum += q.loss_sum;
+  }
   if (out.num_batches > 0) {
     out.mean_batch_occupancy = static_cast<double>(batch_size_sum_) /
                                static_cast<double>(out.num_batches);

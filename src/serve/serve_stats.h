@@ -30,6 +30,26 @@ struct LatencySummary {
   bool operator==(const LatencySummary&) const = default;
 };
 
+/// Prediction-quality counters for one (model id, version): how much
+/// traffic the version answered and how well. `loss_sum` is accumulated in
+/// batch-dispatch order (ServeStatsBuilder keys pending contributions by
+/// batch sequence number), so the floating-point total is bit-identical
+/// across reruns even though worker threads report out of order.
+struct VersionQuality {
+  uint64_t served = 0;
+  uint64_t correct = 0;
+  double loss_sum = 0.0;
+
+  double accuracy() const {
+    return served ? static_cast<double>(correct) / served : 0.0;
+  }
+  double mean_loss() const {
+    return served ? loss_sum / static_cast<double>(served) : 0.0;
+  }
+
+  bool operator==(const VersionQuality&) const = default;
+};
+
 /// Snapshot of one engine run (or one PREDICT BY statement).
 struct ServeStats {
   // --- request accounting (submitted = sum of the rest) ---
@@ -56,6 +76,13 @@ struct ServeStats {
   uint64_t brownout_batches = 0;  ///< batches served from last-good snapshot
   uint64_t brownout_served = 0;   ///< requests answered in brownout mode
 
+  // --- canary lifecycle (DESIGN.md §13) ---
+  uint64_t canary_batches = 0;   ///< batches routed to a staged candidate
+  uint64_t canary_served = 0;    ///< requests answered by the candidate
+  uint64_t canary_breaches = 0;  ///< canary batches whose paired quality broke
+  uint64_t canary_promotions = 0;  ///< engine promoted the candidate
+  uint64_t canary_rollbacks = 0;   ///< breach breaker tripped → canary aborted
+
   // --- simulated timeline ---
   double first_arrival_s = 0.0;
   double last_completion_s = 0.0;
@@ -67,6 +94,10 @@ struct ServeStats {
   /// Completed requests per (model id, version) — the hot-swap audit
   /// trail: a swap mid-run shows both versions with nonzero counts.
   std::map<std::string, std::map<uint64_t, uint64_t>> served_by_version;
+
+  /// Prediction quality per (model id, version): the canary comparison
+  /// input, and generally the per-version serving audit.
+  std::map<std::string, std::map<uint64_t, VersionQuality>> quality_by_version;
 
   double shed_rate() const {
     return submitted ? static_cast<double>(shed) / submitted : 0.0;
@@ -97,6 +128,23 @@ class ServeStatsBuilder {
     stats_.brownout_served += served;
   }
 
+  // Canary lifecycle accounting (CloseOpenBatch's routing path).
+  void RecordCanaryBatch(uint64_t served) {
+    ++stats_.canary_batches;
+    stats_.canary_served += served;
+  }
+  void RecordCanaryBreach() { ++stats_.canary_breaches; }
+  void RecordCanaryPromotion() { ++stats_.canary_promotions; }
+  void RecordCanaryRollback() { ++stats_.canary_rollbacks; }
+
+  /// Quality contribution of dispatched batch `seq` (workers call this
+  /// after executing the batch, in whatever order they finish; Finalize
+  /// folds the contributions in `seq` order so loss sums are
+  /// bit-identical).
+  void RecordBatchQuality(uint64_t seq, const std::string& model_id,
+                          uint64_t version, uint64_t served, uint64_t correct,
+                          double loss_sum);
+
   /// One dispatched batch: per-request completion latencies are recorded
   /// by the caller via RecordCompletion.
   void RecordBatch(uint64_t size, bool closed_by_deadline, double service_s);
@@ -108,10 +156,20 @@ class ServeStatsBuilder {
   ServeStats Finalize() const;
 
  private:
+  struct PendingQuality {
+    std::string model_id;
+    uint64_t version = 0;
+    uint64_t served = 0;
+    uint64_t correct = 0;
+    double loss_sum = 0.0;
+  };
+
   ServeStats stats_;
   bool saw_arrival_ = false;
   std::vector<double> latencies_;
   uint64_t batch_size_sum_ = 0;
+  /// Batch-seq-ordered quality contributions, folded by Finalize.
+  std::map<uint64_t, PendingQuality> pending_quality_;
 };
 
 }  // namespace corgipile

@@ -134,6 +134,52 @@ Result<Tuple> Table::ReadTupleAt(uint64_t idx) {
   return std::move(tuples[slot]);
 }
 
+Status Table::AppendTuples(const std::vector<Tuple>& tuples) {
+  if (tuples.empty()) return Status::OK();
+  Page page(options_.page_size);
+  uint32_t page_tuples = 0;
+  std::vector<uint32_t> new_counts;
+  std::vector<uint8_t> scratch;
+  std::vector<uint8_t> compressed;
+  auto flush = [&]() -> Status {
+    if (page_tuples == 0) return Status::OK();
+    CORGI_RETURN_NOT_OK(file_->AppendPage(page));
+    new_counts.push_back(page_tuples);
+    page.Clear();
+    page_tuples = 0;
+    return Status::OK();
+  };
+  for (const Tuple& t : tuples) {
+    scratch.clear();
+    t.SerializeTo(&scratch);
+    const std::vector<uint8_t>* record = &scratch;
+    if (options_.compress_tuples) {
+      CompressBytes(scratch, &compressed);
+      record = &compressed;
+    }
+    if (record->size() >
+        options_.page_size - Page::kHeaderBytes - Page::kSlotBytes) {
+      return Status::InvalidArgument("tuple larger than page");
+    }
+    if (!page.AddRecord(record->data(), record->size())) {
+      CORGI_RETURN_NOT_OK(flush());
+      if (!page.AddRecord(record->data(), record->size())) {
+        return Status::Internal("record does not fit in empty page");
+      }
+    }
+    ++page_tuples;
+  }
+  CORGI_RETURN_NOT_OK(flush());
+  CORGI_RETURN_NOT_OK(file_->Sync());
+  // All pages are durable; extend the in-memory index in one pass.
+  for (uint32_t count : new_counts) {
+    tuples_per_page_.push_back(count);
+    page_prefix_.push_back(page_prefix_.back() + count);
+    num_tuples_ += count;
+  }
+  return Status::OK();
+}
+
 Status Table::Scan(const std::function<Status(const Tuple&)>& fn) {
   std::vector<Tuple> tuples;
   for (uint64_t p = 0; p < file_->num_pages(); ++p) {

@@ -76,6 +76,13 @@ class Table {
   /// Resets the read cursor so the next access is billed as a fresh seek.
   void ResetReadCursor() { file_->ResetReadCursor(); }
 
+  /// Streaming ingest (the INSERT analog): encodes `tuples` into fresh
+  /// pages appended to the heap file and fsyncs. Existing pages are never
+  /// rewritten, so concurrent readers of the old page range are unaffected;
+  /// the tuple index grows atomically from the caller's perspective (the
+  /// database serializes Insert against scans).
+  Status AppendTuples(const std::vector<Tuple>& tuples);
+
  private:
   friend class TableBuilder;
   Table(Schema schema, TableOptions options, std::unique_ptr<HeapFile> file,

@@ -643,5 +643,183 @@ TEST(ServeChaosTest, ResolveFailuresWithoutLastGoodFailLoudlyNeverWrongly) {
   EXPECT_EQ(run.stats, rerun.stats) << sc.Describe();
 }
 
+// --- Model lifecycle crash points (DESIGN.md §13) --------------------------
+
+// A logistic model whose every weight is `w` — the value doubles as a
+// fingerprint so "which version is serving" is one params()[0] read.
+std::unique_ptr<Model> LifecycleModel(double w) {
+  auto model = std::make_unique<LogisticRegression>(4);
+  model->params().assign(model->num_params(), w);
+  return model;
+}
+
+struct StoreState {
+  uint64_t version = 0;
+  double first_param = 0.0;
+  std::vector<uint64_t> history;
+  std::vector<LifecycleEvent> events;
+  bool canary_staged = false;
+  uint64_t canary_version = 0;
+
+  bool operator==(const StoreState&) const = default;
+};
+
+StoreState CaptureState(const ModelStore& store, const std::string& id) {
+  StoreState s;
+  auto version = store.GetVersion(id);
+  if (!version.ok()) return s;
+  s.version = *version;
+  s.first_param = store.Get(id).ValueOrDie()->params()[0];
+  s.history = store.History(id).ValueOrDie();
+  s.events = store.Events(id).ValueOrDie();
+  const auto canary = store.GetCanary(id);
+  s.canary_staged = canary.has_value();
+  s.canary_version = canary ? canary->version : 0;
+  return s;
+}
+
+TEST(LifecycleChaosTest, KillAtEachCrashPointNeverTearsTheStore) {
+  // Every lifecycle mutation stages on locals, then commits after the
+  // crash point: a scripted kill mid-call must leave the entry fully in
+  // the OLD state (never half-published), and the disarmed retry must
+  // land the full NEW state.
+  enum class Op { kPublish, kRollback, kPromote, kAbort };
+  struct PointCase {
+    const char* point;
+    Op op;
+  };
+  const PointCase cases[] = {
+      {"lifecycle.publish", Op::kPublish},
+      {"lifecycle.rollback", Op::kRollback},
+      {"lifecycle.canary_promote", Op::kPromote},
+      {"lifecycle.canary_abort", Op::kAbort},
+  };
+  for (const PointCase& pc : cases) {
+    ModelStore store;
+    const std::string id = store.Put(LifecycleModel(1.0));       // v1
+    ASSERT_TRUE(store.Publish(id, LifecycleModel(2.0)).ok());    // v2
+    if (pc.op == Op::kPromote || pc.op == Op::kAbort) {
+      ASSERT_TRUE(
+          store.StageCanary(id, LifecycleModel(3.0), CanaryPolicy{}).ok());
+    }
+    const StoreState before = CaptureState(store, id);
+
+    auto run_op = [&]() -> Status {
+      switch (pc.op) {
+        case Op::kPublish:
+          return store.Publish(id, LifecycleModel(9.0)).status();
+        case Op::kRollback:
+          return store.Rollback(id, 1);
+        case Op::kPromote:
+          return store.PromoteCanary(id);
+        case Op::kAbort:
+          return store.AbortCanary(id);
+      }
+      return Status::Internal("unreachable");
+    };
+
+    ChaosScenario sc;
+    sc.name = std::string("lifecycle-atomic/") + pc.point;
+    sc.seed = 13;
+    sc.rules = {MakeRule(pc.point, ChaosAction::kKill, 0)};
+    const ChaosReport report = ChaosRunner::Run(sc, run_op);
+    EXPECT_EQ(report.crashes, 1u) << sc.Describe();
+
+    // Fully old: version, bits, history, canary, and audit trail are
+    // exactly the pre-kill state.
+    EXPECT_EQ(CaptureState(store, id), before) << sc.Describe();
+
+    // Fully new: the disarmed retry commits the whole transition.
+    ASSERT_TRUE(run_op().ok()) << sc.Describe();
+    const StoreState after = CaptureState(store, id);
+    EXPECT_NE(after.events.size(), before.events.size()) << sc.Describe();
+    switch (pc.op) {
+      case Op::kPublish:
+        EXPECT_EQ(after.version, 3u) << sc.Describe();
+        EXPECT_DOUBLE_EQ(after.first_param, 9.0) << sc.Describe();
+        break;
+      case Op::kRollback:
+        EXPECT_EQ(after.version, 1u) << sc.Describe();
+        EXPECT_DOUBLE_EQ(after.first_param, 1.0) << sc.Describe();
+        break;
+      case Op::kPromote:
+        EXPECT_EQ(after.version, 3u) << sc.Describe();
+        EXPECT_DOUBLE_EQ(after.first_param, 3.0) << sc.Describe();
+        EXPECT_FALSE(after.canary_staged) << sc.Describe();
+        break;
+      case Op::kAbort:
+        EXPECT_EQ(after.version, 2u) << sc.Describe();
+        EXPECT_DOUBLE_EQ(after.first_param, 2.0) << sc.Describe();
+        EXPECT_FALSE(after.canary_staged) << sc.Describe();
+        break;
+    }
+  }
+}
+
+TEST(LifecycleChaosTest, KillAndRestartRecoversLastPromotedVersionBitExact) {
+  // Flagship (c): the full lifecycle pipeline — publish, rollback, canary
+  // stage/abort, canary stage/promote — killed at every lifecycle crash
+  // point and restarted, recovers the last promoted version bit-identically
+  // to an uninterrupted run. The "restart" rebuilds the in-memory registry
+  // by replaying the deterministic pipeline, the same contract as the
+  // checkpointed TRAIN recovery above.
+  auto pipeline = [](uint64_t seed, ModelStore* store,
+                     std::string* id_out) -> Status {
+    const double base = static_cast<double>(seed);
+    const std::string id = store->Put(LifecycleModel(base + 1));  // v1
+    CORGI_RETURN_NOT_OK(store->Publish(id, LifecycleModel(base + 2)).status());
+    CORGI_RETURN_NOT_OK(store->Rollback(id, 1));
+    CanaryPolicy policy;
+    policy.seed = seed;
+    CORGI_RETURN_NOT_OK(
+        store->StageCanary(id, LifecycleModel(base + 3), policy).status());
+    CORGI_RETURN_NOT_OK(store->AbortCanary(id));
+    CORGI_RETURN_NOT_OK(
+        store->StageCanary(id, LifecycleModel(base + 4), policy).status());
+    CORGI_RETURN_NOT_OK(store->PromoteCanary(id));  // v4 = last promoted
+    *id_out = id;
+    return Status::OK();
+  };
+
+  const char* kPoints[] = {"lifecycle.publish", "lifecycle.rollback",
+                           "lifecycle.canary_abort",
+                           "lifecycle.canary_promote"};
+  const uint64_t kSeeds[] = {7, 21, 77};
+  for (const uint64_t seed : kSeeds) {
+    // Uninterrupted reference.
+    ModelStore ref_store;
+    std::string ref_id;
+    ASSERT_TRUE(pipeline(seed, &ref_store, &ref_id).ok());
+    const StoreState reference = CaptureState(ref_store, ref_id);
+    ASSERT_EQ(reference.version, 4u);
+
+    for (const char* point : kPoints) {
+      ChaosScenario sc;
+      sc.name = std::string("lifecycle-restart/") + point;
+      sc.seed = seed;
+      sc.rules = {MakeRule(point, ChaosAction::kKill, 0)};
+
+      StoreState recovered;
+      const ChaosReport report = ChaosRunner::RunToCompletion(
+          sc, [&](uint32_t) -> Status {
+            // Fresh store per attempt = the restarted process.
+            ModelStore store;
+            std::string id;
+            CORGI_RETURN_NOT_OK(pipeline(seed, &store, &id));
+            recovered = CaptureState(store, id);
+            return Status::OK();
+          });
+      ASSERT_TRUE(report.final_status.ok())
+          << sc.Describe() << ": " << report.Describe();
+      EXPECT_EQ(report.crashes, 1u) << sc.Describe();
+      EXPECT_EQ(report.attempts, 2u) << sc.Describe();
+      EXPECT_EQ(recovered, reference) << sc.Describe();
+      EXPECT_DOUBLE_EQ(recovered.first_param,
+                       static_cast<double>(seed) + 4)
+          << sc.Describe();
+    }
+  }
+}
+
 }  // namespace
 }  // namespace corgipile

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <future>
 #include <set>
 
 #include "db/block_shuffle_op.h"
@@ -659,6 +660,192 @@ TEST(UdaBaselineTest, MadlibLimitations) {
   EXPECT_TRUE(RunUdaBaseline(sparse.table.get(), &lr2, opts)
                   .status()
                   .IsNotImplemented());
+}
+
+// --- Guarded lifecycle SQL surface (DESIGN.md §13) -------------------------
+
+TEST(QueryParserTest, RollbackStatement) {
+  auto stmt = ParseQuery("ROLLBACK MODEL m TO 2");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_TRUE(std::holds_alternative<RollbackStatement>(*stmt));
+  EXPECT_EQ(std::get<RollbackStatement>(*stmt).model_id, "m");
+  EXPECT_EQ(std::get<RollbackStatement>(*stmt).version, 2u);
+  EXPECT_TRUE(ParseQuery("rollback model lr_0 to 17;").ok());
+
+  EXPECT_FALSE(ParseQuery("ROLLBACK MODEL m").ok());
+  EXPECT_FALSE(ParseQuery("ROLLBACK MODEL m TO").ok());
+  EXPECT_FALSE(ParseQuery("ROLLBACK MODEL m TO x").ok());
+  EXPECT_FALSE(ParseQuery("ROLLBACK MODEL m TO 0").ok());
+  EXPECT_FALSE(ParseQuery("ROLLBACK MODEL m TO -1").ok());
+  EXPECT_FALSE(ParseQuery("ROLLBACK MODEL m TO 2 WITH force=true").ok());
+
+  // The lifecycle TRAIN options are whitelisted; a typo is still rejected.
+  EXPECT_TRUE(ParseQuery("SELECT * FROM t TRAIN BY lr WITH publish=m, "
+                         "validate=true, holdout_fraction=0.2, "
+                         "validate_min_metric=0.6, validate_max_loss=0.7, "
+                         "validate_max_regression=0.05, canary_fraction=0.1, "
+                         "canary_batches=8, auto_rollback=true")
+                  .ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT * FROM t TRAIN BY lr WITH canary_fracton=0.1").ok());
+}
+
+TEST(DatabaseTest, RollbackModelSqlRoundTrip) {
+  const std::string dir = MakeTempDir("db_rollback");
+  Database db(dir, DeviceProfile::Ssd());
+  auto spec = CatalogLookup("susy", 0.02).ValueOrDie();
+  Dataset ds = GenerateDataset(spec, DataOrder::kClustered);
+  ASSERT_TRUE(db.RegisterDataset("susy", ds).ok());
+
+  TrainStatement stmt;
+  stmt.table_name = "susy";
+  stmt.model_kind = "lr";
+  stmt.params = Params::Parse("learning_rate=0.005, max_epoch_num=2, "
+                              "block_size=16KB, publish=m, seed=1")
+                    .ValueOrDie();
+  ASSERT_TRUE(db.Train(stmt).ok());
+  const std::vector<double> v1_params =
+      db.models().Get("m").ValueOrDie()->params();
+  stmt.params.Set("seed", "2");
+  ASSERT_TRUE(db.Train(stmt).ok());
+  ASSERT_EQ(db.models().GetVersion("m").ValueOrDie(), 2u);
+
+  auto rolled = db.Execute("ROLLBACK MODEL m TO 1");
+  ASSERT_TRUE(rolled.ok()) << rolled.status().ToString();
+  EXPECT_NE(rolled->find("rolled back model m to version 1"),
+            std::string::npos)
+      << *rolled;
+  EXPECT_EQ(db.models().GetVersion("m").ValueOrDie(), 1u);
+  EXPECT_EQ(db.models().Get("m").ValueOrDie()->params(), v1_params);
+  // PREDICT serves the rolled-back version.
+  ASSERT_TRUE(db.Execute("SELECT * FROM susy PREDICT BY m").ok());
+
+  EXPECT_TRUE(db.Execute("ROLLBACK MODEL m TO 1").status()
+                  .IsInvalidArgument());  // already current
+  EXPECT_TRUE(db.Execute("ROLLBACK MODEL m TO 99").status().IsNotFound());
+  EXPECT_TRUE(db.Execute("ROLLBACK MODEL ghost TO 1").status().IsNotFound());
+}
+
+TEST(DatabaseTest, PredictAgainstModelRemovedMidRunFailsCleanly) {
+  // Satellite 3: a model Remove()d while a serving run is in flight makes
+  // each later request fail with a clean per-request kNotFound — no hang,
+  // no stale pointer, no torn batch. Earlier requests keep their snapshot.
+  const std::string dir = MakeTempDir("db_remove_midrun");
+  Database db(dir, DeviceProfile::Ssd());
+  auto spec = CatalogLookup("susy", 0.02).ValueOrDie();
+  Dataset ds = GenerateDataset(spec, DataOrder::kClustered);
+  ASSERT_TRUE(db.RegisterDataset("susy", ds).ok());
+  TrainStatement stmt;
+  stmt.table_name = "susy";
+  stmt.model_kind = "lr";
+  stmt.params = Params::Parse("learning_rate=0.005, max_epoch_num=2, "
+                              "block_size=16KB, publish=m")
+                    .ValueOrDie();
+  ASSERT_TRUE(db.Train(stmt).ok());
+
+  ServeOptions serve;
+  serve.max_batch = 4;
+  serve.batch_deadline_s = 1.0;  // close by size only: exact boundaries
+  serve.num_workers = 2;
+  serve.max_queue_depth = 0;
+  serve.flush_on_idle = false;
+  InferenceEngine engine(&db.models(), serve);
+  ASSERT_TRUE(engine.Start().ok());
+
+  const std::vector<Tuple>& pool = *ds.train;
+  constexpr uint64_t kRequests = 64;
+  constexpr uint64_t kRemoveAt = 32;
+  std::vector<std::future<ServeReply>> replies;
+  for (uint64_t i = 0; i < kRequests; ++i) {
+    ServeRequest req;
+    req.tuple = pool[i % pool.size()];
+    req.model_id = "m";
+    req.arrival_s = 1e-3 * static_cast<double>(i);
+    if (i == kRemoveAt) {
+      // Runs on the scheduler thread when it processes this arrival: the
+      // removal lands at a deterministic point between batches.
+      req.on_arrival = [&db] { ASSERT_TRUE(db.models().Remove("m").ok()); };
+    }
+    replies.push_back(engine.Submit(std::move(req)));
+  }
+  ASSERT_TRUE(engine.Drain().ok());  // completes: nothing hangs
+
+  uint64_t served = 0, not_found = 0;
+  for (uint64_t i = 0; i < kRequests; ++i) {
+    const ServeReply r = replies[i].get();
+    if (r.status.ok()) {
+      ++served;
+      EXPECT_EQ(r.model_version, 1u) << "request " << i;
+    } else {
+      // kNotFound is permanent: it must bypass retry/breaker/brownout and
+      // never surface as a timeout, IoError, or stale answer.
+      EXPECT_TRUE(r.status.IsNotFound())
+          << "request " << i << ": " << r.status.ToString();
+      ++not_found;
+    }
+  }
+  EXPECT_EQ(served + not_found, kRequests);
+  // Batches formed before the removal were served from their snapshot;
+  // everything at or after the removal boundary failed cleanly.
+  EXPECT_EQ(served, kRemoveAt);
+  EXPECT_EQ(not_found, kRequests - kRemoveAt);
+
+  // Statement-level: the next PREDICT BY fails up front with kNotFound.
+  EXPECT_TRUE(
+      db.Execute("SELECT * FROM susy PREDICT BY m").status().IsNotFound());
+}
+
+TEST(DatabaseTest, RollbackMidRunNeverFailsARequest) {
+  // Rollback during a live run is a version change, not an outage: every
+  // request is answered OK, by either the new or the old current version.
+  const std::string dir = MakeTempDir("db_rollback_midrun");
+  Database db(dir, DeviceProfile::Ssd());
+  auto spec = CatalogLookup("susy", 0.02).ValueOrDie();
+  Dataset ds = GenerateDataset(spec, DataOrder::kClustered);
+  ASSERT_TRUE(db.RegisterDataset("susy", ds).ok());
+  TrainStatement stmt;
+  stmt.table_name = "susy";
+  stmt.model_kind = "lr";
+  stmt.params = Params::Parse("learning_rate=0.005, max_epoch_num=2, "
+                              "block_size=16KB, publish=m, seed=1")
+                    .ValueOrDie();
+  ASSERT_TRUE(db.Train(stmt).ok());
+  stmt.params.Set("seed", "2");
+  ASSERT_TRUE(db.Train(stmt).ok());  // v2 current, v1 retained
+
+  ServeOptions serve;
+  serve.max_batch = 4;
+  serve.batch_deadline_s = 1.0;
+  serve.num_workers = 2;
+  serve.max_queue_depth = 0;
+  serve.flush_on_idle = false;
+  InferenceEngine engine(&db.models(), serve);
+  ASSERT_TRUE(engine.Start().ok());
+
+  const std::vector<Tuple>& pool = *ds.train;
+  std::vector<std::future<ServeReply>> replies;
+  for (uint64_t i = 0; i < 64; ++i) {
+    ServeRequest req;
+    req.tuple = pool[i % pool.size()];
+    req.model_id = "m";
+    req.arrival_s = 1e-3 * static_cast<double>(i);
+    if (i == 32) {
+      req.on_arrival = [&db] {
+        ASSERT_TRUE(db.RollbackModel(RollbackStatement{"m", 1}).ok());
+      };
+    }
+    replies.push_back(engine.Submit(std::move(req)));
+  }
+  ASSERT_TRUE(engine.Drain().ok());
+
+  std::set<uint64_t> versions;
+  for (auto& f : replies) {
+    const ServeReply r = f.get();
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    versions.insert(r.model_version);
+  }
+  EXPECT_EQ(versions, (std::set<uint64_t>{1, 2}));
+  EXPECT_EQ(db.models().GetVersion("m").ValueOrDie(), 1u);
 }
 
 }  // namespace

@@ -279,6 +279,8 @@ TEST(InferenceEngineTest, HotSwapServesBothVersionsWithZeroFailures) {
   ServeStats a = r->stats, b = r2->stats;
   a.served_by_version.clear();
   b.served_by_version.clear();
+  a.quality_by_version.clear();
+  b.quality_by_version.clear();
   EXPECT_EQ(a, b);
 }
 
