@@ -5,16 +5,34 @@
 
 namespace corgipile {
 
+BlockShuffleOp::BlockShuffleOp(ShardedSnapshot snapshot, Options options)
+    : WithStreamState("BlockShuffle"), snapshot_(std::move(snapshot)),
+      options_(options), rng_(options.seed) {}
+
 BlockShuffleOp::BlockShuffleOp(Table* table, Options options)
-    : WithStreamState("BlockShuffle"), table_(table), options_(options),
-      rng_(options.seed) {}
+    : BlockShuffleOp(table == nullptr
+                         ? ShardedSnapshot()
+                         : ShardedSnapshot({table->Snapshot()}),
+                     options) {}
 
 Status BlockShuffleOp::Init() {
-  if (table_ == nullptr) return Status::InvalidArgument("null table");
+  if (!snapshot_.valid()) return Status::InvalidArgument("empty snapshot");
   pages_per_block_ = std::max<uint64_t>(
-      1, options_.block_size_bytes / table_->options().page_size);
-  num_blocks_ = static_cast<uint32_t>(
-      (table_->num_pages() + pages_per_block_ - 1) / pages_per_block_);
+      1, options_.block_size_bytes / snapshot_.options().page_size);
+  // Shard-major block enumeration: at shards=1 the ids and geometry are
+  // exactly the pre-sharding ones, so a given seed replays the same order.
+  blocks_.clear();
+  for (size_t s = 0; s < snapshot_.num_shards(); ++s) {
+    const uint64_t pages = snapshot_.shard(s).num_pages();
+    for (uint64_t first = 0; first < pages; first += pages_per_block_) {
+      BlockRef ref;
+      ref.shard = static_cast<uint32_t>(s);
+      ref.first_page = first;
+      ref.page_count = std::min<uint64_t>(pages_per_block_, pages - first);
+      blocks_.push_back(ref);
+    }
+  }
+  num_blocks_ = static_cast<uint32_t>(blocks_.size());
   initialized_ = true;
   epoch_ = 0;
   return ReScan();
@@ -34,7 +52,7 @@ Status BlockShuffleOp::ReScan() {
   current_block_.clear();
   pos_ = 0;
   quarantine().BeginEpoch();
-  table_->ResetReadCursor();
+  snapshot_.ResetReadCursors();
   return Status::OK();
 }
 
@@ -48,19 +66,19 @@ Status BlockShuffleOp::SkipEpochs(uint64_t n) {
 
 bool BlockShuffleOp::LoadNextBlock() {
   while (next_block_ < block_order_.size()) {
-    const uint32_t b = block_order_[next_block_++];
-    const uint64_t first = static_cast<uint64_t>(b) * pages_per_block_;
-    const uint64_t count =
-        std::min<uint64_t>(pages_per_block_, table_->num_pages() - first);
+    const BlockRef& ref = blocks_[block_order_[next_block_++]];
+    const TableSnapshot& shard = snapshot_.shard(ref.shard);
     current_block_.clear();
     pos_ = 0;
-    Status st = table_->ReadTuplesFromPages(first, count, &current_block_);
+    Status st = shard.ReadTuplesFromPages(ref.first_page, ref.page_count,
+                                          &current_block_);
     if (!st.ok()) {
       // Quarantine: drop whatever the partial read produced and move on.
       current_block_.clear();
       uint64_t lost = 0;
-      for (uint64_t p = first; p < first + count; ++p) {
-        lost += table_->TuplesInPage(p);
+      for (uint64_t p = ref.first_page; p < ref.first_page + ref.page_count;
+           ++p) {
+        lost += shard.TuplesInPage(p);
       }
       Status admitted =
           quarantine().Admit(st, options_.tolerance, lost, num_blocks_);

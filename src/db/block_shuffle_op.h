@@ -2,8 +2,15 @@
 //
 // Computes BN = page_num · page_size / block_size, shuffles the block ids,
 // and streams the tuples of each block by reading its contiguous pages
-// (the heapgetpage() analog is Table::ReadTuplesFromPages). With
+// (the heapgetpage() analog is TableSnapshot::ReadTuplesFromPages). With
 // shuffle_blocks = false it degenerates into PostgreSQL's sequential Scan.
+//
+// Sharded tables (DESIGN.md §14): the op reads through a ShardedSnapshot
+// captured before the epoch loop, so concurrent inserts never shift its
+// block geometry. Global block ids enumerate shard-major — all of shard
+// 0's blocks, then shard 1's, … — which makes the id space (and hence the
+// seeded shuffle order) at shards=1 bit-identical to the pre-sharding
+// operator.
 
 #pragma once
 
@@ -11,6 +18,7 @@
 
 #include "db/operator.h"
 #include "storage/block_source.h"
+#include "storage/sharded_table.h"
 #include "storage/table.h"
 #include "util/rng.h"
 #include "util/stream_base.h"
@@ -28,6 +36,9 @@ class BlockShuffleOp : public WithStreamState<PhysicalOperator> {
     BlockReadTolerance tolerance;
   };
 
+  BlockShuffleOp(ShardedSnapshot snapshot, Options options);
+
+  /// Compat form: captures a fresh snapshot of `table` as a one-shard view.
   BlockShuffleOp(Table* table, Options options);
 
   Status Init() override;
@@ -46,13 +57,21 @@ class BlockShuffleOp : public WithStreamState<PhysicalOperator> {
   uint64_t pages_per_block() const { return pages_per_block_; }
 
  private:
+  /// One block = `page_count` contiguous pages of one shard.
+  struct BlockRef {
+    uint32_t shard = 0;
+    uint64_t first_page = 0;
+    uint64_t page_count = 0;
+  };
+
   bool LoadNextBlock();
 
-  Table* table_;
+  ShardedSnapshot snapshot_;
   Options options_;
   Rng rng_;
   uint64_t pages_per_block_ = 1;
   uint32_t num_blocks_ = 0;
+  std::vector<BlockRef> blocks_;
   std::vector<uint32_t> block_order_;
   size_t next_block_ = 0;
   std::vector<Tuple> current_block_;

@@ -8,6 +8,7 @@
 #include "db/sgd_op.h"
 #include "db/stream_adapter_op.h"
 #include "db/tuple_shuffle_op.h"
+#include "exec/shard_scan.h"
 #include "shuffle/tuple_stream.h"
 #include "storage/block_source.h"
 #include "ml/linear_models.h"
@@ -26,32 +27,59 @@ Database::Database(std::string data_dir, DeviceProfile device,
   if (buffer_pool_bytes > 0) {
     buffer_pool_ = std::make_unique<BufferManager>(buffer_pool_bytes);
   }
+  SessionOptions defaults;
+  defaults.label = "default";
+  default_session_ = CreateSession(std::move(defaults));
 }
 
-Status Database::CreateTable(const std::string& name, const Schema& schema,
-                             const std::vector<Tuple>& tuples, bool compress,
-                             uint32_t page_size) {
-  if (tables_.count(name)) {
-    return Status::AlreadyExists("table '" + name + "' exists");
+Database::~Database() = default;
+
+std::unique_ptr<Session> Database::CreateSession(SessionOptions options) {
+  MutexLock lock(session_mu_);
+  const uint64_t id = next_session_id_++;
+  std::unique_ptr<Session> session(new Session(this, id, std::move(options)));
+  sessions_[id] = session.get();
+  return session;
+}
+
+void Database::UnregisterSession(const Session* session) {
+  MutexLock lock(session_mu_);
+  sessions_.erase(session->id());
+}
+
+std::vector<SessionInfo> Database::DescribeSessions() const {
+  MutexLock lock(session_mu_);
+  std::vector<SessionInfo> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) {
+    SessionInfo info;
+    info.id = id;
+    info.label = session->options().label;
+    info.stats = session->stats();
+    out.push_back(std::move(info));
   }
-  TableOptions options;
-  options.page_size = page_size;
-  options.compress_tuples = compress;
-  Schema named = schema;
-  named.name = name;
-  TableBuilder builder(named, data_dir_ + "/" + name + ".tbl", options);
-  for (const Tuple& t : tuples) {
-    CORGI_RETURN_NOT_OK(builder.Append(t));
+  return out;
+}
+
+ThreadPool* Database::scan_pool() {
+  MutexLock lock(pool_mu_);
+  if (scan_pool_ == nullptr) {
+    scan_pool_ = std::make_unique<ThreadPool>(4);
   }
-  TableEntry entry;
-  CORGI_ASSIGN_OR_RETURN(entry.table, builder.Finish());
-  // Sidecar so a later session can Attach() the table.
+  return scan_pool_.get();
+}
+
+Status Database::InstallTable(const std::string& name, const Schema& schema,
+                              bool compress, uint32_t page_size,
+                              TableEntry entry) {
+  // Sidecar so a later session can Attach() the table. Trailing shard
+  // count is new; old 7-field sidecars read back as num_shards = 1.
   {
     std::ofstream side(data_dir_ + "/" + name + ".schema", std::ios::trunc);
-    side << named.name << ' ' << named.dim << ' ' << (named.sparse ? 1 : 0)
-         << ' ' << static_cast<int>(named.label_type) << ' '
-         << named.num_classes << ' ' << (compress ? 1 : 0) << ' '
-         << page_size << '\n';
+    side << schema.name << ' ' << schema.dim << ' ' << (schema.sparse ? 1 : 0)
+         << ' ' << static_cast<int>(schema.label_type) << ' '
+         << schema.num_classes << ' ' << (compress ? 1 : 0) << ' '
+         << page_size << ' ' << entry.table->num_shards() << '\n';
     if (!side.good()) {
       return Status::IoError("cannot write schema sidecar for " + name);
     }
@@ -71,17 +99,48 @@ Status Database::CreateTable(const std::string& name, const Schema& schema,
   return Status::OK();
 }
 
+Status Database::CreateTable(const std::string& name, const Schema& schema,
+                             const std::vector<Tuple>& tuples, bool compress,
+                             uint32_t page_size, uint32_t num_shards) {
+  {
+    MutexLock lock(catalog_mu_);
+    if (tables_.count(name)) {
+      return Status::AlreadyExists("table '" + name + "' exists");
+    }
+  }
+  TableOptions options;
+  options.page_size = page_size;
+  options.compress_tuples = compress;
+  Schema named = schema;
+  named.name = name;
+  TableEntry entry;
+  CORGI_ASSIGN_OR_RETURN(
+      entry.table, ShardedTable::Create(data_dir_ + "/" + name, named,
+                                        options, tuples, num_shards));
+  MutexLock lock(catalog_mu_);
+  if (tables_.count(name)) {
+    return Status::AlreadyExists("table '" + name + "' exists");
+  }
+  return InstallTable(name, named, compress, page_size, std::move(entry));
+}
+
 Status Database::RegisterDataset(const std::string& name,
-                                 const Dataset& dataset) {
+                                 const Dataset& dataset,
+                                 uint32_t num_shards) {
   CORGI_RETURN_NOT_OK(CreateTable(name, dataset.MakeSchema(), *dataset.train,
-                                  dataset.spec.compress_in_db));
+                                  dataset.spec.compress_in_db,
+                                  Page::kDefaultSize, num_shards));
+  MutexLock lock(catalog_mu_);
   tables_[name].test_set = dataset.test;
   return Status::OK();
 }
 
 Status Database::Attach(const std::string& name) {
-  if (tables_.count(name)) {
-    return Status::AlreadyExists("table '" + name + "' already attached");
+  {
+    MutexLock lock(catalog_mu_);
+    if (tables_.count(name)) {
+      return Status::AlreadyExists("table '" + name + "' already attached");
+    }
   }
   std::ifstream side(data_dir_ + "/" + name + ".schema");
   if (!side) return Status::NotFound("no schema sidecar for '" + name + "'");
@@ -92,6 +151,8 @@ Status Database::Attach(const std::string& name) {
         schema.num_classes >> compress >> page_size)) {
     return Status::Corruption("malformed schema sidecar for '" + name + "'");
   }
+  uint32_t num_shards = 1;
+  if (!(side >> num_shards)) num_shards = 1;  // pre-sharding sidecar
   schema.sparse = sparse != 0;
   schema.label_type = static_cast<LabelType>(label_type);
   TableOptions options;
@@ -99,30 +160,38 @@ Status Database::Attach(const std::string& name) {
   options.compress_tuples = compress != 0;
   TableEntry entry;
   CORGI_ASSIGN_OR_RETURN(
-      entry.table,
-      Table::Open(data_dir_ + "/" + name + ".tbl", schema, options));
-  entry.table->SetIoAccounting(device_, &clock_, &io_stats_);
-  if (fault_ != nullptr) entry.table->SetFaultInjection(fault_);
-  if (buffer_pool_ != nullptr &&
-      entry.table->size_bytes() <= buffer_pool_->capacity_bytes()) {
-    entry.table->SetBufferManager(buffer_pool_.get());
+      entry.table, ShardedTable::Open(data_dir_ + "/" + name, schema, options,
+                                      num_shards));
+  MutexLock lock(catalog_mu_);
+  if (tables_.count(name)) {
+    return Status::AlreadyExists("table '" + name + "' already attached");
   }
-  entry.label_type = schema.label_type;
-  entry.num_classes = schema.num_classes;
-  tables_[name] = std::move(entry);
-  return Status::OK();
+  return InstallTable(name, schema, compress != 0, page_size,
+                      std::move(entry));
+}
+
+Result<Database::TableEntry*> Database::FindTable(const std::string& name) {
+  MutexLock lock(catalog_mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table '" + name + "'");
+  }
+  // std::map nodes are stable and tables are never dropped, so the entry
+  // pointer stays valid after the lock is released.
+  return &it->second;
 }
 
 Status Database::Insert(const std::string& table,
                         const std::vector<Tuple>& tuples) {
-  auto it = tables_.find(table);
-  if (it == tables_.end()) {
-    return Status::NotFound("no table '" + table + "'");
+  CORGI_ASSIGN_OR_RETURN(TableEntry* entry, FindTable(table));
+  // No scan lock: the append becomes visible to future snapshots only via
+  // the atomic publish inside ShardedTable::AppendTuples; scans in flight
+  // keep reading their captured snapshots.
+  if (serialize_scans()) {
+    MutexLock lock(baseline_scan_mu_);
+    return entry->table->AppendTuples(tuples);
   }
-  // Appends race table scans on the shared heap-file cursor the same way
-  // concurrent PREDICT scans do; the scan mutex serializes both.
-  MutexLock lock(scan_mu_);
-  return it->second.table->AppendTuples(tuples);
+  return entry->table->AppendTuples(tuples);
 }
 
 Status Database::RollbackModel(const RollbackStatement& stmt) {
@@ -130,6 +199,7 @@ Status Database::RollbackModel(const RollbackStatement& stmt) {
 }
 
 void Database::SetFaultInjection(FaultInjector* injector) {
+  MutexLock lock(catalog_mu_);
   fault_ = injector;
   for (auto& [name, entry] : tables_) {
     entry.table->SetFaultInjection(injector);
@@ -140,11 +210,28 @@ void Database::SetFaultInjection(FaultInjector* injector) {
 }
 
 Result<Table*> Database::GetTable(const std::string& name) {
-  auto it = tables_.find(name);
-  if (it == tables_.end()) {
-    return Status::NotFound("no table '" + name + "'");
+  CORGI_ASSIGN_OR_RETURN(TableEntry* entry, FindTable(name));
+  return entry->table->shard(0);
+}
+
+Result<ShardedTable*> Database::GetShardedTable(const std::string& name) {
+  CORGI_ASSIGN_OR_RETURN(TableEntry* entry, FindTable(name));
+  return entry->table.get();
+}
+
+Status Database::CollectForRead(const ShardedSnapshot& snap,
+                                std::vector<Tuple>* out) {
+  ShardScanOptions opts;
+  if (serialize_scans()) {
+    // Baseline A/B mode: the old global-scan-lock behavior, sequential
+    // merge under one mutex (see set_serialize_scans).
+    MutexLock lock(baseline_scan_mu_);
+    snap.ResetReadCursors();
+    return CollectSnapshot(snap, opts, out);
   }
-  return it->second.table.get();
+  if (snap.num_shards() > 1) opts.pool = scan_pool();
+  snap.ResetReadCursors();
+  return CollectSnapshot(snap, opts, out);
 }
 
 Result<std::unique_ptr<Model>> Database::MakeModel(const std::string& kind,
@@ -174,12 +261,9 @@ Result<std::unique_ptr<Model>> Database::MakeModel(const std::string& kind,
 }
 
 Result<InDbTrainResult> Database::Train(const TrainStatement& stmt) {
-  auto it = tables_.find(stmt.table_name);
-  if (it == tables_.end()) {
-    return Status::NotFound("no table '" + stmt.table_name + "'");
-  }
-  TableEntry& entry = it->second;
-  Table* table = entry.table.get();
+  CORGI_ASSIGN_OR_RETURN(TableEntry* entry_ptr, FindTable(stmt.table_name));
+  TableEntry& entry = *entry_ptr;
+  ShardedTable* table = entry.table.get();
 
   const Params& p = stmt.params;
   CORGI_ASSIGN_OR_RETURN(double learning_rate, p.GetDouble("learning_rate", 0.01));
@@ -263,6 +347,16 @@ Result<InDbTrainResult> Database::Train(const TrainStatement& stmt) {
         "max_bad_fraction must be in [0, 1], got " +
         std::to_string(max_bad_fraction));
   }
+  const bool consumes_table =
+      (strategy == "shuffle_once" || strategy == "shuffle_once_inplace");
+  if (consumes_table && table->num_shards() != 1) {
+    // Both prep passes rewrite/copy one physical heap file; a sharded
+    // table has K of them. CorgiPile itself needs no such pass — that is
+    // the point of the paper.
+    return Status::InvalidArgument(
+        "strategy=" + strategy + " requires an unsharded table (shards=1); '" +
+        stmt.table_name + "' has " + std::to_string(table->num_shards()));
+  }
   BlockReadTolerance tolerance;
   tolerance.quarantine_corrupt_blocks = tolerate_corruption;
   tolerance.max_bad_block_fraction = max_bad_fraction;
@@ -277,24 +371,31 @@ Result<InDbTrainResult> Database::Train(const TrainStatement& stmt) {
                            clock_.Elapsed(TimeCategory::kDecompress);
 
   // --- strategy-specific preparation ---
-  Table* scan_table = table;
+  // The pipeline below always reads through a ShardedSnapshot captured
+  // once, here: concurrent inserts land in later snapshots and never shift
+  // this run's block geometry mid-epoch.
+  ShardedSnapshot scan_snap;
   if (strategy == "shuffle_once_inplace") {
     // No 2x disk copy: the base table itself is rewritten in random order
-    // (which is why it can break clustered indexes; §1).
+    // (which is why it can break clustered indexes; §1). Storage is
+    // rewritten in place, so this is a single-session operation: snapshots
+    // captured before it dangle, which is why it is gated to K=1 and
+    // documented as incompatible with concurrent readers (DESIGN.md §14).
+    CORGI_ASSIGN_OR_RETURN(std::unique_ptr<Table> sole,
+                           table->ReleaseSoleShard());
     CORGI_ASSIGN_OR_RETURN(
         InPlaceShuffleResult shuffled,
-        ShuffleTableInPlace(std::move(entry.table),
+        ShuffleTableInPlace(std::move(sole),
                             static_cast<uint64_t>(seed) ^ 0x1A9B,
                             device_, &clock_, &io_stats_,
                             buffer_pool_.get()));
-    entry.table = std::move(shuffled.table);
-    table = entry.table.get();
-    scan_table = table;
     result.prep_seconds = shuffled.sim_seconds;
+    CORGI_RETURN_NOT_OK(table->AdoptSoleShard(std::move(shuffled.table)));
+    scan_snap = table->Snapshot();
   } else if (strategy == "shuffle_once") {
     CORGI_ASSIGN_OR_RETURN(
         ShuffledCopyResult copy,
-        BuildShuffledCopy(table,
+        BuildShuffledCopy(table->shard(0),
                           data_dir_ + "/" + stmt.table_name + ".shuffled.tbl",
                           static_cast<uint64_t>(seed) ^ 0x50FF1E, device_,
                           &clock_, &io_stats_));
@@ -304,8 +405,12 @@ Result<InDbTrainResult> Database::Train(const TrainStatement& stmt) {
         copy.table->size_bytes() <= buffer_pool_->capacity_bytes()) {
       copy.table->SetBufferManager(buffer_pool_.get());
     }
+    MutexLock lock(catalog_mu_);
     shuffled_copies_[stmt.table_name] = std::move(copy.table);
-    scan_table = shuffled_copies_[stmt.table_name].get();
+    scan_snap = ShardedSnapshot(
+        {shuffled_copies_[stmt.table_name]->Snapshot()});
+  } else {
+    scan_snap = table->Snapshot();
   }
 
   // --- pipeline construction ---
@@ -332,7 +437,7 @@ Result<InDbTrainResult> Database::Train(const TrainStatement& stmt) {
   if (stream_strategy) {
     // Sliding-Window / MRS hosted through the stream adapter.
     auto source =
-        std::make_unique<TableBlockSource>(scan_table, block_size);
+        std::make_unique<SnapshotBlockSource>(scan_snap, block_size);
     ShuffleOptions sopts;
     sopts.buffer_fraction = buffer_fraction;
     sopts.seed = static_cast<uint64_t>(seed);
@@ -345,13 +450,13 @@ Result<InDbTrainResult> Database::Train(const TrainStatement& stmt) {
                                                    std::move(source));
     top = adapter_op.get();
   } else {
-    block_op = std::make_unique<BlockShuffleOp>(scan_table, bopts);
+    block_op = std::make_unique<BlockShuffleOp>(scan_snap, bopts);
     top = block_op.get();
     if (strategy == "corgipile") {
       TupleShuffleOp::Options topts;
       topts.buffer_tuples = std::max<uint64_t>(
-          1, static_cast<uint64_t>(buffer_fraction *
-                                   static_cast<double>(table->num_tuples())));
+          1, static_cast<uint64_t>(
+                 buffer_fraction * static_cast<double>(scan_snap.num_tuples())));
       topts.double_buffer = double_buffer;
       topts.seed = static_cast<uint64_t>(seed) ^ 0x7F;
       topts.clock = &clock_;
@@ -418,16 +523,10 @@ Result<InDbTrainResult> Database::Train(const TrainStatement& stmt) {
     if (entry.test_set != nullptr && !entry.test_set->empty()) {
       holdout = *entry.test_set;
     } else {
-      // No registered test split: seeded sample from the training table.
+      // No registered test split: seeded sample from the training table
+      // (this run's snapshot, so a concurrent insert cannot skew the gate).
       std::vector<Tuple> pool;
-      {
-        MutexLock lock(scan_mu_);
-        table->ResetReadCursor();
-        CORGI_RETURN_NOT_OK(table->Scan([&](const Tuple& t) {
-          pool.push_back(t);
-          return Status::OK();
-        }));
-      }
+      CORGI_RETURN_NOT_OK(CollectForRead(table->Snapshot(), &pool));
       holdout = SampleHoldout(pool, holdout_fraction,
                               static_cast<uint64_t>(seed) ^ 0x401D07);
     }
@@ -481,11 +580,8 @@ Result<InDbTrainResult> Database::Train(const TrainStatement& stmt) {
 }
 
 Result<InDbPredictResult> Database::Predict(const PredictStatement& stmt) {
-  auto it = tables_.find(stmt.table_name);
-  if (it == tables_.end()) {
-    return Status::NotFound("no table '" + stmt.table_name + "'");
-  }
-  Table* table = it->second.table.get();
+  CORGI_ASSIGN_OR_RETURN(TableEntry* entry, FindTable(stmt.table_name));
+  ShardedTable* table = entry->table.get();
   // Validate before a single tuple is submitted: missing models and
   // feature-dimensionality mismatches fail the statement, not N futures.
   CORGI_ASSIGN_OR_RETURN(ModelSnapshot snap,
@@ -508,17 +604,10 @@ Result<InDbPredictResult> Database::Predict(const PredictStatement& stmt) {
   InferenceEngine engine(&models_, opts);
   CORGI_RETURN_NOT_OK(engine.Start());
 
-  // The heap-file read cursor is not shareable, so the scan itself is
-  // serialized across sessions; the engine work below runs unlocked.
+  // Snapshot scan — no global lock. Concurrent TRAIN/INSERT sessions never
+  // block this read and never change what it sees.
   std::vector<Tuple> tuples;
-  {
-    MutexLock lock(scan_mu_);
-    table->ResetReadCursor();
-    CORGI_RETURN_NOT_OK(table->Scan([&](const Tuple& t) {
-      tuples.push_back(t);
-      return Status::OK();
-    }));
-  }
+  CORGI_RETURN_NOT_OK(CollectForRead(table->Snapshot(), &tuples));
 
   std::vector<std::future<ServeReply>> futures;
   futures.reserve(tuples.size());
@@ -537,7 +626,7 @@ Result<InDbPredictResult> Database::Predict(const PredictStatement& stmt) {
     CORGI_RETURN_NOT_OK(reply.status);
     acc.Add(tuples[i].label, reply.value, reply.loss, reply.correct);
   }
-  const EvalResult eval = acc.Finalize(it->second.label_type);
+  const EvalResult eval = acc.Finalize(entry->label_type);
 
   InDbPredictResult out;
   out.count = eval.count;
@@ -548,26 +637,15 @@ Result<InDbPredictResult> Database::Predict(const PredictStatement& stmt) {
 }
 
 Result<BinaryReport> Database::EvaluateModel(const EvaluateStatement& stmt) {
-  auto it = tables_.find(stmt.table_name);
-  if (it == tables_.end()) {
-    return Status::NotFound("no table '" + stmt.table_name + "'");
-  }
-  if (it->second.label_type != LabelType::kBinary) {
+  CORGI_ASSIGN_OR_RETURN(TableEntry* entry, FindTable(stmt.table_name));
+  if (entry->label_type != LabelType::kBinary) {
     return Status::InvalidArgument(
         "EVALUATE BY requires a binary-labelled table");
   }
   CORGI_ASSIGN_OR_RETURN(std::shared_ptr<const Model> model,
                          models_.Get(stmt.model_id));
   std::vector<Tuple> all;
-  Table* table = it->second.table.get();
-  {
-    MutexLock lock(scan_mu_);
-    table->ResetReadCursor();
-    CORGI_RETURN_NOT_OK(table->Scan([&](const Tuple& t) {
-      all.push_back(t);
-      return Status::OK();
-    }));
-  }
+  CORGI_RETURN_NOT_OK(CollectForRead(entry->table->Snapshot(), &all));
   return EvaluateBinaryDetailed(*model, all);
 }
 
@@ -583,6 +661,11 @@ Result<uint64_t> Database::Load(const LoadStatement& stmt) {
   CORGI_ASSIGN_OR_RETURN(std::string order,
                          stmt.params.GetString("order", "file"));
   CORGI_ASSIGN_OR_RETURN(int64_t seed, stmt.params.GetInt("seed", 42));
+  CORGI_ASSIGN_OR_RETURN(int64_t shards, stmt.params.GetInt("shards", 1));
+  if (shards < 1 || shards > 64) {
+    return Status::InvalidArgument("shards must be in [1, 64], got " +
+                                   std::to_string(shards));
+  }
 
   Schema schema;
   schema.name = stmt.table_name;
@@ -601,68 +684,14 @@ Result<uint64_t> Database::Load(const LoadStatement& stmt) {
   } else if (order != "file") {
     return Status::InvalidArgument("order must be file|clustered|shuffled");
   }
-  CORGI_RETURN_NOT_OK(
-      CreateTable(stmt.table_name, schema, parsed.tuples, compress));
+  CORGI_RETURN_NOT_OK(CreateTable(stmt.table_name, schema, parsed.tuples,
+                                  compress, Page::kDefaultSize,
+                                  static_cast<uint32_t>(shards)));
   return static_cast<uint64_t>(parsed.tuples.size());
 }
 
 Result<std::string> Database::Execute(const std::string& sql) {
-  CORGI_ASSIGN_OR_RETURN(Statement stmt, ParseQuery(sql));
-  std::ostringstream os;
-  if (std::holds_alternative<LoadStatement>(stmt)) {
-    const auto& load = std::get<LoadStatement>(stmt);
-    CORGI_ASSIGN_OR_RETURN(uint64_t n, Load(load));
-    os << "loaded " << n << " tuples into " << load.table_name;
-    return os.str();
-  }
-  if (std::holds_alternative<RollbackStatement>(stmt)) {
-    const auto& rb = std::get<RollbackStatement>(stmt);
-    CORGI_RETURN_NOT_OK(RollbackModel(rb));
-    os << "rolled back model " << rb.model_id << " to version "
-       << rb.version;
-    return os.str();
-  }
-  if (std::holds_alternative<TrainStatement>(stmt)) {
-    CORGI_ASSIGN_OR_RETURN(InDbTrainResult r,
-                           Train(std::get<TrainStatement>(stmt)));
-    if (r.lifecycle_state == "rejected") {
-      os << "rejected candidate for model " << r.model_id << " ("
-         << r.validation_reason << "); incumbent unchanged";
-      return os.str();
-    }
-    if (r.lifecycle_state == "canary") {
-      os << "staged canary " << r.model_id << " (candidate v"
-         << r.canary_version << ")";
-    } else {
-      os << "trained model " << r.model_id;
-      if (r.model_version > 1) os << " (v" << r.model_version << ")";
-    }
-    os << " in " << r.epochs.size()
-       << " epochs; final metric " << r.final_metric << ", loss "
-       << r.final_loss << "; simulated end-to-end "
-       << r.end_to_end_double_seconds << "s (" << r.prep_seconds
-       << "s prep)";
-    if (r.total_quarantined_blocks > 0) {
-      os << "; quarantined " << r.total_quarantined_blocks << " blocks ("
-         << r.total_skipped_tuples << " tuples skipped)";
-    }
-  } else if (std::holds_alternative<PredictStatement>(stmt)) {
-    CORGI_ASSIGN_OR_RETURN(InDbPredictResult r,
-                           Predict(std::get<PredictStatement>(stmt)));
-    os << "predicted " << r.count << " tuples; metric " << r.metric
-       << ", mean loss " << r.mean_loss << "; served in "
-       << r.serve.num_batches << " micro-batches (mean occupancy "
-       << r.serve.mean_batch_occupancy << "), p50 "
-       << r.serve.latency.p50 * 1e3 << "ms, p99 "
-       << r.serve.latency.p99 * 1e3 << "ms";
-  } else {
-    CORGI_ASSIGN_OR_RETURN(BinaryReport r,
-                           EvaluateModel(std::get<EvaluateStatement>(stmt)));
-    os << "evaluated " << r.total() << " tuples; accuracy " << r.accuracy()
-       << ", precision " << r.precision() << ", recall " << r.recall()
-       << ", f1 " << r.f1() << ", auc " << r.auc;
-  }
-  return os.str();
+  return default_session().Execute(sql);
 }
 
 void Database::ResetAccounting() {

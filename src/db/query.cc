@@ -36,7 +36,8 @@ const char* const kTrainOptionKeys[] = {
     "validate_max_loss", "validate_max_regression", "canary_fraction",
     "canary_batches", "auto_rollback",
 };
-const char* const kLoadOptionKeys[] = {"dim", "compress", "order", "seed"};
+const char* const kLoadOptionKeys[] = {"dim", "compress", "order", "seed",
+                                       "shards"};
 
 template <size_t N>
 Status ValidateOptionKeys(const Params& params, const char* verb,
@@ -104,6 +105,14 @@ Result<Statement> ParseQuery(const std::string& sql) {
     CORGI_RETURN_NOT_OK(ValidateOptionKeys(stmt.params, "LOAD",
                                            kLoadOptionKeys));
     return Statement{std::move(stmt)};
+  }
+  // SHOW SESSIONS
+  if (!w.empty() && Upper(w[0]) == "SHOW") {
+    if (w.size() != 2 || Upper(w[1]) != "SESSIONS" ||
+        !t.with_clause.empty()) {
+      return Status::InvalidArgument("expected: SHOW SESSIONS");
+    }
+    return Statement{ShowSessionsStatement{}};
   }
   // ROLLBACK MODEL <id> TO <version>
   if (!w.empty() && Upper(w[0]) == "ROLLBACK") {

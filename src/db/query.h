@@ -4,6 +4,7 @@
 //   SELECT * FROM <table> EVALUATE BY <model_id>   (detailed report)
 //   LOAD TABLE <table> FROM '<libsvm_path>' [WITH order=clustered, ...]
 //   ROLLBACK MODEL <model_id> TO <version>         (lifecycle, DESIGN.md §13)
+//   SHOW SESSIONS                                  (sessions, DESIGN.md §14)
 
 #pragma once
 
@@ -45,9 +46,13 @@ struct RollbackStatement {
   uint64_t version = 0;
 };
 
+/// SHOW SESSIONS: one row per live session (id, label, statements run,
+/// sim-time consumed). DESIGN.md §14.
+struct ShowSessionsStatement {};
+
 using Statement = std::variant<TrainStatement, PredictStatement,
                                EvaluateStatement, LoadStatement,
-                               RollbackStatement>;
+                               RollbackStatement, ShowSessionsStatement>;
 
 /// Parses one statement. Keywords are case-insensitive; identifiers are
 /// case-sensitive. Trailing semicolon optional.

@@ -12,6 +12,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -62,22 +63,37 @@ struct DeviceProfile {
 };
 
 /// Counters for I/O activity, kept separately from the simulated clock so
-/// tests can assert on access patterns.
+/// tests can assert on access patterns. One IoStats sink is shared by every
+/// shard of a sharded table, whose heapfiles charge reads from concurrent
+/// prefetch tasks under their own per-file mutexes — the counters are
+/// atomic so those cross-file updates don't race. Sums are
+/// order-independent, so totals stay deterministic under concurrency.
 struct IoStats {
-  uint64_t sequential_reads = 0;
-  uint64_t random_reads = 0;
-  uint64_t writes = 0;
-  uint64_t bytes_read = 0;
-  uint64_t bytes_written = 0;
+  std::atomic<uint64_t> sequential_reads{0};
+  std::atomic<uint64_t> random_reads{0};
+  std::atomic<uint64_t> writes{0};
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> bytes_written{0};
+
+  IoStats() = default;
+  IoStats(const IoStats& o) { *this = o; }
+  IoStats& operator=(const IoStats& o) {
+    sequential_reads = o.sequential_reads.load();
+    random_reads = o.random_reads.load();
+    writes = o.writes.load();
+    bytes_read = o.bytes_read.load();
+    bytes_written = o.bytes_written.load();
+    return *this;
+  }
 
   void Clear() { *this = IoStats{}; }
 
   IoStats& operator+=(const IoStats& o) {
-    sequential_reads += o.sequential_reads;
-    random_reads += o.random_reads;
-    writes += o.writes;
-    bytes_read += o.bytes_read;
-    bytes_written += o.bytes_written;
+    sequential_reads += o.sequential_reads.load();
+    random_reads += o.random_reads.load();
+    writes += o.writes.load();
+    bytes_read += o.bytes_read.load();
+    bytes_written += o.bytes_written.load();
     return *this;
   }
 

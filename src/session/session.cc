@@ -1,0 +1,172 @@
+#include "session/session.h"
+
+#include <sstream>
+
+#include "db/database.h"
+#include "iosim/fault_plane.h"
+
+namespace corgipile {
+
+Session::Session(Database* db, uint64_t id, SessionOptions options)
+    : db_(db), id_(id), options_(std::move(options)),
+      rng_(options_.seed ^ (0x5E55'0000 + id)),
+      deadline_(options_.deadline_seconds > 0.0
+                    ? Deadline(&db->clock(), options_.deadline_seconds)
+                    : Deadline::Infinite()) {}
+
+Session::~Session() { db_->UnregisterSession(this); }
+
+void Session::Cancel(Status reason) { token_.Cancel(std::move(reason)); }
+
+SessionStats Session::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+Status Session::Admit() {
+  if (token_.cancelled()) return token_.status();
+  return deadline_.Check("session " + std::to_string(id_) + " budget");
+}
+
+void Session::DefaultSeed(Params* params) const {
+  if (!params->Has("seed")) {
+    params->Set("seed", std::to_string(options_.seed));
+  }
+}
+
+void Session::Account(uint64_t SessionStats::*counter, bool ok,
+                      double sim_delta) {
+  MutexLock lock(mu_);
+  ++stats_.statements;
+  ++(stats_.*counter);
+  if (!ok) ++stats_.failed;
+  stats_.sim_seconds += sim_delta;
+}
+
+Result<InDbTrainResult> Session::Train(const TrainStatement& stmt) {
+  CORGI_RETURN_NOT_OK(Admit());
+  TrainStatement seeded = stmt;
+  DefaultSeed(&seeded.params);
+  const double before = db_->clock().TotalElapsed();
+  Result<InDbTrainResult> r = db_->Train(seeded);
+  Account(&SessionStats::trains, r.ok(), db_->clock().TotalElapsed() - before);
+  return r;
+}
+
+Result<InDbPredictResult> Session::Predict(const PredictStatement& stmt) {
+  CORGI_RETURN_NOT_OK(Admit());
+  const double before = db_->clock().TotalElapsed();
+  Result<InDbPredictResult> r = db_->Predict(stmt);
+  Account(&SessionStats::predicts, r.ok(),
+          db_->clock().TotalElapsed() - before);
+  return r;
+}
+
+Result<BinaryReport> Session::Evaluate(const EvaluateStatement& stmt) {
+  CORGI_RETURN_NOT_OK(Admit());
+  const double before = db_->clock().TotalElapsed();
+  Result<BinaryReport> r = db_->EvaluateModel(stmt);
+  Account(&SessionStats::evaluates, r.ok(),
+          db_->clock().TotalElapsed() - before);
+  return r;
+}
+
+Result<uint64_t> Session::Load(const LoadStatement& stmt) {
+  CORGI_RETURN_NOT_OK(Admit());
+  LoadStatement seeded = stmt;
+  DefaultSeed(&seeded.params);
+  const double before = db_->clock().TotalElapsed();
+  Result<uint64_t> r = db_->Load(seeded);
+  Account(&SessionStats::loads, r.ok(), db_->clock().TotalElapsed() - before);
+  return r;
+}
+
+Status Session::Insert(const std::string& table,
+                       const std::vector<Tuple>& tuples) {
+  CORGI_RETURN_NOT_OK(Admit());
+  const double before = db_->clock().TotalElapsed();
+  Status st = db_->Insert(table, tuples);
+  Account(&SessionStats::inserts, st.ok(),
+          db_->clock().TotalElapsed() - before);
+  return st;
+}
+
+Result<std::string> Session::Execute(const std::string& sql) {
+  CORGI_INJECT_POINT("session.execute.begin");
+  CORGI_ASSIGN_OR_RETURN(Statement stmt, ParseQuery(sql));
+  std::ostringstream os;
+  if (std::holds_alternative<ShowSessionsStatement>(stmt)) {
+    // Introspection: not counted as a workload statement.
+    const std::vector<SessionInfo> sessions = db_->DescribeSessions();
+    os << sessions.size() << " session(s)";
+    for (const SessionInfo& s : sessions) {
+      os << "\nsession " << s.id;
+      if (!s.label.empty()) os << " [" << s.label << "]";
+      os << ": statements=" << s.stats.statements
+         << " trains=" << s.stats.trains << " predicts=" << s.stats.predicts
+         << " evaluates=" << s.stats.evaluates << " loads=" << s.stats.loads
+         << " inserts=" << s.stats.inserts << " failed=" << s.stats.failed
+         << " sim_seconds=" << s.stats.sim_seconds;
+    }
+    return os.str();
+  }
+  if (std::holds_alternative<LoadStatement>(stmt)) {
+    const auto& load = std::get<LoadStatement>(stmt);
+    CORGI_ASSIGN_OR_RETURN(uint64_t n, Load(load));
+    os << "loaded " << n << " tuples into " << load.table_name;
+    return os.str();
+  }
+  if (std::holds_alternative<RollbackStatement>(stmt)) {
+    const auto& rb = std::get<RollbackStatement>(stmt);
+    CORGI_RETURN_NOT_OK(Admit());
+    Status st = db_->RollbackModel(rb);
+    Account(&SessionStats::rollbacks, st.ok(), 0.0);
+    CORGI_RETURN_NOT_OK(st);
+    os << "rolled back model " << rb.model_id << " to version "
+       << rb.version;
+    return os.str();
+  }
+  if (std::holds_alternative<TrainStatement>(stmt)) {
+    CORGI_ASSIGN_OR_RETURN(InDbTrainResult r,
+                           Train(std::get<TrainStatement>(stmt)));
+    if (r.lifecycle_state == "rejected") {
+      os << "rejected candidate for model " << r.model_id << " ("
+         << r.validation_reason << "); incumbent unchanged";
+      return os.str();
+    }
+    if (r.lifecycle_state == "canary") {
+      os << "staged canary " << r.model_id << " (candidate v"
+         << r.canary_version << ")";
+    } else {
+      os << "trained model " << r.model_id;
+      if (r.model_version > 1) os << " (v" << r.model_version << ")";
+    }
+    os << " in " << r.epochs.size()
+       << " epochs; final metric " << r.final_metric << ", loss "
+       << r.final_loss << "; simulated end-to-end "
+       << r.end_to_end_double_seconds << "s (" << r.prep_seconds
+       << "s prep)";
+    if (r.total_quarantined_blocks > 0) {
+      os << "; quarantined " << r.total_quarantined_blocks << " blocks ("
+         << r.total_skipped_tuples << " tuples skipped)";
+    }
+  } else if (std::holds_alternative<PredictStatement>(stmt)) {
+    CORGI_ASSIGN_OR_RETURN(InDbPredictResult r,
+                           Predict(std::get<PredictStatement>(stmt)));
+    os << "predicted " << r.count << " tuples; metric " << r.metric
+       << ", mean loss " << r.mean_loss << "; served in "
+       << r.serve.num_batches << " micro-batches (mean occupancy "
+       << r.serve.mean_batch_occupancy << "), p50 "
+       << r.serve.latency.p50 * 1e3 << "ms, p99 "
+       << r.serve.latency.p99 * 1e3 << "ms";
+  } else {
+    CORGI_ASSIGN_OR_RETURN(BinaryReport r,
+                           Evaluate(std::get<EvaluateStatement>(stmt)));
+    os << "evaluated " << r.total() << " tuples; accuracy " << r.accuracy()
+       << ", precision " << r.precision() << ", recall " << r.recall()
+       << ", f1 " << r.f1() << ", auc " << r.auc;
+  }
+  return os.str();
+}
+
+}  // namespace corgipile

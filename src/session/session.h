@@ -1,0 +1,129 @@
+// Session: per-connection state for the multi-session engine
+// (DESIGN.md §14).
+//
+// A Session owns everything one logical connection needs — a seeded RNG
+// (forked per statement index so concurrent sessions never share a
+// stream), default options, a cooperative cancellation token, an optional
+// simulated-time deadline, and running statistics. Statement execution
+// moved here from Database::Execute; the Database keeps a compat shim
+// over an implicit default session (id 1, seed 42) so existing callers
+// see identical behavior.
+//
+// Concurrency: each session is a single logical connection — callers run
+// its statements from one thread at a time — but *different* sessions
+// execute concurrently against the same Database with no global scan
+// lock: reads go through table snapshots (storage/sharded_table.h), so a
+// TRAIN never blocks a PREDICT. Stats are internally locked so SHOW
+// SESSIONS may observe any session mid-statement.
+//
+// Determinism: statements that omit seed= default to the session's seed,
+// and all shuffle/merge orders are pure functions of (seed, epoch). Model
+// params, losses, and metrics are bit-identical across reruns for a given
+// per-session statement sequence. Global SimClock totals are *not*
+// per-session deterministic under concurrency (billing interleaves), so
+// timing fields are excluded from reproducibility claims.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/query.h"
+#include "db/run_result.h"
+#include "ml/metrics.h"
+#include "util/cancellation.h"
+#include "util/mutex.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace corgipile {
+
+class Database;
+struct InDbPredictResult;
+
+struct SessionOptions {
+  /// Default seed for statements that omit seed=. The implicit default
+  /// session uses 42, matching the pre-session engine defaults.
+  uint64_t seed = 42;
+  /// Free-form tag shown by SHOW SESSIONS.
+  std::string label;
+  /// Simulated-seconds budget for the whole session; 0 = unlimited.
+  double deadline_seconds = 0.0;
+};
+
+struct SessionStats {
+  uint64_t statements = 0;
+  uint64_t trains = 0;
+  uint64_t predicts = 0;
+  uint64_t evaluates = 0;
+  uint64_t loads = 0;
+  uint64_t inserts = 0;
+  uint64_t rollbacks = 0;
+  uint64_t failed = 0;
+  /// Simulated seconds consumed while this session's statements ran
+  /// (global-clock deltas; overlapping sessions may double-count).
+  double sim_seconds = 0.0;
+};
+
+/// One row of SHOW SESSIONS / Database::DescribeSessions.
+struct SessionInfo {
+  uint64_t id = 0;
+  std::string label;
+  SessionStats stats;
+};
+
+class Session {
+ public:
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  uint64_t id() const { return id_; }
+  const SessionOptions& options() const { return options_; }
+  const CancellationToken& token() const { return token_; }
+
+  /// Parses and runs one statement; returns a printable summary. The
+  /// session's seed fills in for an omitted seed=, statements are counted
+  /// into stats(), and a cancelled token or expired deadline fails the
+  /// statement before any work happens.
+  Result<std::string> Execute(const std::string& sql);
+
+  // Typed statement entry points (same counting/cancellation/seed rules).
+  Result<InDbTrainResult> Train(const TrainStatement& stmt);
+  Result<InDbPredictResult> Predict(const PredictStatement& stmt);
+  Result<BinaryReport> Evaluate(const EvaluateStatement& stmt);
+  Result<uint64_t> Load(const LoadStatement& stmt);
+  Status Insert(const std::string& table, const std::vector<Tuple>& tuples);
+
+  /// Cooperatively cancels the session: every subsequent (and in-flight,
+  /// at its next check) statement fails with `reason`.
+  void Cancel(Status reason = Status::Cancelled("session cancelled"));
+
+  SessionStats stats() const;
+
+ private:
+  friend class Database;
+
+  Session(Database* db, uint64_t id, SessionOptions options);
+
+  /// Pre-statement gate: cancellation, deadline. Returns the failure.
+  Status Admit();
+  /// Applies the session-seed default to a statement's params in place.
+  void DefaultSeed(Params* params) const;
+  /// Post-statement accounting (under mu_).
+  void Account(uint64_t SessionStats::*counter, bool ok, double sim_delta);
+
+  Database* db_;
+  const uint64_t id_;
+  const SessionOptions options_;
+  Rng rng_;
+  CancellationToken token_;
+  Deadline deadline_;
+
+  mutable Mutex mu_;
+  SessionStats stats_ CORGI_GUARDED_BY(mu_);
+};
+
+}  // namespace corgipile

@@ -1,0 +1,58 @@
+#include "session/workload.h"
+
+#include <thread>
+
+#include "db/database.h"
+#include "serve/workload.h"
+#include "session/session.h"
+
+namespace corgipile {
+
+uint64_t SessionSeedFor(uint64_t base_seed, size_t k) {
+  // Golden-ratio spread keeps neighboring sessions' seeds far apart while
+  // staying a pure function of (base_seed, k).
+  return base_seed ^ (0x9E3779B97F4A7C15ull * (static_cast<uint64_t>(k) + 1));
+}
+
+std::vector<SessionRunReport> RunMultiSessionWorkload(
+    Database* db, const std::vector<SessionScript>& scripts,
+    const MultiSessionOptions& options) {
+  std::vector<SessionRunReport> reports(scripts.size());
+  // Open every session up front, on this thread, so ids are assigned in
+  // script order and SHOW SESSIONS output is stable across runs.
+  std::vector<std::unique_ptr<Session>> sessions;
+  sessions.reserve(scripts.size());
+  for (size_t k = 0; k < scripts.size(); ++k) {
+    SessionOptions so;
+    so.seed = SessionSeedFor(options.seed, k);
+    so.label = scripts[k].label;
+    sessions.push_back(db->CreateSession(so));
+
+    reports[k].session_id = sessions[k]->id();
+    reports[k].label = scripts[k].label;
+    reports[k].session_seed = so.seed;
+    reports[k].arrivals = PoissonSchedule(scripts[k].statements.size(),
+                                          options.arrival_rate_rps, so.seed);
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(scripts.size());
+  for (size_t k = 0; k < scripts.size(); ++k) {
+    threads.emplace_back([&, k] {
+      Session* session = sessions[k].get();
+      SessionRunReport& report = reports[k];
+      for (const std::string& sql : scripts[k].statements) {
+        Result<std::string> out = session->Execute(sql);
+        if (!out.ok()) {
+          report.status = out.status();
+          return;
+        }
+        report.outputs.push_back(std::move(out).ValueOrDie());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return reports;
+}
+
+}  // namespace corgipile

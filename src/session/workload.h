@@ -1,0 +1,60 @@
+// Seeded multi-session request loop (DESIGN.md §14).
+//
+// Drives N concurrent sessions against one Database, each replaying a
+// scripted statement sequence. Arrival stamps come from the same seeded
+// Poisson generator the serving bench uses (serve/workload.h) — recorded
+// per statement for reporting, while execution itself is closed-loop (each
+// session issues its next statement as soon as the previous one returns;
+// no real sleeps), so runs are fast and the per-session outputs are
+// deterministic in (scripts, seeds) alone.
+//
+// Session k gets seed derived from (base seed, k), so statements that omit
+// seed= are reproducible per session and distinct across sessions.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace corgipile {
+
+class Database;
+
+struct MultiSessionOptions {
+  /// Mean Poisson arrival rate for the recorded stamps (per sim-second).
+  double arrival_rate_rps = 100.0;
+  uint64_t seed = 42;
+};
+
+/// One session's scripted statement sequence.
+struct SessionScript {
+  std::string label;
+  std::vector<std::string> statements;
+};
+
+struct SessionRunReport {
+  uint64_t session_id = 0;
+  std::string label;
+  uint64_t session_seed = 0;
+  /// One summary string per successfully executed statement.
+  std::vector<std::string> outputs;
+  /// Poisson arrival stamp per statement (simulated seconds).
+  std::vector<double> arrivals;
+  /// OK, or the first statement failure (execution stops there).
+  Status status;
+};
+
+/// Deterministic per-session seed for script index `k` under `base_seed`.
+uint64_t SessionSeedFor(uint64_t base_seed, size_t k);
+
+/// Runs every script on its own session, one thread per session, all
+/// concurrent against `db`. Returns one report per script, in script
+/// order. Statement failures are recorded per report, never thrown across
+/// sessions — a failing session does not stop its peers.
+std::vector<SessionRunReport> RunMultiSessionWorkload(
+    Database* db, const std::vector<SessionScript>& scripts,
+    const MultiSessionOptions& options);
+
+}  // namespace corgipile

@@ -56,4 +56,42 @@ Status TableBlockSource::ReadBlock(uint32_t block, std::vector<Tuple>* out) {
   return table_->ReadTuplesFromPages(first, count, out);
 }
 
+SnapshotBlockSource::SnapshotBlockSource(ShardedSnapshot snapshot,
+                                         uint64_t block_size_bytes)
+    : snapshot_(std::move(snapshot)) {
+  pages_per_block_ = std::max<uint64_t>(
+      1, snapshot_.valid()
+             ? block_size_bytes / snapshot_.options().page_size
+             : 1);
+  for (size_t s = 0; s < snapshot_.num_shards(); ++s) {
+    const uint64_t pages = snapshot_.shard(s).num_pages();
+    for (uint64_t first = 0; first < pages; first += pages_per_block_) {
+      BlockRef ref;
+      ref.shard = static_cast<uint32_t>(s);
+      ref.first_page = first;
+      ref.page_count = std::min<uint64_t>(pages_per_block_, pages - first);
+      blocks_.push_back(ref);
+    }
+  }
+}
+
+uint64_t SnapshotBlockSource::TuplesInBlock(uint32_t block) const {
+  if (block >= blocks_.size()) return 0;
+  const BlockRef& ref = blocks_[block];
+  const TableSnapshot& shard = snapshot_.shard(ref.shard);
+  uint64_t n = 0;
+  for (uint64_t p = ref.first_page; p < ref.first_page + ref.page_count; ++p) {
+    n += shard.TuplesInPage(p);
+  }
+  return n;
+}
+
+Status SnapshotBlockSource::ReadBlock(uint32_t block,
+                                      std::vector<Tuple>* out) {
+  if (block >= blocks_.size()) return Status::OutOfRange("block index");
+  const BlockRef& ref = blocks_[block];
+  return snapshot_.shard(ref.shard)
+      .ReadTuplesFromPages(ref.first_page, ref.page_count, out);
+}
+
 }  // namespace corgipile

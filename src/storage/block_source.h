@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "storage/schema.h"
+#include "storage/sharded_table.h"
 #include "storage/table.h"
 #include "storage/tuple.h"
 #include "util/status.h"
@@ -84,6 +85,42 @@ class TableBlockSource : public BlockSource {
   Table* table_;
   uint64_t pages_per_block_;
   uint32_t num_blocks_;
+};
+
+/// Blocks over an immutable ShardedSnapshot: each block is
+/// `pages_per_block` contiguous pages of one shard, enumerated shard-major
+/// (the same geometry as BlockShuffleOp, so at shards=1 the block ids are
+/// identical to TableBlockSource over the same table). Reads never see
+/// concurrently appended pages — the stream-strategy analog of the
+/// snapshot discipline in DESIGN.md §14.
+class SnapshotBlockSource : public BlockSource {
+ public:
+  /// `block_size_bytes` is rounded down to a whole number of pages
+  /// (minimum one page). The snapshot's parent table must outlive the
+  /// source.
+  SnapshotBlockSource(ShardedSnapshot snapshot, uint64_t block_size_bytes);
+
+  const Schema& schema() const override { return snapshot_.schema(); }
+  uint32_t num_blocks() const override {
+    return static_cast<uint32_t>(blocks_.size());
+  }
+  uint64_t num_tuples() const override { return snapshot_.num_tuples(); }
+  uint64_t TuplesInBlock(uint32_t block) const override;
+  Status ReadBlock(uint32_t block, std::vector<Tuple>* out) override;
+  void Reset() override { snapshot_.ResetReadCursors(); }
+
+  uint64_t pages_per_block() const { return pages_per_block_; }
+
+ private:
+  struct BlockRef {
+    uint32_t shard = 0;
+    uint64_t first_page = 0;
+    uint64_t page_count = 0;
+  };
+
+  ShardedSnapshot snapshot_;
+  uint64_t pages_per_block_;
+  std::vector<BlockRef> blocks_;
 };
 
 }  // namespace corgipile

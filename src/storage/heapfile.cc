@@ -124,7 +124,8 @@ Status HeapFile::AppendPage(const Page& page) {
   Page stamped = Page::FromBytes(std::move(image));
   stamped.StampChecksum();
 
-  const uint64_t byte_off = num_pages_ * page_size_;
+  const uint64_t byte_off =
+      num_pages_.load(std::memory_order_relaxed) * page_size_;
   uint64_t persist = page_size_;
   FaultInjector* fault = nullptr;
   {
@@ -145,7 +146,7 @@ Status HeapFile::AppendPage(const Page& page) {
   if (n != static_cast<ssize_t>(page_size_)) {
     return Status::IoError("pwrite " + path_ + ": " + std::strerror(errno));
   }
-  ++num_pages_;
+  num_pages_.fetch_add(1, std::memory_order_release);
   ChargeWrite(1);
   return Status::OK();
 }
@@ -233,9 +234,10 @@ Status HeapFile::VerifyPage(const Page& page, uint64_t page_idx) const {
 }
 
 Status HeapFile::ReadPage(uint64_t page_idx, Page* out) {
-  if (page_idx >= num_pages_) {
+  const uint64_t pages = num_pages();
+  if (page_idx >= pages) {
     return Status::OutOfRange("page index " + std::to_string(page_idx) +
-                              " >= " + std::to_string(num_pages_));
+                              " >= " + std::to_string(pages));
   }
   std::vector<uint8_t> buf(page_size_);
   const uint64_t off = page_idx * page_size_;
@@ -249,7 +251,7 @@ Status HeapFile::ReadPage(uint64_t page_idx, Page* out) {
 
 Status HeapFile::ReadPages(uint64_t first, uint64_t count,
                            std::vector<Page>* out) {
-  if (first + count > num_pages_) {
+  if (first + count > num_pages()) {
     return Status::OutOfRange("page range out of bounds");
   }
   out->clear();

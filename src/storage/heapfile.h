@@ -16,6 +16,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -59,8 +60,10 @@ class HeapFile {
   const DeviceProfile& device() const { return device_; }
 
   uint32_t page_size() const { return page_size_; }
-  uint64_t num_pages() const { return num_pages_; }
-  uint64_t size_bytes() const { return num_pages_ * page_size_; }
+  uint64_t num_pages() const {
+    return num_pages_.load(std::memory_order_acquire);
+  }
+  uint64_t size_bytes() const { return num_pages() * page_size_; }
   const std::string& path() const { return path_; }
 
   /// Appends one page at the end of the file (sequential write cost). The
@@ -112,7 +115,11 @@ class HeapFile {
   std::string path_;
   int fd_;
   uint32_t page_size_;
-  uint64_t num_pages_;
+  /// Published page count. Appenders serialize externally (Table's append
+  /// mutex); the release store in AppendPage pairs with the acquire load in
+  /// num_pages() so readers that learned of a page via a published table
+  /// index always see it within bounds.
+  std::atomic<uint64_t> num_pages_;
   uint64_t tag_;  // FaultInjector site tag derived from path_
 
   Mutex mu_;

@@ -6,16 +6,79 @@
 
 namespace corgipile {
 
+// --- TableSnapshot ---
+
+const Schema& TableSnapshot::schema() const { return table_->schema(); }
+
+const TableOptions& TableSnapshot::options() const {
+  return table_->options();
+}
+
+uint64_t TableSnapshot::num_tuples() const {
+  return index_ == nullptr ? 0 : index_->num_tuples;
+}
+
+uint64_t TableSnapshot::num_pages() const {
+  return index_ == nullptr ? 0 : index_->tuples_per_page.size();
+}
+
+uint64_t TableSnapshot::size_bytes() const {
+  return num_pages() * table_->options().page_size;
+}
+
+uint32_t TableSnapshot::TuplesInPage(uint64_t p) const {
+  if (index_ == nullptr || p >= index_->tuples_per_page.size()) return 0;
+  return index_->tuples_per_page[p];
+}
+
+Status TableSnapshot::ReadTuplesFromPages(uint64_t first, uint64_t count,
+                                          std::vector<Tuple>* out) const {
+  if (table_ == nullptr) return Status::Internal("empty snapshot");
+  return table_->ReadTuplesFromPagesBounded(*index_, first, count, out);
+}
+
+Result<Tuple> TableSnapshot::ReadTupleAt(uint64_t idx) const {
+  if (table_ == nullptr) return Status::Internal("empty snapshot");
+  return table_->ReadTupleAtBounded(*index_, idx);
+}
+
+Status TableSnapshot::Scan(
+    const std::function<Status(const Tuple&)>& fn) const {
+  if (table_ == nullptr) return Status::Internal("empty snapshot");
+  std::vector<Tuple> tuples;
+  for (uint64_t p = 0; p < num_pages(); ++p) {
+    tuples.clear();
+    CORGI_RETURN_NOT_OK(ReadTuplesFromPages(p, 1, &tuples));
+    for (const Tuple& t : tuples) {
+      CORGI_RETURN_NOT_OK(fn(t));
+    }
+  }
+  return Status::OK();
+}
+
+void TableSnapshot::ResetReadCursor() const { table_->ResetReadCursor(); }
+
+// --- Table ---
+
 Table::Table(Schema schema, TableOptions options,
              std::unique_ptr<HeapFile> file,
              std::vector<uint32_t> tuples_per_page)
-    : schema_(std::move(schema)), options_(options), file_(std::move(file)),
-      tuples_per_page_(std::move(tuples_per_page)) {
-  page_prefix_.resize(tuples_per_page_.size() + 1, 0);
-  for (size_t i = 0; i < tuples_per_page_.size(); ++i) {
-    page_prefix_[i + 1] = page_prefix_[i] + tuples_per_page_[i];
+    : schema_(std::move(schema)), options_(options), file_(std::move(file)) {
+  MutexLock lock(snapshot_mu_);
+  index_ = BuildIndex(std::move(tuples_per_page));
+}
+
+std::shared_ptr<const Table::Index> Table::BuildIndex(
+    std::vector<uint32_t> tuples_per_page) {
+  auto index = std::make_shared<Index>();
+  index->tuples_per_page = std::move(tuples_per_page);
+  index->page_prefix.resize(index->tuples_per_page.size() + 1, 0);
+  for (size_t i = 0; i < index->tuples_per_page.size(); ++i) {
+    index->page_prefix[i + 1] =
+        index->page_prefix[i] + index->tuples_per_page[i];
   }
-  num_tuples_ = page_prefix_.empty() ? 0 : page_prefix_.back();
+  index->num_tuples = index->page_prefix.back();
+  return index;
 }
 
 Result<std::unique_ptr<Table>> Table::Open(const std::string& path,
@@ -36,6 +99,15 @@ Result<std::unique_ptr<Table>> Table::Open(const std::string& path,
                                           std::move(tuples_per_page)));
 }
 
+TableSnapshot Table::Snapshot() const {
+  MutexLock lock(snapshot_mu_);
+  return TableSnapshot(const_cast<Table*>(this), index_);
+}
+
+uint64_t Table::num_tuples() const { return Snapshot().num_tuples(); }
+uint64_t Table::num_pages() const { return Snapshot().num_pages(); }
+uint64_t Table::size_bytes() const { return Snapshot().size_bytes(); }
+
 void Table::SetIoAccounting(DeviceProfile device, SimClock* clock,
                             IoStats* stats) {
   clock_ = clock;
@@ -43,7 +115,7 @@ void Table::SetIoAccounting(DeviceProfile device, SimClock* clock,
 }
 
 uint32_t Table::TuplesInPage(uint64_t p) const {
-  return p < tuples_per_page_.size() ? tuples_per_page_[p] : 0;
+  return Snapshot().TuplesInPage(p);
 }
 
 Status Table::DecodePage(const Page& page, std::vector<Tuple>* out) {
@@ -73,8 +145,13 @@ Status Table::DecodePage(const Page& page, std::vector<Tuple>* out) {
   return Status::OK();
 }
 
-Status Table::ReadTuplesFromPages(uint64_t first, uint64_t count,
-                                  std::vector<Tuple>* out) {
+Status Table::ReadTuplesFromPagesBounded(const Index& index, uint64_t first,
+                                         uint64_t count,
+                                         std::vector<Tuple>* out) {
+  const uint64_t bound = index.tuples_per_page.size();
+  if (first + count > bound) {
+    return Status::OutOfRange("page range beyond snapshot");
+  }
   if (buffer_manager_ == nullptr) {
     std::vector<Page> pages;
     CORGI_RETURN_NOT_OK(file_->ReadPages(first, count, &pages));
@@ -111,12 +188,13 @@ Status Table::ReadTuplesFromPages(uint64_t first, uint64_t count,
   return Status::OK();
 }
 
-Result<Tuple> Table::ReadTupleAt(uint64_t idx) {
-  if (idx >= num_tuples_) return Status::OutOfRange("tuple index");
+Result<Tuple> Table::ReadTupleAtBounded(const Index& index, uint64_t idx) {
+  if (idx >= index.num_tuples) return Status::OutOfRange("tuple index");
   // Find page via prefix sums.
-  auto it = std::upper_bound(page_prefix_.begin(), page_prefix_.end(), idx);
+  auto it = std::upper_bound(index.page_prefix.begin(),
+                             index.page_prefix.end(), idx);
   const auto page_idx =
-      static_cast<uint64_t>(std::distance(page_prefix_.begin(), it)) - 1;
+      static_cast<uint64_t>(std::distance(index.page_prefix.begin(), it)) - 1;
   std::vector<Tuple> tuples;
   if (buffer_manager_ != nullptr) {
     CORGI_ASSIGN_OR_RETURN(std::shared_ptr<const Page> page,
@@ -127,15 +205,29 @@ Result<Tuple> Table::ReadTupleAt(uint64_t idx) {
     CORGI_RETURN_NOT_OK(file_->ReadPage(page_idx, &page));
     CORGI_RETURN_NOT_OK(DecodePage(page, &tuples));
   }
-  const uint64_t slot = idx - page_prefix_[page_idx];
+  const uint64_t slot = idx - index.page_prefix[page_idx];
   if (slot >= tuples.size()) {
     return Status::Corruption("tuple index beyond page contents");
   }
   return std::move(tuples[slot]);
 }
 
+Status Table::ReadTuplesFromPages(uint64_t first, uint64_t count,
+                                  std::vector<Tuple>* out) {
+  return Snapshot().ReadTuplesFromPages(first, count, out);
+}
+
+Result<Tuple> Table::ReadTupleAt(uint64_t idx) {
+  return Snapshot().ReadTupleAt(idx);
+}
+
+Status Table::Scan(const std::function<Status(const Tuple&)>& fn) {
+  return Snapshot().Scan(fn);
+}
+
 Status Table::AppendTuples(const std::vector<Tuple>& tuples) {
   if (tuples.empty()) return Status::OK();
+  MutexLock append_lock(append_mu_);
   Page page(options_.page_size);
   uint32_t page_tuples = 0;
   std::vector<uint32_t> new_counts;
@@ -171,23 +263,18 @@ Status Table::AppendTuples(const std::vector<Tuple>& tuples) {
   }
   CORGI_RETURN_NOT_OK(flush());
   CORGI_RETURN_NOT_OK(file_->Sync());
-  // All pages are durable; extend the in-memory index in one pass.
-  for (uint32_t count : new_counts) {
-    tuples_per_page_.push_back(count);
-    page_prefix_.push_back(page_prefix_.back() + count);
-    num_tuples_ += count;
+  // All pages durable: stage the extended index, then commit it with a
+  // noexcept pointer swap. In-flight snapshots keep the old index alive.
+  std::vector<uint32_t> counts;
+  {
+    MutexLock lock(snapshot_mu_);
+    counts = index_->tuples_per_page;
   }
-  return Status::OK();
-}
-
-Status Table::Scan(const std::function<Status(const Tuple&)>& fn) {
-  std::vector<Tuple> tuples;
-  for (uint64_t p = 0; p < file_->num_pages(); ++p) {
-    tuples.clear();
-    CORGI_RETURN_NOT_OK(ReadTuplesFromPages(p, 1, &tuples));
-    for (const Tuple& t : tuples) {
-      CORGI_RETURN_NOT_OK(fn(t));
-    }
+  counts.insert(counts.end(), new_counts.begin(), new_counts.end());
+  std::shared_ptr<const Index> next = BuildIndex(std::move(counts));
+  {
+    MutexLock lock(snapshot_mu_);
+    index_ = std::move(next);
   }
   return Status::OK();
 }

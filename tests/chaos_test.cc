@@ -18,6 +18,7 @@
 #include "db/tuple_shuffle_op.h"
 #include "dataset/catalog.h"
 #include "dataset/loader.h"
+#include "exec/shard_scan.h"
 #include "iosim/chaos.h"
 #include "iosim/fault_plane.h"
 #include "iosim/sim_clock.h"
@@ -819,6 +820,149 @@ TEST(LifecycleChaosTest, KillAndRestartRecoversLastPromotedVersionBitExact) {
           << sc.Describe();
     }
   }
+}
+
+// --- sharded-table chaos (DESIGN.md §14) -----------------------------------
+
+namespace shard_chaos {
+
+constexpr uint32_t kDim = 4;
+constexpr uint64_t kInitial = 40;
+constexpr uint64_t kBatch = 10;
+constexpr uint64_t kBatches = 6;
+constexpr uint32_t kShards = 3;
+
+Schema ShardSchema() { return Schema{"s", kDim, false, LabelType::kBinary, 2}; }
+
+std::vector<Tuple> ShardTuples(uint64_t first_id, uint64_t n) {
+  std::vector<Tuple> out;
+  out.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    std::vector<float> values(kDim);
+    for (uint32_t d = 0; d < kDim; ++d) {
+      values[d] = static_cast<float>((first_id + i) * 31 + d);
+    }
+    out.push_back(MakeDenseTuple(first_id + i, (first_id + i) % 2 ? 1.0 : -1.0,
+                                 std::move(values)));
+  }
+  return out;
+}
+
+std::vector<Tuple> CollectTable(Database* db, const std::string& name) {
+  std::vector<Tuple> out;
+  ShardedTable* table = db->GetShardedTable(name).ValueOrDie();
+  Status st = MergeScanSnapshot(table->Snapshot(), ShardScanOptions{},
+                                [&](const Tuple& t) {
+                                  out.push_back(t);
+                                  return Status::OK();
+                                });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return out;
+}
+
+}  // namespace shard_chaos
+
+// Kill-and-restart during streaming Insert into a sharded table. Each
+// attempt reopens the data directory like a process restart (Attach reads
+// the shard count from the sidecar) and resumes from the durable tuple
+// count; the recovered table must equal a never-crashed reference run
+// tuple-for-tuple in insertion order.
+TEST(ShardChaosTest, InsertKillRestartRecoversShardedTableBitExact) {
+  using namespace shard_chaos;
+  const auto initial = ShardTuples(0, kInitial);
+
+  // Reference: no chaos.
+  std::vector<Tuple> reference;
+  {
+    const std::string dir = MakeTempDir("shard_chaos_ref");
+    Database db(dir, DeviceProfile::Ssd());
+    ASSERT_TRUE(db.CreateTable("s", ShardSchema(), initial, false, 512,
+                               kShards)
+                    .ok());
+    for (uint64_t b = 0; b < kBatches; ++b) {
+      ASSERT_TRUE(
+          db.Insert("s", ShardTuples(kInitial + b * kBatch, kBatch)).ok());
+    }
+    reference = CollectTable(&db, "s");
+  }
+  ASSERT_EQ(reference.size(), kInitial + kBatches * kBatch);
+
+  // Chaos: one kill after the pages of a batch are durable but before its
+  // snapshot publishes, one before a later batch touches storage at all.
+  const std::string dir = MakeTempDir("shard_chaos_run");
+  ChaosScenario sc;
+  sc.name = "shard-insert-kill";
+  sc.seed = 7;
+  sc.rules = {MakeRule("shard.snapshot.publish", ChaosAction::kKill, 2),
+              MakeRule("shard.append.begin", ChaosAction::kKill, 4)};
+  std::vector<Tuple> recovered;
+  ChaosReport report = ChaosRunner::RunToCompletion(
+      sc, [&](uint32_t attempt) -> Status {
+        Database db(dir, DeviceProfile::Ssd());
+        if (attempt == 0) {
+          CORGI_RETURN_NOT_OK(db.CreateTable("s", ShardSchema(), initial,
+                                             false, 512, kShards));
+        } else {
+          CORGI_RETURN_NOT_OK(db.Attach("s"));
+        }
+        CORGI_ASSIGN_OR_RETURN(ShardedTable * table, db.GetShardedTable("s"));
+        // Batches append all-or-nothing (the kill points bracket the whole
+        // batch), so the durable count tells us where to resume.
+        const uint64_t durable = table->num_tuples();
+        EXPECT_EQ((durable - kInitial) % kBatch, 0u) << sc.Describe();
+        for (uint64_t b = (durable - kInitial) / kBatch; b < kBatches; ++b) {
+          CORGI_RETURN_NOT_OK(
+              db.Insert("s", ShardTuples(kInitial + b * kBatch, kBatch)));
+        }
+        recovered = CollectTable(&db, "s");
+        return Status::OK();
+      });
+  ASSERT_TRUE(report.final_status.ok())
+      << sc.Describe() << ": " << report.Describe();
+  EXPECT_EQ(report.crashes, 2u) << report.Describe();
+  EXPECT_EQ(report.attempts, 3u) << report.Describe();
+  ASSERT_EQ(recovered.size(), reference.size()) << sc.Describe();
+  for (size_t i = 0; i < reference.size(); ++i) {
+    ASSERT_EQ(recovered[i], reference[i]) << sc.Describe() << " tuple " << i;
+  }
+}
+
+TEST(ShardChaosTest, ScanFaultInjectionSurfacesError) {
+  using namespace shard_chaos;
+  const std::string dir = MakeTempDir("shard_chaos_scan");
+  Database db(dir, DeviceProfile::Ssd());
+  ASSERT_TRUE(
+      db.CreateTable("s", ShardSchema(), ShardTuples(0, 30), false, 512, 2)
+          .ok());
+  ShardedTable* table = db.GetShardedTable("s").ValueOrDie();
+
+  FaultPlane* plane = FaultPlane::Process();
+  plane->Arm("scan-fail", 5,
+             {MakeRule("shard.scan.begin", ChaosAction::kFail, 0)});
+  Status st = MergeScanSnapshot(table->Snapshot(), ShardScanOptions{},
+                                [](const Tuple&) { return Status::OK(); });
+  plane->Disarm();
+  EXPECT_TRUE(st.IsIoError()) << st.ToString();
+  EXPECT_NE(st.ToString().find("scenario=scan-fail"), std::string::npos)
+      << st.ToString();
+
+  // Disarmed, the same scan succeeds.
+  EXPECT_TRUE(MergeScanSnapshot(table->Snapshot(), ShardScanOptions{},
+                                [](const Tuple&) { return Status::OK(); })
+                  .ok());
+}
+
+TEST(SessionChaosTest, ExecuteFaultInjectionFailsStatement) {
+  using namespace shard_chaos;
+  const std::string dir = MakeTempDir("session_chaos_exec");
+  Database db(dir, DeviceProfile::Ssd());
+  FaultPlane* plane = FaultPlane::Process();
+  plane->Arm("session-fail", 9,
+             {MakeRule("session.execute.begin", ChaosAction::kFail, 0)});
+  Status st = db.Execute("SHOW SESSIONS").status();
+  plane->Disarm();
+  EXPECT_TRUE(st.IsIoError()) << st.ToString();
+  EXPECT_TRUE(db.Execute("SHOW SESSIONS").ok());
 }
 
 }  // namespace

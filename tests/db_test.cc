@@ -539,6 +539,107 @@ TEST(DatabaseTest, AttachReopensPersistedTable) {
   EXPECT_TRUE(db2.Attach("ghost").IsNotFound());
 }
 
+TEST(DatabaseTest, ShowSessionsThroughExecute) {
+  const std::string dir = MakeTempDir("db_show_sessions");
+  Database db(dir, DeviceProfile::Ssd());
+  auto spec = CatalogLookup("susy", 0.05).ValueOrDie();
+  Dataset ds = GenerateDataset(spec, DataOrder::kClustered);
+  ASSERT_TRUE(db.RegisterDataset("susy", ds).ok());
+
+  // Only the implicit default session exists.
+  auto show = db.Execute("show sessions;");
+  ASSERT_TRUE(show.ok()) << show.status().ToString();
+  EXPECT_NE(show->find("1 session(s)"), std::string::npos) << *show;
+  EXPECT_NE(show->find("session 1 [default]"), std::string::npos) << *show;
+  EXPECT_NE(show->find("statements=0"), std::string::npos) << *show;
+
+  // The default session's statements are attributed to it.
+  ASSERT_TRUE(db.Execute("SELECT * FROM susy TRAIN BY lr WITH "
+                         "learning_rate=0.005, max_epoch_num=2, "
+                         "block_size=64KB, buffer_fraction=0.1")
+                  .ok());
+  show = db.Execute("SHOW SESSIONS");
+  ASSERT_TRUE(show.ok());
+  EXPECT_NE(show->find("statements=1"), std::string::npos) << *show;
+  EXPECT_NE(show->find("trains=1"), std::string::npos) << *show;
+
+  // Parse errors.
+  EXPECT_TRUE(db.Execute("SHOW SESSION").status().IsInvalidArgument());
+  EXPECT_TRUE(db.Execute("SHOW SESSIONS WITH x=1")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(DatabaseTest, LoadWithShardsPartitionsTable) {
+  const std::string dir = MakeTempDir("db_load_shards");
+  auto spec = CatalogLookup("susy", 0.05).ValueOrDie();
+  Dataset ds = GenerateDataset(spec, DataOrder::kClustered);
+  const std::string path = dir + "/susy.libsvm";
+  ASSERT_TRUE(WriteLibsvmFile(*ds.train, path).ok());
+
+  Database db(dir, DeviceProfile::Ssd());
+  auto loaded = db.Execute("LOAD TABLE susy FROM '" + path +
+                           "' WITH order=clustered, shards=4");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  auto sharded = db.GetShardedTable("susy");
+  ASSERT_TRUE(sharded.ok());
+  EXPECT_EQ((*sharded)->num_shards(), 4u);
+  EXPECT_EQ((*sharded)->num_tuples(), ds.train->size());
+  // GetTable compat accessor returns shard 0 (about a quarter of the rows).
+  auto shard0 = db.GetTable("susy");
+  ASSERT_TRUE(shard0.ok());
+  EXPECT_EQ((*shard0)->num_tuples(), (ds.train->size() + 3) / 4);
+
+  EXPECT_TRUE(db.Execute("LOAD TABLE z FROM '" + path + "' WITH shards=0")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(db.Execute("LOAD TABLE z FROM '" + path + "' WITH shards=65")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(DatabaseTest, AttachReopensShardedTableFromSidecar) {
+  const std::string dir = MakeTempDir("db_attach_sharded");
+  auto spec = CatalogLookup("susy", 0.05).ValueOrDie();
+  Dataset ds = GenerateDataset(spec, DataOrder::kClustered);
+  {
+    Database db(dir, DeviceProfile::Ssd());
+    ASSERT_TRUE(db.RegisterDataset("susy", ds, /*num_shards=*/3).ok());
+  }
+  Database db2(dir, DeviceProfile::Ssd());
+  ASSERT_TRUE(db2.Attach("susy").ok());
+  auto sharded = db2.GetShardedTable("susy");
+  ASSERT_TRUE(sharded.ok());
+  EXPECT_EQ((*sharded)->num_shards(), 3u);
+  EXPECT_EQ((*sharded)->num_tuples(), ds.train->size());
+  // TRAIN over the reattached sharded table works end to end.
+  auto r = db2.Execute(
+      "SELECT * FROM susy TRAIN BY lr WITH learning_rate=0.005, "
+      "max_epoch_num=2, block_size=16KB, seed=3");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST(DatabaseTest, ShuffleOnceStrategiesRequireSingleShard) {
+  const std::string dir = MakeTempDir("db_shuffle_once_shards");
+  auto spec = CatalogLookup("susy", 0.05).ValueOrDie();
+  Dataset ds = GenerateDataset(spec, DataOrder::kClustered);
+  Database db(dir, DeviceProfile::Ssd());
+  ASSERT_TRUE(db.RegisterDataset("susy", ds, /*num_shards=*/2).ok());
+  EXPECT_TRUE(db.Execute("SELECT * FROM susy TRAIN BY lr WITH "
+                         "strategy=shuffle_once, max_epoch_num=1")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(db.Execute("SELECT * FROM susy TRAIN BY lr WITH "
+                         "strategy=shuffle_once_inplace, max_epoch_num=1")
+                  .status()
+                  .IsInvalidArgument());
+  // corgipile itself is shard-native.
+  EXPECT_TRUE(db.Execute("SELECT * FROM susy TRAIN BY lr WITH "
+                         "strategy=corgipile, max_epoch_num=1, "
+                         "block_size=16KB")
+                  .ok());
+}
+
 TEST(DatabaseTest, StreamStrategiesRunViaAdapter) {
   const std::string dir = MakeTempDir("db_stream");
   Database db(dir, DeviceProfile::Ssd());

@@ -536,5 +536,137 @@ TEST(BufferManagerTest, InsertAndContains) {
   std::remove(path.c_str());
 }
 
+// --- MVCC table snapshots (DESIGN.md §14) ----------------------------------
+
+TEST(TableSnapshotTest, SnapshotIsImmutableAcrossAppend) {
+  const std::string path = TempPath("tbl_snap.dat");
+  Schema schema{"t", 4, false, LabelType::kBinary, 2};
+  auto tuples = MakeTuples(120, 4);
+  TableBuilder builder(schema, path, TableOptions{512, false});
+  for (const auto& t : tuples) ASSERT_TRUE(builder.Append(t).ok());
+  auto table = builder.Finish();
+  ASSERT_TRUE(table.ok());
+
+  TableSnapshot snap = (*table)->Snapshot();
+  EXPECT_EQ(snap.num_tuples(), 120u);
+  const uint64_t pages_before = snap.num_pages();
+
+  auto extra = MakeTuples(80, 4);
+  ASSERT_TRUE((*table)->AppendTuples(extra).ok());
+
+  // The captured snapshot still bounds reads at its creation point…
+  EXPECT_EQ(snap.num_tuples(), 120u);
+  EXPECT_EQ(snap.num_pages(), pages_before);
+  std::vector<Tuple> scanned;
+  ASSERT_TRUE(snap.Scan([&](const Tuple& t) {
+                    scanned.push_back(t);
+                    return Status::OK();
+                  })
+                  .ok());
+  ASSERT_EQ(scanned.size(), 120u);
+  for (size_t i = 0; i < scanned.size(); ++i) EXPECT_EQ(scanned[i], tuples[i]);
+  EXPECT_TRUE(snap.ReadTupleAt(120).status().IsOutOfRange());
+
+  // …while a fresh snapshot sees the published append.
+  TableSnapshot fresh = (*table)->Snapshot();
+  EXPECT_EQ(fresh.num_tuples(), 200u);
+  EXPECT_EQ(*fresh.ReadTupleAt(120), extra[0]);
+  std::remove(path.c_str());
+}
+
+// --- sharded tables --------------------------------------------------------
+
+TEST(ShardedTableTest, ShardPathKeepsLegacyNameForShardZero) {
+  EXPECT_EQ(ShardedTable::ShardPath("/d/t", 0), "/d/t.tbl");
+  EXPECT_EQ(ShardedTable::ShardPath("/d/t", 1), "/d/t.shard1.tbl");
+  EXPECT_EQ(ShardedTable::ShardPath("/d/t", 7), "/d/t.shard7.tbl");
+}
+
+TEST(ShardedTableTest, RoundRobinPlacementAndBalance) {
+  const std::string base = TempPath("sharded_rr");
+  Schema schema{"t", 4, false, LabelType::kBinary, 2};
+  auto tuples = MakeTuples(100, 4);
+  auto table =
+      ShardedTable::Create(base, schema, TableOptions{512, false}, tuples, 3);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ((*table)->num_shards(), 3u);
+  EXPECT_EQ((*table)->num_tuples(), 100u);
+  // 100 over 3 shards round-robin: 34/33/33.
+  EXPECT_EQ((*table)->shard(0)->num_tuples(), 34u);
+  EXPECT_EQ((*table)->shard(1)->num_tuples(), 33u);
+  EXPECT_EQ((*table)->shard(2)->num_tuples(), 33u);
+  // Tuple i lives in shard i % 3 at local position i / 3.
+  for (uint64_t i : {0ULL, 1ULL, 2ULL, 50ULL, 99ULL}) {
+    auto t = (*table)->shard(i % 3)->ReadTupleAt(i / 3);
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(*t, tuples[i]) << "tuple " << i;
+  }
+}
+
+TEST(ShardedTableTest, AppendContinuesRoundRobinAndPublishesAtomically) {
+  const std::string base = TempPath("sharded_append");
+  Schema schema{"t", 4, false, LabelType::kBinary, 2};
+  auto tuples = MakeTuples(10, 4);
+  auto table =
+      ShardedTable::Create(base, schema, TableOptions{512, false}, tuples, 4);
+  ASSERT_TRUE(table.ok());
+
+  ShardedSnapshot before = (*table)->Snapshot();
+  auto extra = MakeTuples(7, 4);
+  ASSERT_TRUE((*table)->AppendTuples(extra).ok());
+  EXPECT_EQ(before.num_tuples(), 10u);  // old snapshot unaffected
+
+  // Global position 10 continues at shard 10 % 4 = 2.
+  ShardedSnapshot after = (*table)->Snapshot();
+  EXPECT_EQ(after.num_tuples(), 17u);
+  auto t10 = after.shard(2).ReadTupleAt(10 / 4);
+  ASSERT_TRUE(t10.ok());
+  EXPECT_EQ(*t10, extra[0]);
+}
+
+TEST(ShardedTableTest, OpenRoundTripsAllShards) {
+  const std::string base = TempPath("sharded_reopen");
+  Schema schema{"t", 4, false, LabelType::kBinary, 2};
+  auto tuples = MakeTuples(41, 4);
+  {
+    auto table = ShardedTable::Create(base, schema, TableOptions{512, false},
+                                      tuples, 2);
+    ASSERT_TRUE(table.ok());
+    ASSERT_TRUE((*table)->AppendTuples(MakeTuples(5, 4)).ok());
+  }
+  auto reopened =
+      ShardedTable::Open(base, schema, TableOptions{512, false}, 2);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->num_tuples(), 46u);
+  EXPECT_EQ((*reopened)->num_shards(), 2u);
+  // Missing shard file fails cleanly.
+  EXPECT_FALSE(
+      ShardedTable::Open(base, schema, TableOptions{512, false}, 3).ok());
+}
+
+TEST(SnapshotBlockSourceTest, ShardMajorBlocksCoverAllTuples) {
+  const std::string base = TempPath("snap_blocks");
+  Schema schema{"t", 4, false, LabelType::kBinary, 2};
+  auto tuples = MakeTuples(90, 4);
+  auto table =
+      ShardedTable::Create(base, schema, TableOptions{512, false}, tuples, 2);
+  ASSERT_TRUE(table.ok());
+
+  SnapshotBlockSource source((*table)->Snapshot(), /*block_size_bytes=*/1024);
+  EXPECT_EQ(source.num_tuples(), 90u);
+  uint64_t covered = 0;
+  std::vector<Tuple> all;
+  for (uint32_t b = 0; b < source.num_blocks(); ++b) {
+    covered += source.TuplesInBlock(b);
+    ASSERT_TRUE(source.ReadBlock(b, &all).ok());
+  }
+  EXPECT_EQ(covered, 90u);
+  ASSERT_EQ(all.size(), 90u);
+  // Shard-major enumeration: shard 0's tuples (even ids) first.
+  EXPECT_EQ(all.front(), tuples[0]);
+  EXPECT_EQ(all[1], tuples[2]);
+  EXPECT_FALSE(source.ReadBlock(source.num_blocks(), &all).ok());
+}
+
 }  // namespace
 }  // namespace corgipile
